@@ -1,0 +1,320 @@
+// Package buckwild is a Go reproduction of "Understanding and Optimizing
+// Asynchronous Low-Precision Stochastic Gradient Descent" (De Sa, Feldman,
+// Ré, Olukotun — ISCA 2017).
+//
+// It provides:
+//
+//   - the Buckwild! training engine: Hogwild!-style asynchronous SGD over
+//     a shared low-precision model, configurable across the full DMGC
+//     (Dataset / Model / Gradient / Communication precision) space;
+//   - the DMGC signature taxonomy and the Section 4 roofline-style
+//     performance model;
+//   - a simulated multicore machine (instruction cost model + MESI cache
+//     hierarchy with the obstinate-cache and prefetch studies) that stands
+//     in for the paper's Xeon and ZSim measurements;
+//   - an FPGA design model reproducing the Section 8 study;
+//   - synchronous quantized-gradient training with error feedback
+//     (TrainSync), LIBSVM input (LoadLibSVM) and model persistence
+//     (SaveModelFile / LoadModelFile).
+//
+// The top-level package is a thin facade over the internal packages; see
+// the examples directory for runnable end-to-end programs and DESIGN.md
+// for the system inventory.
+package buckwild
+
+import (
+	"fmt"
+
+	"buckwild/internal/core"
+	"buckwild/internal/dataset"
+	"buckwild/internal/dmgc"
+	"buckwild/internal/fixed"
+	"buckwild/internal/kernels"
+	"buckwild/internal/machine"
+)
+
+// Signature is a DMGC signature (e.g. "D8M8", "D32fi32M32f"); see
+// Section 3 of the paper.
+type Signature = dmgc.Signature
+
+// ParseSignature parses a signature in the paper's notation.
+func ParseSignature(s string) (Signature, error) {
+	return dmgc.Parse(s)
+}
+
+// PredictThroughput applies the Section 4 performance model: dataset
+// throughput in GNPS for a signature at a model size and thread count,
+// using the paper's Table 2 base throughputs.
+func PredictThroughput(sig Signature, modelSize, threads int) (float64, error) {
+	return dmgc.DefaultPerfModel().Throughput(sig, modelSize, threads)
+}
+
+// Rounding selects the model-write rounding strategy (Section 5.2).
+type Rounding string
+
+// Rounding strategies, in increasing order of hardware efficiency among
+// the unbiased ones.
+const (
+	// Biased is nearest-neighbor rounding: fastest, statistically worst.
+	Biased Rounding = "biased"
+	// UnbiasedMT is stochastic rounding with a Mersenne-twister draw per
+	// write (the slow Boost-based baseline).
+	UnbiasedMT Rounding = "unbiased-mt"
+	// UnbiasedXorshift is stochastic rounding with vectorized XORSHIFT.
+	UnbiasedXorshift Rounding = "unbiased-xorshift"
+	// UnbiasedShared reuses each XORSHIFT draw across several writes —
+	// the paper's recommended strategy.
+	UnbiasedShared Rounding = "unbiased-shared"
+)
+
+func (r Rounding) kind() (kernels.QuantKind, error) {
+	switch r {
+	case "", UnbiasedShared:
+		return kernels.QShared, nil
+	case Biased:
+		return kernels.QBiased, nil
+	case UnbiasedMT:
+		return kernels.QMersenne, nil
+	case UnbiasedXorshift:
+		return kernels.QXorshift, nil
+	}
+	return 0, fmt.Errorf("buckwild: unknown rounding %q", r)
+}
+
+// Config configures a training run. The zero value of optional fields
+// selects the paper's recommended defaults (hand-optimized kernels,
+// shared-randomness unbiased rounding, one thread, one epoch).
+type Config struct {
+	// Signature sets the precisions, e.g. "D8M8"; the index term must
+	// match the dataset for sparse problems. Empty means full precision.
+	Signature string
+	// Problem is "logistic" (default), "linear" or "svm".
+	Problem string
+	// Rounding selects the quantization strategy for model writes.
+	Rounding Rounding
+	// GenericKernels disables the hand-optimized kernel semantics
+	// (Section 5.1's compiler-style baseline).
+	GenericKernels bool
+	// Locked replaces lock-free Hogwild! updates with a mutex, the
+	// baseline asynchrony beats.
+	Locked  bool
+	Threads int
+	// MiniBatch is B, examples per model update (Section 5.4).
+	MiniBatch int
+	StepSize  float32
+	StepDecay float32
+	Epochs    int
+	Seed      uint64
+}
+
+// Result re-exports the engine's training result.
+type Result = core.Result
+
+// DenseDataset and SparseDataset re-export the dataset types.
+type DenseDataset = dataset.DenseSet
+
+// SparseDataset is a coordinate-form sparse dataset.
+type SparseDataset = dataset.SparseSet
+
+func (c Config) coreConfig(sparse bool, idxBits uint) (core.Config, error) {
+	sigText := c.Signature
+	if sigText == "" {
+		if sparse {
+			sigText = "D32fi32M32f"
+		} else {
+			sigText = "D32fM32f"
+		}
+	}
+	sig, err := dmgc.Parse(sigText)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if sparse != sig.Sparse() {
+		return core.Config{}, fmt.Errorf("buckwild: signature %v sparsity does not match the dataset", sig)
+	}
+	if sparse && sig.IndexBits() != idxBits {
+		return core.Config{}, fmt.Errorf("buckwild: signature index precision i%d, dataset stores i%d", sig.IndexBits(), idxBits)
+	}
+	d, err := precOf(sig.DatasetBits(), sig.D.Float || !sig.D.Present)
+	if err != nil {
+		return core.Config{}, err
+	}
+	m, err := precOf(sig.ModelBits(), sig.M.Float || !sig.M.Present)
+	if err != nil {
+		return core.Config{}, err
+	}
+	var prob core.Problem
+	switch c.Problem {
+	case "", "logistic":
+		prob = core.Logistic
+	case "linear":
+		prob = core.Linear
+	case "svm":
+		prob = core.SVM
+	default:
+		return core.Config{}, fmt.Errorf("buckwild: unknown problem %q", c.Problem)
+	}
+	kind, err := c.Rounding.kind()
+	if err != nil {
+		return core.Config{}, err
+	}
+	variant := kernels.HandOpt
+	if c.GenericKernels {
+		variant = kernels.Generic
+	}
+	gradBits := uint(0)
+	if sig.G.Present && !sig.G.Float && sig.G.Bits < 32 {
+		gradBits = sig.G.Bits
+	}
+	sharing := core.Racy
+	if c.Locked {
+		sharing = core.Locked
+	}
+	if c.Threads <= 1 {
+		sharing = core.Sequential
+	}
+	step := c.StepSize
+	if step == 0 {
+		step = 0.1
+	}
+	return core.Config{
+		Problem:     prob,
+		D:           d,
+		M:           m,
+		Variant:     variant,
+		Quant:       kind,
+		QuantPeriod: 8,
+		GradBits:    gradBits,
+		Threads:     c.Threads,
+		MiniBatch:   c.MiniBatch,
+		StepSize:    step,
+		StepDecay:   c.StepDecay,
+		Epochs:      c.Epochs,
+		Sharing:     sharing,
+		Seed:        c.Seed,
+	}, nil
+}
+
+// precOf maps a signature term to a storage precision.
+func precOf(bits uint, isFloat bool) (kernels.Prec, error) {
+	if isFloat {
+		if bits != 32 {
+			return 0, fmt.Errorf("buckwild: only 32-bit float storage is supported, got %df", bits)
+		}
+		return kernels.F32, nil
+	}
+	switch bits {
+	case 4:
+		return kernels.I4, nil
+	case 8:
+		return kernels.I8, nil
+	case 16:
+		return kernels.I16, nil
+	case 32:
+		return kernels.F32, nil
+	}
+	return 0, fmt.Errorf("buckwild: unsupported precision %d (use 4, 8, 16 or 32f)", bits)
+}
+
+// TrainDense runs Buckwild! SGD on a dense dataset. The dataset must be
+// stored at the signature's dataset precision (see GenerateDense).
+func TrainDense(cfg Config, ds *DenseDataset) (*Result, error) {
+	cc, err := cfg.coreConfig(false, 0)
+	if err != nil {
+		return nil, err
+	}
+	return core.TrainDense(cc, ds)
+}
+
+// TrainSparse runs Buckwild! SGD on a sparse dataset.
+func TrainSparse(cfg Config, ds *SparseDataset) (*Result, error) {
+	cc, err := cfg.coreConfig(true, ds.IdxBits)
+	if err != nil {
+		return nil, err
+	}
+	return core.TrainSparse(cc, ds)
+}
+
+// GenerateDense samples a dense logistic-regression dataset from the
+// paper's generative model, quantized at the signature's dataset
+// precision.
+func GenerateDense(sigText string, n, m int, seed uint64) (*DenseDataset, error) {
+	sig, err := dmgc.Parse(orDefault(sigText, "D32fM32f"))
+	if err != nil {
+		return nil, err
+	}
+	p, err := precOf(sig.DatasetBits(), sig.D.Float || !sig.D.Present)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.GenDense(dataset.DenseConfig{
+		N: n, M: m, P: p, Rounding: fixed.Unbiased, Seed: seed,
+	})
+}
+
+// GenerateSparse samples a sparse dataset at the signature's dataset and
+// index precisions with the given density (the paper uses 0.03).
+func GenerateSparse(sigText string, n, m int, density float64, seed uint64) (*SparseDataset, error) {
+	sig, err := dmgc.Parse(orDefault(sigText, "D32fi32M32f"))
+	if err != nil {
+		return nil, err
+	}
+	if !sig.Sparse() {
+		return nil, fmt.Errorf("buckwild: signature %v has no index term", sig)
+	}
+	p, err := precOf(sig.DatasetBits(), sig.D.Float || !sig.D.Present)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.GenSparse(dataset.SparseConfig{
+		N: n, M: m, Density: density, P: p, IdxBits: sig.IndexBits(),
+		Rounding: fixed.Unbiased, Seed: seed,
+	})
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// MachineResult re-exports the simulated-machine result.
+type MachineResult = machine.Result
+
+// SimulateThroughput runs the simulated Xeon on a dense SGD workload with
+// the given signature and returns its predicted hardware efficiency. It is
+// the programmatic interface to the Table 2 / Figure 2 experiments;
+// cmd/experiments exposes the full sweeps.
+func SimulateThroughput(sigText string, modelSize, threads int) (*MachineResult, error) {
+	sig, err := dmgc.Parse(sigText)
+	if err != nil {
+		return nil, err
+	}
+	d, err := precOf(sig.DatasetBits(), sig.D.Float || !sig.D.Present)
+	if err != nil {
+		return nil, err
+	}
+	m, err := precOf(sig.ModelBits(), sig.M.Float || !sig.M.Present)
+	if err != nil {
+		return nil, err
+	}
+	w := machine.Workload{
+		Sparse:      sig.Sparse(),
+		D:           d,
+		M:           m,
+		IdxBits:     sig.IndexBits(),
+		Variant:     kernels.HandOpt,
+		Quant:       kernels.QShared,
+		QuantPeriod: 8,
+		ModelSize:   modelSize,
+		Density:     0.03,
+		Threads:     threads,
+		Prefetch:    true,
+		Seed:        1,
+	}
+	if w.D == kernels.I4 || w.M == kernels.I4 {
+		w.Variant = kernels.NewInsn
+	}
+	return machine.Simulate(machine.Xeon(), w)
+}

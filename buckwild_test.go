@@ -1,0 +1,273 @@
+package buckwild
+
+import (
+	"os"
+	"testing"
+)
+
+func TestParseSignature(t *testing.T) {
+	sig, err := ParseSignature("D8M8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.String() != "D8M8" {
+		t.Errorf("round-trip: %v", sig)
+	}
+	if _, err := ParseSignature("bogus"); err == nil {
+		t.Error("bad signature should fail")
+	}
+}
+
+func TestPredictThroughput(t *testing.T) {
+	sig, _ := ParseSignature("D8M8")
+	one, err := PredictThroughput(sig, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := PredictThroughput(sig, 1<<20, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(one > 0 && many > one) {
+		t.Errorf("throughputs: 1t=%v 18t=%v", one, many)
+	}
+}
+
+func TestTrainDenseFacade(t *testing.T) {
+	ds, err := GenerateDense("D8M8", 64, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainDense(Config{
+		Signature: "D8M8",
+		Threads:   2,
+		Epochs:    4,
+		StepSize:  0.1,
+		Seed:      2,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainLoss[len(res.TrainLoss)-1] >= res.TrainLoss[0]*0.9 {
+		t.Errorf("training did not converge: %v", res.TrainLoss)
+	}
+}
+
+func TestTrainSparseFacade(t *testing.T) {
+	ds, err := GenerateSparse("D8i16M8", 512, 1000, 0.03, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainSparse(Config{
+		Signature: "D8i16M8",
+		Epochs:    6,
+		StepSize:  0.2,
+		Seed:      4,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainLoss[len(res.TrainLoss)-1] >= res.TrainLoss[0]*0.95 {
+		t.Errorf("sparse training did not converge: %v", res.TrainLoss)
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	dense, _ := GenerateDense("D8M8", 16, 10, 1)
+	if _, err := TrainDense(Config{Signature: "D8i8M8"}, dense); err == nil {
+		t.Error("sparse signature on dense data should fail")
+	}
+	if _, err := TrainDense(Config{Signature: "D8M8", Problem: "kmeans"}, dense); err == nil {
+		t.Error("unknown problem should fail")
+	}
+	if _, err := TrainDense(Config{Signature: "D8M8", Rounding: "coin-flip"}, dense); err == nil {
+		t.Error("unknown rounding should fail")
+	}
+	if _, err := GenerateSparse("D8M8", 16, 10, 0.5, 1); err == nil {
+		t.Error("dense signature for sparse generation should fail")
+	}
+	sp, _ := GenerateSparse("D8i16M8", 64, 10, 0.1, 1)
+	if _, err := TrainSparse(Config{Signature: "D8i32M8"}, sp); err == nil {
+		t.Error("index precision mismatch should fail")
+	}
+	if _, err := TrainDense(Config{Signature: "D12M12"}, dense); err == nil {
+		t.Error("unsupported precision should fail")
+	}
+}
+
+func TestRoundingOptions(t *testing.T) {
+	ds, err := GenerateDense("D8M8", 32, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Rounding{Biased, UnbiasedMT, UnbiasedXorshift, UnbiasedShared} {
+		if _, err := TrainDense(Config{Signature: "D8M8", Rounding: r, Epochs: 1}, ds); err != nil {
+			t.Errorf("rounding %q failed: %v", r, err)
+		}
+	}
+}
+
+func TestSimulateThroughputFacade(t *testing.T) {
+	r8, err := SimulateThroughput("D8M8", 1<<16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r32, err := SimulateThroughput("D32fM32f", 1<<16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.GNPS <= r32.GNPS {
+		t.Errorf("8-bit (%v) should beat float (%v)", r8.GNPS, r32.GNPS)
+	}
+	if _, err := SimulateThroughput("nope", 100, 1); err == nil {
+		t.Error("bad signature should fail")
+	}
+}
+
+func TestFullPrecisionDefaults(t *testing.T) {
+	ds, err := GenerateDense("", 32, 300, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainDense(Config{Epochs: 3}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainLoss[len(res.TrainLoss)-1] >= res.TrainLoss[0] {
+		t.Error("default full-precision run did not improve")
+	}
+}
+
+func TestGradientTermInSignature(t *testing.T) {
+	ds, err := GenerateDense("D8M8G10", 64, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainDense(Config{Signature: "D8M8G10", Epochs: 4, StepSize: 0.1}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainLoss[len(res.TrainLoss)-1] >= res.TrainLoss[0] {
+		t.Error("G10 training did not improve")
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	ds, err := GenerateDense("D8M8", 32, 300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainDense(Config{Signature: "D8M8", Epochs: 3, StepSize: 0.1}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.gob"
+	if err := SaveModelFile(path, "D8M8", res.W); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Signature != "D8M8" || len(m.Weights) != 32 {
+		t.Fatalf("loaded model wrong: %s, %d weights", m.Signature, len(m.Weights))
+	}
+	for i := range m.Weights {
+		if m.Weights[i] != res.W[i] {
+			t.Fatal("weights changed in round trip")
+		}
+	}
+	// Predictions agree with direct evaluation.
+	margin, err := m.PredictDense(ds.Raw[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float32
+	for j, v := range ds.Raw[0] {
+		want += res.W[j] * v
+	}
+	if margin != want {
+		t.Errorf("PredictDense = %v, want %v", margin, want)
+	}
+	sparseMargin, err := m.Predict([]int32{0, 5}, []float32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparseMargin != res.W[0]+2*res.W[5] {
+		t.Errorf("sparse Predict = %v", sparseMargin)
+	}
+}
+
+func TestModelIOErrors(t *testing.T) {
+	if err := SaveModelFile(t.TempDir()+"/x.gob", "D8M8", nil); err == nil {
+		t.Error("empty model should fail")
+	}
+	if err := SaveModelFile(t.TempDir()+"/x.gob", "bogus", []float32{1}); err == nil {
+		t.Error("bad signature should fail")
+	}
+	if _, err := LoadModelFile("/nonexistent/model.gob"); err == nil {
+		t.Error("missing file should fail")
+	}
+	m := &SavedModel{Weights: []float32{1, 2}}
+	if _, err := m.Predict([]int32{5}, []float32{1}); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := m.Predict([]int32{0, 1}, []float32{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := m.PredictDense([]float32{1}); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+}
+
+func TestLoadLibSVMFacade(t *testing.T) {
+	path := t.TempDir() + "/data.libsvm"
+	content := "+1 1:0.5 3:0.25\n-1 2:-0.5\n+1 1:0.25 2:0.125 3:-0.25\n"
+	if err := osWriteFile(path, content); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadLibSVM(path, "D8i16M8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 || ds.N != 3 {
+		t.Fatalf("shape %dx%d", ds.Len(), ds.N)
+	}
+	if _, err := LoadLibSVM(path, "D8M8"); err == nil {
+		t.Error("dense signature should fail")
+	}
+	if _, err := LoadLibSVM("/nonexistent", "D8i16M8"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+// osWriteFile is a tiny helper to keep the os import localized.
+func osWriteFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestTrainSyncFacade(t *testing.T) {
+	ds, err := GenerateDense("", 64, 1024, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainSync(SyncConfig{
+		CommBits:       1,
+		Workers:        4,
+		BatchPerWorker: 4,
+		ErrorFeedback:  true,
+		Epochs:         4,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainLoss[len(res.TrainLoss)-1] >= res.TrainLoss[0]*0.9 {
+		t.Errorf("1-bit sync training did not converge: %v", res.TrainLoss)
+	}
+	if _, err := TrainSync(SyncConfig{Problem: "kmeans", CommBits: 8}, ds); err == nil {
+		t.Error("unknown problem should fail")
+	}
+	if _, err := TrainSync(SyncConfig{CommBits: 0}, ds); err == nil {
+		t.Error("zero CommBits should fail")
+	}
+}

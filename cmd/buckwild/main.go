@@ -1,0 +1,125 @@
+// Command buckwild trains a model with asynchronous low-precision SGD on a
+// synthetic dataset and reports convergence and throughput. It is the
+// quickest way to explore the DMGC trade-off space from the shell:
+//
+//	buckwild -sig D8M8 -n 1024 -m 20000 -threads 4 -epochs 10
+//	buckwild -sig D8i16M8 -sparse -density 0.03 -rounding biased
+//
+// Sparse signatures (with an "i" index term) require -sparse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"buckwild"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("buckwild: ")
+	var (
+		sig      = flag.String("sig", "D8M8", "DMGC signature (e.g. D8M8, D16M16, D32fM32f, D8i16M8)")
+		problem  = flag.String("problem", "logistic", "problem: logistic, linear or svm")
+		rounding = flag.String("rounding", "unbiased-shared", "rounding: biased, unbiased-mt, unbiased-xorshift, unbiased-shared")
+		n        = flag.Int("n", 512, "model size (elements)")
+		m        = flag.Int("m", 10000, "number of training examples")
+		sparse   = flag.Bool("sparse", false, "use a sparse dataset")
+		density  = flag.Float64("density", 0.03, "sparse nonzero density")
+		threads  = flag.Int("threads", 1, "asynchronous workers")
+		batch    = flag.Int("batch", 1, "mini-batch size B")
+		epochs   = flag.Int("epochs", 10, "training epochs")
+		step     = flag.Float64("step", 0, "step size eta (0 = auto: 6/n, a good default for the synthetic generator)")
+		decay    = flag.Float64("decay", 1.0, "per-epoch step decay")
+		generic  = flag.Bool("generic", false, "use compiler-style generic kernels")
+		locked   = flag.Bool("locked", false, "lock every update (the baseline Hogwild! beats)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		predict  = flag.Bool("predict", true, "also print the Section 4 performance-model prediction")
+		data     = flag.String("data", "", "LIBSVM-format training file (implies -sparse; overrides -n/-m)")
+		save     = flag.String("save", "", "write the trained model to this file")
+	)
+	flag.Parse()
+
+	eta := *step
+	if eta == 0 {
+		eta = 6 / float64(*n)
+		if *sparse {
+			eta = 6 / (*density * float64(*n))
+		}
+	}
+
+	cfg := buckwild.Config{
+		Signature:      *sig,
+		Problem:        *problem,
+		Rounding:       buckwild.Rounding(*rounding),
+		GenericKernels: *generic,
+		Locked:         *locked,
+		Threads:        *threads,
+		MiniBatch:      *batch,
+		StepSize:       float32(eta),
+		StepDecay:      float32(*decay),
+		Epochs:         *epochs,
+		Seed:           *seed,
+	}
+
+	var res *buckwild.Result
+	if *data != "" {
+		ds, err := buckwild.LoadLibSVM(*data, *sig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %d examples, %d features from %s\n", ds.Len(), ds.N, *data)
+		if *step == 0 {
+			avgNNZ := float64(ds.NNZ()) / float64(ds.Len())
+			cfg.StepSize = float32(6 / avgNNZ)
+		}
+		res, err = buckwild.TrainSparse(cfg, ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else if *sparse {
+		ds, err := buckwild.GenerateSparse(*sig, *n, *m, *density, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err = buckwild.TrainSparse(cfg, ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		ds, err := buckwild.GenerateDense(*sig, *n, *m, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err = buckwild.TrainDense(cfg, ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("signature %s, %s, %d threads, B=%d, %s rounding\n",
+		*sig, *problem, *threads, *batch, *rounding)
+	fmt.Printf("%-8s%s\n", "epoch", "train loss")
+	for e, l := range res.TrainLoss {
+		fmt.Printf("%-8d%.6f\n", e, l)
+	}
+	fmt.Printf("\n%d updates in %v (%.1f M numbers/s on this host)\n",
+		res.Steps, res.Elapsed.Round(1e6), res.NumbersPerSec/1e6)
+
+	if *save != "" {
+		if err := buckwild.SaveModelFile(*save, *sig, res.W); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model saved to %s\n", *save)
+	}
+
+	if *predict {
+		parsed, err := buckwild.ParseSignature(*sig)
+		if err == nil {
+			if gnps, err := buckwild.PredictThroughput(parsed, *n, *threads); err == nil {
+				fmt.Printf("performance model (paper Table 2 base): %.3f GNPS on the reference Xeon\n", gnps)
+			}
+		}
+	}
+}

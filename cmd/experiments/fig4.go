@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+
+	"buckwild/internal/dmgc"
+	"buckwild/internal/kernels"
+	"buckwild/internal/machine"
+	"buckwild/internal/metrics"
+)
+
+func init() {
+	register("fig4a", "hand-optimized SIMD vs compiler-generic throughput (dense)", runFig4a)
+	register("fig4b", "sparse small models: hand-optimization can hurt", runFig4b)
+	register("fig4c", "average hand-optimization speedup per signature", runFig4c)
+}
+
+// variantGNPS simulates a signature at both kernel variants.
+func variantGNPS(sig dmgc.Signature, n, threads int, sparse bool) (generic, handopt float64, err error) {
+	mc := machine.Xeon()
+	w, err := sigWorkload(sig, n, threads, sparse)
+	if err != nil {
+		return 0, 0, err
+	}
+	w.Variant = kernels.Generic
+	rg, err := machine.Simulate(mc, w)
+	if err != nil {
+		return 0, 0, err
+	}
+	w.Variant = kernels.HandOpt
+	rh, err := machine.Simulate(mc, w)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rg.GNPS, rh.GNPS, nil
+}
+
+func fig4Signatures() []string {
+	return []string{"D8M8", "D8M16", "D16M8", "D16M16", "D8M32f", "D16M32f", "D32fM8", "D32fM16", "D32fM32f"}
+}
+
+func runFig4a(quick bool) error {
+	n := 1 << 20
+	if quick {
+		n = 1 << 16
+	}
+	header("signature", "generic", "hand-opt", "speedup")
+	for _, name := range fig4Signatures() {
+		g, h, err := variantGNPS(dmgc.MustParse(name), n, 1, false)
+		if err != nil {
+			return err
+		}
+		row(name, g, h, h/g)
+	}
+	fmt.Println("\nthe low-precision signatures gain the most; float gains little (paper Fig 4a, up to 11x)")
+	return nil
+}
+
+func runFig4b(quick bool) error {
+	ns := []int{1 << 8, 1 << 10, 1 << 12, 1 << 14}
+	if quick {
+		ns = ns[:2]
+	}
+	header("model size", "generic", "hand-opt", "handopt/generic")
+	for _, n := range ns {
+		// Single thread isolates the kernel effect: at high thread
+		// counts both variants hit the same coherence floor.
+		g, h, err := variantGNPS(dmgc.MustParse("D8i8M8"), n, 1, true)
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("2^%d", log2(n)), g, h, h/g)
+	}
+	fmt.Println("\nratios near or below 1 show vectorized gathers losing for small sparse models (paper Fig 4b)")
+	return nil
+}
+
+func runFig4c(quick bool) error {
+	ns := []int{1 << 12, 1 << 16, 1 << 20}
+	threads := []int{1, 18}
+	if quick {
+		ns = []int{1 << 12, 1 << 16}
+		threads = []int{1}
+	}
+	header("signature", "dense speedup", "sparse speedup")
+	for _, name := range fig4Signatures() {
+		sig := dmgc.MustParse(name)
+		var dense, sparse []float64
+		for _, n := range ns {
+			for _, t := range threads {
+				g, h, err := variantGNPS(sig, n, t, false)
+				if err != nil {
+					return err
+				}
+				dense = append(dense, h/g)
+				// The sparse spelling adds the index term at the
+				// dataset width.
+				sSig := sig
+				sSig.Idx = dmgc.FixedTerm(sig.DatasetBits())
+				g, h, err = variantGNPS(sSig, n, t, true)
+				if err != nil {
+					return err
+				}
+				sparse = append(sparse, h/g)
+			}
+		}
+		dm, err := metrics.GeoMean(dense)
+		if err != nil {
+			return err
+		}
+		sm, err := metrics.GeoMean(sparse)
+		if err != nil {
+			return err
+		}
+		row(name, dm, sm)
+	}
+	fmt.Println("\n(geometric mean across model sizes and thread counts, as in paper Fig 4c)")
+	return nil
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+
+	"buckwild/internal/core"
+	"buckwild/internal/dataset"
+	"buckwild/internal/dmgc"
+	"buckwild/internal/kernels"
+	"buckwild/internal/machine"
+)
+
+func init() {
+	register("fig6a", "disabling the prefetcher: dense model-size sweep", runFig6a)
+	register("fig6b", "disabling the prefetcher: sparse model-size sweep", runFig6b)
+	register("fig6c", "obstinate cache: throughput vs obstinacy q (simulator)", runFig6c)
+	register("fig6d", "mini-batch size sweep: throughput", runFig6d)
+	register("fig6e", "mini-batch size sweep: statistical efficiency", runFig6e)
+	register("fig6f", "obstinate cache: statistical efficiency vs q", runFig6f)
+}
+
+func prefetchSweep(sigName string, sparse bool, quick bool) error {
+	mc := machine.Xeon()
+	ns := []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20}
+	if quick {
+		ns = []int{1 << 8, 1 << 12, 1 << 16}
+	}
+	header("model size", "prefetch on", "prefetch off", "off/on speedup")
+	for _, n := range ns {
+		w, err := sigWorkload(dmgc.MustParse(sigName), n, 18, sparse)
+		if err != nil {
+			return err
+		}
+		w.Prefetch = true
+		on, err := machine.Simulate(mc, w)
+		if err != nil {
+			return err
+		}
+		w.Prefetch = false
+		off, err := machine.Simulate(mc, w)
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("2^%d", log2(n)), on.GNPS, off.GNPS, off.GNPS/on.GNPS)
+	}
+	fmt.Println("\nspeedups appear for small (communication-bound) models (paper Fig 6a/6b, up to 150%)")
+	return nil
+}
+
+func runFig6a(quick bool) error { return prefetchSweep("D8M8", false, quick) }
+func runFig6b(quick bool) error { return prefetchSweep("D8i8M8", true, quick) }
+
+func runFig6c(quick bool) error {
+	mc := machine.Xeon()
+	ns := []int{1 << 8, 1 << 10, 1 << 12, 1 << 16, 1 << 20}
+	if quick {
+		ns = []int{1 << 8, 1 << 12, 1 << 16}
+	}
+	qs := []float64{0, 0.25, 0.5, 0.75, 0.95}
+	cols := []string{"model size"}
+	for _, q := range qs {
+		cols = append(cols, fmt.Sprintf("q=%.2f", q))
+	}
+	header(cols...)
+	for _, n := range ns {
+		cells := []interface{}{fmt.Sprintf("2^%d", log2(n))}
+		for _, q := range qs {
+			w, err := sigWorkload(dmgc.MustParse("D8M8"), n, 18, false)
+			if err != nil {
+				return err
+			}
+			w.Obstinacy = q
+			r, err := machine.Simulate(mc, w)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, r.GNPS)
+		}
+		row(cells...)
+	}
+	fmt.Println("\nat q around 0.5 the small-model cost largely disappears (paper Fig 6c)")
+	return nil
+}
+
+func runFig6d(quick bool) error {
+	mc := machine.Xeon()
+	bs := []int{1, 4, 16, 64, 256}
+	ns := []int{1 << 8, 1 << 10, 1 << 12, 1 << 16}
+	if quick {
+		bs = []int{1, 16, 64}
+		ns = []int{1 << 8, 1 << 12}
+	}
+	cols := []string{"model size"}
+	for _, b := range bs {
+		cols = append(cols, fmt.Sprintf("B=%d", b))
+	}
+	header(cols...)
+	for _, n := range ns {
+		cells := []interface{}{fmt.Sprintf("2^%d", log2(n))}
+		for _, b := range bs {
+			w, err := sigWorkload(dmgc.MustParse("D8M8"), n, 18, false)
+			if err != nil {
+				return err
+			}
+			w.MiniBatch = b
+			r, err := machine.Simulate(mc, w)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, r.GNPS)
+		}
+		row(cells...)
+	}
+	fmt.Println("\nlarge B lifts small models toward the large-model plateau (paper Fig 6d)")
+	return nil
+}
+
+func runFig6e(quick bool) error {
+	m, epochs := 4000, 8
+	if quick {
+		m, epochs = 1000, 4
+	}
+	ds, err := dataset.GenDense(dataset.DenseConfig{N: 64, M: m, P: kernels.I8, Seed: 66})
+	if err != nil {
+		return err
+	}
+	header("mini-batch B", "final training loss")
+	for _, b := range []int{1, 4, 16, 64, 256} {
+		cfg := core.Config{
+			Problem: core.Logistic, D: kernels.I8, M: kernels.I8,
+			Variant: kernels.HandOpt, Quant: kernels.QShared, QuantPeriod: 8,
+			Threads: 1, MiniBatch: b, StepSize: 0.1, Epochs: epochs,
+			Sharing: core.Sequential, Seed: 5,
+		}
+		res, err := core.TrainDense(cfg, ds)
+		if err != nil {
+			return err
+		}
+		row(b, res.TrainLoss[len(res.TrainLoss)-1])
+	}
+	fmt.Println("\naccuracy degrades once B is too large for the epoch budget (paper Fig 6e)")
+	return nil
+}
+
+func runFig6f(quick bool) error {
+	m, epochs := 3000, 8
+	if quick {
+		m, epochs = 1000, 4
+	}
+	ds, err := dataset.GenDense(dataset.DenseConfig{N: 64, M: m, P: kernels.I8, Seed: 67})
+	if err != nil {
+		return err
+	}
+	header("obstinacy q", "final training loss")
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95} {
+		cfg := core.Config{
+			Problem: core.Logistic, D: kernels.I8, M: kernels.I8,
+			Variant: kernels.HandOpt, Quant: kernels.QShared, QuantPeriod: 8,
+			Threads: 4, StepSize: 0.1, Epochs: epochs,
+			Sharing: core.Racy, ObstinateQ: q, Seed: 6,
+		}
+		res, err := core.TrainDense(cfg, ds)
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("%.2f", q), res.TrainLoss[len(res.TrainLoss)-1])
+	}
+	fmt.Println("\nno detectable statistical-efficiency loss even at q=0.95 (paper Fig 6f)")
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the reproduction's simulated machine and training engine.
+//
+// Usage:
+//
+//	experiments [-quick] <id> [<id> ...]
+//	experiments all
+//
+// where <id> is one of: table1 table2 table3 fig2 fig3 fig4a fig4b fig4c
+// fig5a fig5b fig5c fig6a fig6b fig6c fig6d fig6e fig6f fig7a fig7b fig7c
+// fig7d fig7e fig7f newinsn.
+//
+// -quick shrinks sweep sizes for smoke runs. Output is plain text: one
+// labelled series or table per experiment, in the same shape as the
+// paper's figure/table, so results can be compared row by row (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// experiment is one regenerable table or figure.
+type experiment struct {
+	id   string
+	desc string
+	run  func(quick bool) error
+}
+
+var experiments []experiment
+
+func register(id, desc string, run func(quick bool) error) {
+	experiments = append(experiments, experiment{id, desc, run})
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	sort.SliceStable(experiments, func(i, j int) bool { return experiments[i].id < experiments[j].id })
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = nil
+		for _, e := range experiments {
+			ids = append(ids, e.id)
+		}
+	}
+	for _, id := range ids {
+		e := lookup(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", id)
+			usage()
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s: %s ====\n", e.id, e.desc)
+		start := time.Now()
+		if err := e.run(*quick); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func lookup(id string) *experiment {
+	for i := range experiments {
+		if experiments[i].id == id {
+			return &experiments[i]
+		}
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: experiments [-quick] <id> [<id> ...] | all")
+	fmt.Fprintln(os.Stderr, "experiments:")
+	sort.SliceStable(experiments, func(i, j int) bool { return experiments[i].id < experiments[j].id })
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.id, e.desc)
+	}
+}
+
+// header prints an aligned column header.
+func header(cols ...string) {
+	for _, c := range cols {
+		fmt.Printf("%-14s", c)
+	}
+	fmt.Println()
+}
+
+// row prints aligned cells.
+func row(cells ...interface{}) {
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			fmt.Printf("%-14.4g", v)
+		case string:
+			fmt.Printf("%-14s", v)
+		default:
+			fmt.Printf("%-14v", v)
+		}
+	}
+	fmt.Println()
+}

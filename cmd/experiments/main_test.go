@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper must be registered exactly
+	// once, plus the extension experiments.
+	want := []string{
+		"table1", "table2", "table3",
+		"fig2", "fig3",
+		"fig4a", "fig4b", "fig4c",
+		"fig5a", "fig5b", "fig5c",
+		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f",
+		"fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig7f",
+		"newinsn", "numa", "ablations",
+	}
+	seen := map[string]int{}
+	for _, e := range experiments {
+		seen[e.id]++
+		if e.desc == "" || e.run == nil {
+			t.Errorf("experiment %q incompletely registered", e.id)
+		}
+	}
+	for _, id := range want {
+		if seen[id] != 1 {
+			t.Errorf("experiment %q registered %d times, want 1", id, seen[id])
+		}
+	}
+	if len(experiments) != len(want) {
+		t.Errorf("%d experiments registered, want %d", len(experiments), len(want))
+	}
+	if lookup("table1") == nil || lookup("nope") != nil {
+		t.Error("lookup misbehaves")
+	}
+}
+
+func TestQuickSmokeTables(t *testing.T) {
+	// The table experiments are cheap enough to smoke in a unit test.
+	for _, id := range []string{"table1", "table3"} {
+		if err := lookup(id).run(true); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+
+	"buckwild/internal/dmgc"
+	"buckwild/internal/kernels"
+	"buckwild/internal/machine"
+)
+
+func init() {
+	register("table1", "DMGC signatures of previous algorithms", runTable1)
+	register("table2", "base sequential throughputs (GNPS) per signature, dense and sparse", runTable2)
+	register("table3", "summary of optimizations", runTable3)
+}
+
+func runTable1(bool) error {
+	header("paper", "signature", "classification note")
+	for _, r := range dmgc.Table1() {
+		fmt.Printf("%-34s%-12s%s\n", r.Paper, r.Signature, r.Note)
+	}
+	return nil
+}
+
+// sigWorkload converts a dense Table 2 signature into a machine workload.
+func sigWorkload(sig dmgc.Signature, n, threads int, sparse bool) (machine.Workload, error) {
+	d, err := precFromBits(sig.DatasetBits(), sig.D.Float || !sig.D.Present)
+	if err != nil {
+		return machine.Workload{}, err
+	}
+	m, err := precFromBits(sig.ModelBits(), sig.M.Float || !sig.M.Present)
+	if err != nil {
+		return machine.Workload{}, err
+	}
+	w := machine.Workload{
+		Sparse:      sparse,
+		D:           d,
+		M:           m,
+		IdxBits:     sig.IndexBits(),
+		Variant:     kernels.HandOpt,
+		Quant:       kernels.QShared,
+		QuantPeriod: 8,
+		ModelSize:   n,
+		Density:     0.03,
+		Threads:     threads,
+		Prefetch:    true,
+		Seed:        1,
+	}
+	if d == kernels.I4 || m == kernels.I4 {
+		w.Variant = kernels.NewInsn
+	}
+	return w, nil
+}
+
+func precFromBits(bits uint, isFloat bool) (kernels.Prec, error) {
+	if isFloat || bits == 32 {
+		return kernels.F32, nil
+	}
+	switch bits {
+	case 4:
+		return kernels.I4, nil
+	case 8:
+		return kernels.I8, nil
+	case 16:
+		return kernels.I16, nil
+	}
+	return 0, fmt.Errorf("unsupported precision %d", bits)
+}
+
+func runTable2(quick bool) error {
+	n := 1 << 20
+	if quick {
+		n = 1 << 16
+	}
+	mc := machine.Xeon()
+	denseSigs := dmgc.Table2Signatures(false)
+	sparseSigs := dmgc.Table2Signatures(true)
+	header("signature", "dense T1", "paper", "sparse T1", "paper")
+	for i := range denseSigs {
+		wd, err := sigWorkload(denseSigs[i], n, 1, false)
+		if err != nil {
+			return err
+		}
+		rd, err := machine.Simulate(mc, wd)
+		if err != nil {
+			return err
+		}
+		ws, err := sigWorkload(sparseSigs[i], n, 1, true)
+		if err != nil {
+			return err
+		}
+		rs, err := machine.Simulate(mc, ws)
+		if err != nil {
+			return err
+		}
+		pd, _ := dmgc.Table2Base(denseSigs[i])
+		ps, _ := dmgc.Table2Base(sparseSigs[i])
+		row(denseSigs[i].String(), rd.GNPS, pd, rs.GNPS, ps)
+	}
+	fmt.Println("\n(dense signatures shown; sparse column uses the matching D..i..M.. spelling)")
+	return nil
+}
+
+func runTable3(bool) error {
+	header("optimization", "beneficial when?", "stat. eff. loss")
+	for _, o := range dmgc.Table3() {
+		fmt.Printf("%-20s%-26s%s\n", o.Name, o.Beneficial, o.StatLoss)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package buckwild_test
+
+import (
+	"fmt"
+
+	"buckwild"
+)
+
+// ExampleParseSignature shows the DMGC taxonomy of Section 3.
+func ExampleParseSignature() {
+	sig, err := buckwild.ParseSignature("D8i16M8")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sig, "sparse:", sig.Sparse())
+	fmt.Println("bytes per dataset number:", sig.BytesPerElement())
+	// Output:
+	// D8i16M8 sparse: true
+	// bytes per dataset number: 3
+}
+
+// ExamplePredictThroughput applies the Section 4 performance model.
+func ExamplePredictThroughput() {
+	sig, _ := buckwild.ParseSignature("D8M8")
+	one, _ := buckwild.PredictThroughput(sig, 1<<20, 1)
+	many, _ := buckwild.PredictThroughput(sig, 1<<20, 18)
+	fmt.Printf("1 thread: %.2f GNPS\n18 threads: %.1fx faster\n", one, many/one)
+	// Output:
+	// 1 thread: 3.34 GNPS
+	// 18 threads: 9.1x faster
+}
+
+// ExampleTrainDense trains 8-bit Buckwild! on synthetic data.
+func ExampleTrainDense() {
+	ds, err := buckwild.GenerateDense("D8M8", 64, 2000, 42)
+	if err != nil {
+		panic(err)
+	}
+	res, err := buckwild.TrainDense(buckwild.Config{
+		Signature: "D8M8",
+		Threads:   2,
+		Epochs:    5,
+		StepSize:  0.1,
+		Seed:      7,
+	}, ds)
+	if err != nil {
+		panic(err)
+	}
+	improved := res.TrainLoss[len(res.TrainLoss)-1] < res.TrainLoss[0]
+	fmt.Println("loss improved:", improved)
+	// Output:
+	// loss improved: true
+}

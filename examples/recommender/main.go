@@ -1,0 +1,54 @@
+// Recommender: low-rank matrix factorization trained with asynchronous
+// low-precision SGD. Recommender systems are one of the Hogwild! domains
+// the paper cites, and their star-rating inputs are "naturally quantized"
+// (Section 3), so the low-precision dataset representation is exact.
+//
+//	go run ./examples/recommender
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"buckwild/internal/kernels"
+	"buckwild/internal/mf"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	data, err := mf.Generate(mf.GenConfig{
+		Users: 200, Items: 150, Rank: 6, Observed: 30000, Levels: 5, Seed: 71,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string, m kernels.Prec, threads int) {
+		_, res, err := mf.Train(mf.Config{
+			Rank:        12,
+			M:           m,
+			Quant:       kernels.QShared,
+			QuantPeriod: 8,
+			Threads:     threads,
+			StepSize:    0.05,
+			Lambda:      0.01,
+			Epochs:      12,
+			Seed:        9,
+		}, data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s RMSE %.4f -> %.4f\n",
+			name, res.RMSE[0], res.RMSE[len(res.RMSE)-1])
+	}
+
+	fmt.Printf("factorizing %d ratings of a %dx%d matrix (5 star levels):\n",
+		data.Len(), data.Users, data.Items)
+	run("M32f, 1 worker", kernels.F32, 1)
+	run("M16, 4 workers (racy)", kernels.I16, 4)
+	run("M8,  4 workers (racy)", kernels.I8, 4)
+	fmt.Println("\nthe factor matrices are DMGC model numbers: every write is rounded")
+	fmt.Println("to the model precision, and lock-free workers collide rarely because")
+	fmt.Println("each update touches only two rank-length rows.")
+}

@@ -1,0 +1,63 @@
+// Sparse Hogwild!: the workload asynchronous SGD was designed for. Trains
+// 8-bit sparse logistic regression with lock-free workers and compares
+// against the locked baseline that Hogwild! famously outruns, plus the
+// index-precision ablation from Section 3 of the paper.
+//
+//	go run ./examples/sparse_hogwild
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"buckwild"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		n       = 4096
+		m       = 20000
+		density = 0.03 // the paper's sparse density
+	)
+
+	fmt.Println("-- lock-free vs locked (D8i16M8, 4 workers) --")
+	ds, err := buckwild.GenerateSparse("D8i16M8", n, m, density, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, locked := range []bool{false, true} {
+		res, err := buckwild.TrainSparse(buckwild.Config{
+			Signature: "D8i16M8",
+			Threads:   4,
+			Locked:    locked,
+			Epochs:    6,
+			StepSize:  0.05,
+			Seed:      3,
+		}, ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "lock-free (Hogwild!)"
+		if locked {
+			mode = "locked baseline"
+		}
+		fmt.Printf("%-22s final loss %.4f, %5.1f M numbers/s on this host\n",
+			mode, res.TrainLoss[len(res.TrainLoss)-1], res.NumbersPerSec/1e6)
+	}
+	fmt.Println("\nboth reach the same quality; on real hardware the lock-free version is")
+	fmt.Println("an order of magnitude faster (our Go host shows a smaller gap because")
+	fmt.Println("the kernels are emulated portably).")
+
+	fmt.Println("\n-- index precision (Section 3): bytes per nonzero --")
+	for _, sig := range []string{"D8i8M8", "D8i16M8", "D8i32M8"} {
+		parsed, err := buckwild.ParseSignature(sig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %.2f bytes per processed number\n", sig, parsed.BytesPerElement())
+	}
+	fmt.Println("\nnarrow indices cut dataset bandwidth with zero statistical cost,")
+	fmt.Println("because they do not change the semantics of the input.")
+}

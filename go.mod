@@ -1,0 +1,3 @@
+module buckwild
+
+go 1.22

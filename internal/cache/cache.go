@@ -1,0 +1,250 @@
+// Package cache implements an event-driven multicore cache-hierarchy
+// simulator in the role ZSim plays in the paper (Section 6.2): a MESI
+// coherence protocol over per-core L1 and L2 caches and a shared L3, with
+// the same geometry and latencies as the simulated Xeon E7-8890 v3
+// (32 KB / 4-cycle L1, 256 KB / 12-cycle L2, 45 MB / 36-cycle shared L3).
+//
+// Two of the paper's mechanisms live here:
+//
+//   - a sequential hardware prefetcher that can be disabled (Section 5.3:
+//     turning it off helps when the model is small, because prefetched
+//     lines consume bandwidth and are often invalidated before use), and
+//   - the obstinate cache (Section 6.2): when a private cache receives an
+//     invalidate for a model line, with probability q (the obstinacy) it
+//     retains the line in the shared state instead of invalidating it,
+//     trading coherence (stale reads) for fewer stalls.
+//
+// Like ZSim, the simulator does not model bus congestion; invalidation
+// stalls appear as extra shared-level round trips, which is sufficient to
+// reproduce the small-model slowdown of Figure 6c.
+package cache
+
+import "fmt"
+
+// State is a MESI coherence state.
+type State uint8
+
+const (
+	// Invalid: the line is not present/usable.
+	Invalid State = iota
+	// Shared: present, read-only, possibly in other caches.
+	Shared
+	// Exclusive: present, clean, in no other cache.
+	Exclusive
+	// Modified: present, dirty, in no other cache.
+	Modified
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Config describes the hierarchy geometry and behaviour.
+type Config struct {
+	Cores    int
+	LineSize int
+
+	L1Size, L1Assoc, L1Lat int
+	L2Size, L2Assoc, L2Lat int
+	L3Size, L3Assoc, L3Lat int
+	// DRAMLat is the miss-to-memory latency in cycles.
+	DRAMLat int
+	// CoherenceLat is the cross-core round-trip paid by coherence
+	// events: dirty-remote transfers and invalidation broadcasts
+	// (Haswell-EX snoop latency is ~90 cycles). Zero selects the
+	// default of 90.
+	CoherenceLat int
+	// CoresPerSocket partitions the cores into NUMA sockets: coherence
+	// events between cores in different sockets pay RemoteCoherenceLat
+	// instead of CoherenceLat. Zero means a single socket.
+	CoresPerSocket int
+	// RemoteCoherenceLat is the cross-socket snoop round trip (QPI);
+	// zero selects 2.5x CoherenceLat.
+	RemoteCoherenceLat int
+
+	// Obstinacy is the probability q of ignoring an invalidate for a
+	// model line (Section 6.2). Zero gives standard MESI.
+	Obstinacy float64
+	// Prefetch enables the sequential L2 prefetcher.
+	Prefetch bool
+	// PrefetchDegree is how many subsequent lines each miss prefetches.
+	PrefetchDegree int
+
+	Seed uint64
+}
+
+// XeonConfig returns the paper's simulated machine: an 18-core processor
+// with the cache characteristics of the Xeon E7-8890 v3.
+func XeonConfig() Config {
+	return Config{
+		Cores:    18,
+		LineSize: 64,
+		L1Size:   32 << 10, L1Assoc: 4, L1Lat: 4,
+		L2Size: 256 << 10, L2Assoc: 8, L2Lat: 12,
+		L3Size: 45 << 20, L3Assoc: 20, L3Lat: 36,
+		DRAMLat:        200,
+		CoherenceLat:   90,
+		Prefetch:       true,
+		PrefetchDegree: 2,
+	}
+}
+
+// Stats aggregates simulator counters.
+type Stats struct {
+	Accesses  uint64
+	L1Hits    uint64
+	L2Hits    uint64
+	L3Hits    uint64
+	DRAMFills uint64
+	// Upgrades counts writes that had to invalidate remote copies.
+	Upgrades uint64
+	// DirtyTransfers counts reads served by forwarding another core's
+	// Modified line (the expensive cross-core path).
+	DirtyTransfers uint64
+	// Invalidates counts invalidate messages delivered to private
+	// caches; InvalidatesIgnored counts those the obstinate cache
+	// dropped (retaining the line in S).
+	Invalidates        uint64
+	InvalidatesIgnored uint64
+	// StaleReads counts reads served from a line an obstinate cache
+	// kept after ignoring an invalidate.
+	StaleReads uint64
+	// Writebacks counts dirty evictions to memory.
+	Writebacks uint64
+	// PrefetchIssued / PrefetchUseful / PrefetchInvalidated track the
+	// sequential prefetcher; PrefetchIssuedModel counts the subset
+	// aimed at the shared model region, which contend at the coherence
+	// directory.
+	PrefetchIssued      uint64
+	PrefetchIssuedModel uint64
+	PrefetchUseful      uint64
+	PrefetchInvalidated uint64
+	// PrefetchFutile counts prefetches aimed at a line another core is
+	// actively writing: the fetched copy is invalidated before use, so
+	// the request only generates snoop traffic (the Section 5.3
+	// pathology).
+	PrefetchFutile uint64
+	// DRAMBytes is total traffic to memory (fills + writebacks + prefetches).
+	DRAMBytes uint64
+	// Cycles is the sum of access latencies charged.
+	Cycles uint64
+}
+
+type line struct {
+	tag   uint64
+	state State
+	// lru is a per-set use counter.
+	lru uint64
+	// model marks lines belonging to the model region (obstinacy
+	// applies only to these).
+	model bool
+	// stale marks a line retained by an ignored invalidate.
+	stale bool
+	// prefetched marks lines brought in by the prefetcher and not yet
+	// demanded.
+	prefetched bool
+}
+
+// level is one set-associative cache array.
+type level struct {
+	sets   int
+	assoc  int
+	shift  uint // line-offset shift
+	lines  []line
+	clock  uint64
+	lat    int
+	sizeOK bool
+}
+
+func newLevel(size, assoc, lineSize, lat int) (*level, error) {
+	if size <= 0 || assoc <= 0 || lineSize <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry")
+	}
+	nLines := size / lineSize
+	if nLines < assoc {
+		return nil, fmt.Errorf("cache: size %d too small for assoc %d", size, assoc)
+	}
+	sets := nLines / assoc
+	// Round down to a power of two for cheap indexing.
+	for sets&(sets-1) != 0 {
+		sets--
+	}
+	shift := uint(0)
+	for (1 << shift) < lineSize {
+		shift++
+	}
+	return &level{
+		sets:  sets,
+		assoc: assoc,
+		shift: shift,
+		lines: make([]line, sets*assoc),
+		lat:   lat,
+	}, nil
+}
+
+// setOf returns the slice of ways for the address's set.
+func (l *level) setOf(lineAddr uint64) []line {
+	s := int(lineAddr) & (l.sets - 1)
+	return l.lines[s*l.assoc : (s+1)*l.assoc]
+}
+
+// lookup returns the way holding lineAddr, or nil.
+func (l *level) lookup(lineAddr uint64) *line {
+	set := l.setOf(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert fills lineAddr, evicting the LRU way. It returns the evicted line
+// (by value) and whether an eviction of a valid line occurred.
+func (l *level) insert(lineAddr uint64, st State, model bool) (evicted line, hadVictim bool) {
+	set := l.setOf(lineAddr)
+	victim := 0
+	for i := range set {
+		if set[i].state == Invalid {
+			victim = i
+			hadVictim = false
+			goto fill
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	evicted = set[victim]
+	hadVictim = true
+fill:
+	l.clock++
+	set[victim] = line{tag: lineAddr, state: st, lru: l.clock, model: model}
+	return evicted, hadVictim
+}
+
+// touch refreshes LRU for a hit way.
+func (l *level) touch(ln *line) {
+	l.clock++
+	ln.lru = l.clock
+}
+
+// invalidate removes lineAddr if present, returning the prior state.
+func (l *level) invalidate(lineAddr uint64) State {
+	if ln := l.lookup(lineAddr); ln != nil {
+		st := ln.state
+		ln.state = Invalid
+		return st
+	}
+	return Invalid
+}

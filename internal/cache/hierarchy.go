@@ -1,0 +1,483 @@
+package cache
+
+import (
+	"fmt"
+
+	"buckwild/internal/prng"
+)
+
+// Hierarchy is the full simulated memory system: per-core L1 and L2, a
+// shared L3 with a sharer directory, the sequential prefetcher, and the
+// obstinate-cache behaviour.
+//
+// Coherence events — dirty-remote transfers and invalidation broadcasts —
+// are what make small shared models slow (the communication-bound regime of
+// Section 4), so the hierarchy distinguishes them from plain capacity
+// misses: AccessInfo reports whether an access was a coherence event, and
+// such events are charged the cross-core CoherenceLat.
+type Hierarchy struct {
+	cfg Config
+	l1  []*level
+	l2  []*level
+	l3  *level
+	// dir tracks which cores may hold each line (bit per core). Bits can
+	// be stale after silent evictions; writers verify actual presence
+	// before paying for invalidations.
+	dir map[uint64]uint32
+	// dirty records the core holding each line in Modified state, for
+	// dirty-remote transfer detection. Entries are cleared when the
+	// line is transferred or invalidated.
+	dirty map[uint64]int
+	// contention counts coherence transactions per model line in the
+	// current measurement window. Transactions on one line serialize
+	// (line ping-pong), so the hottest line bounds a parallel run from
+	// below; see MaxLineContention.
+	contention map[uint64]uint32
+	rng        *prng.Xorshift64
+	stats      Stats
+}
+
+// New builds a hierarchy from the configuration.
+func New(cfg Config) (*Hierarchy, error) {
+	if cfg.Cores < 1 || cfg.Cores > 32 {
+		return nil, fmt.Errorf("cache: cores must be in [1, 32], got %d", cfg.Cores)
+	}
+	if cfg.Obstinacy < 0 || cfg.Obstinacy > 1 {
+		return nil, fmt.Errorf("cache: obstinacy %v out of [0, 1]", cfg.Obstinacy)
+	}
+	if cfg.CoherenceLat == 0 {
+		cfg.CoherenceLat = 90
+	}
+	if cfg.CoresPerSocket < 0 {
+		return nil, fmt.Errorf("cache: negative CoresPerSocket")
+	}
+	if cfg.RemoteCoherenceLat == 0 {
+		cfg.RemoteCoherenceLat = cfg.CoherenceLat * 5 / 2
+	}
+	h := &Hierarchy{
+		cfg:        cfg,
+		l1:         make([]*level, cfg.Cores),
+		l2:         make([]*level, cfg.Cores),
+		dir:        make(map[uint64]uint32),
+		dirty:      make(map[uint64]int),
+		contention: make(map[uint64]uint32),
+		rng:        prng.NewXorshift64(cfg.Seed ^ 0x0B57A1),
+	}
+	var err error
+	for c := 0; c < cfg.Cores; c++ {
+		if h.l1[c], err = newLevel(cfg.L1Size, cfg.L1Assoc, cfg.LineSize, cfg.L1Lat); err != nil {
+			return nil, err
+		}
+		if h.l2[c], err = newLevel(cfg.L2Size, cfg.L2Assoc, cfg.LineSize, cfg.L2Lat); err != nil {
+			return nil, err
+		}
+	}
+	if h.l3, err = newLevel(cfg.L3Size, cfg.L3Assoc, cfg.LineSize, cfg.L3Lat); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Config returns the hierarchy's configuration (with defaults applied).
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a copy of the counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetStats zeroes the counters and the per-line contention window
+// without disturbing cache contents, allowing measurement after warmup.
+func (h *Hierarchy) ResetStats() {
+	h.stats = Stats{}
+	clear(h.contention)
+}
+
+// MaxLineContention returns the largest accumulated coherence-transaction
+// latency (cycles) any single model line received since the last
+// ResetStats. Same-line transactions serialize in hardware, so this bounds
+// the window's wall time from below; cross-socket transactions weigh more.
+func (h *Hierarchy) MaxLineContention() uint32 {
+	var m uint32
+	for _, c := range h.contention {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// contend records one coherence transaction of the given latency on a
+// model line.
+func (h *Hierarchy) contend(la uint64, lat int) {
+	h.contention[la] += uint32(lat)
+}
+
+// lineOf converts a byte address to a line address.
+func (h *Hierarchy) lineOf(addr uint64) uint64 {
+	return addr / uint64(h.cfg.LineSize)
+}
+
+// socketOf returns the NUMA socket of a core.
+func (h *Hierarchy) socketOf(core int) int {
+	if h.cfg.CoresPerSocket <= 0 {
+		return 0
+	}
+	return core / h.cfg.CoresPerSocket
+}
+
+// cohLat returns the coherence round-trip latency between two cores.
+func (h *Hierarchy) cohLat(a, b int) int {
+	if h.socketOf(a) != h.socketOf(b) {
+		return h.cfg.RemoteCoherenceLat
+	}
+	return h.cfg.CoherenceLat
+}
+
+// Access performs one memory access and returns its latency in cycles.
+func (h *Hierarchy) Access(core int, addr uint64, write, model bool) int {
+	lat, _ := h.AccessInfo(core, addr, write, model)
+	return lat
+}
+
+// AccessInfo performs one memory access by core to byte address addr and
+// returns its latency in cycles plus whether it was a coherence event (a
+// dirty-remote transfer or an invalidation of real remote copies). model
+// marks accesses to the model region, the only region the obstinate cache
+// applies to (the paper proposes enabling it per-page).
+func (h *Hierarchy) AccessInfo(core int, addr uint64, write, model bool) (lat int, coherent bool) {
+	la := h.lineOf(addr)
+	h.stats.Accesses++
+	if write {
+		lat, coherent = h.write(core, la, model)
+	} else {
+		lat, coherent = h.read(core, la, model)
+	}
+	h.stats.Cycles += uint64(lat)
+	return lat, coherent
+}
+
+func (h *Hierarchy) read(core int, la uint64, model bool) (int, bool) {
+	l1, l2 := h.l1[core], h.l2[core]
+	if ln := l1.lookup(la); ln != nil {
+		l1.touch(ln)
+		if ln.stale {
+			h.stats.StaleReads++
+		}
+		h.stats.L1Hits++
+		return h.cfg.L1Lat, false
+	}
+	if ln := l2.lookup(la); ln != nil {
+		l2.touch(ln)
+		if ln.prefetched {
+			ln.prefetched = false
+			h.stats.PrefetchUseful++
+		}
+		st, stale := ln.state, ln.stale
+		h.fillL1(core, la, st, model, stale)
+		h.stats.L2Hits++
+		return h.cfg.L2Lat, false
+	}
+	// Private miss: consult the shared level.
+	lat, coh := h.fetchShared(core, la, model, false)
+	h.maybePrefetch(core, la, model)
+	return lat, coh
+}
+
+func (h *Hierarchy) write(core int, la uint64, model bool) (int, bool) {
+	l1 := h.l1[core]
+	if ln := l1.lookup(la); ln != nil && (ln.state == Modified || ln.state == Exclusive) {
+		l1.touch(ln)
+		ln.state = Modified
+		ln.stale = false
+		h.stats.L1Hits++
+		h.dirty[la] = core
+		return h.cfg.L1Lat, false
+	}
+	// Shared or absent: an upgrade or fetch-for-ownership must go
+	// through the shared level and invalidate remote copies.
+	dropped, invLat := h.invalidateOthers(core, la, model)
+	lat, coh := 0, dropped > 0
+	if ln := l1.lookup(la); ln != nil { // held in S: upgrade
+		ln.state = Modified
+		ln.stale = false
+		l1.touch(ln)
+		h.stats.Upgrades++
+		lat = h.cfg.L3Lat
+	} else if ln := h.l2[core].lookup(la); ln != nil {
+		ln.state = Modified
+		ln.stale = false
+		if ln.prefetched {
+			ln.prefetched = false
+			h.stats.PrefetchUseful++
+		}
+		h.l2[core].touch(ln)
+		h.fillL1(core, la, Modified, model, false)
+		h.stats.Upgrades++
+		lat = h.cfg.L3Lat
+	} else {
+		var fcoh bool
+		lat, fcoh = h.fetchShared(core, la, model, true)
+		coh = coh || fcoh
+	}
+	if coh {
+		if invLat > lat {
+			lat = invLat
+		}
+		if model {
+			h.contend(la, lat)
+		}
+	}
+	h.dir[la] = 1 << uint(core)
+	h.dirty[la] = core
+	return lat, coh
+}
+
+// fetchShared services a private-cache miss from L3 or memory and fills
+// the private levels. forOwnership fills in Modified state. A dirty-remote
+// line triggers a cross-core transfer at CoherenceLat.
+func (h *Hierarchy) fetchShared(core int, la uint64, model, forOwnership bool) (int, bool) {
+	lat := h.cfg.L3Lat
+	coh := false
+	if o, ok := h.dirty[la]; ok && o != core && h.holdsModified(o, la) {
+		// Dirty-remote transfer: the owner's copy is downgraded (or
+		// invalidated below, for ownership) and forwarded. Crossing a
+		// socket boundary pays the QPI round trip.
+		lat = h.cohLat(core, o)
+		coh = true
+		h.downgradeCore(o, la)
+		delete(h.dirty, la)
+		h.stats.DirtyTransfers++
+		h.stats.L3Hits++
+		if model {
+			h.contend(la, lat)
+		}
+	} else if h.l3.lookup(la) == nil {
+		lat = h.cfg.DRAMLat
+		h.stats.DRAMFills++
+		h.stats.DRAMBytes += uint64(h.cfg.LineSize)
+		h.insertL3(la, model)
+	} else {
+		h.l3.touch(h.l3.lookup(la))
+		h.stats.L3Hits++
+	}
+	st := Shared
+	if forOwnership {
+		st = Modified
+	} else if h.othersHolding(core, la) == 0 {
+		st = Exclusive
+	} else {
+		// MESI: a read while another core holds the line in E or M
+		// downgrades the remote copies to S.
+		h.downgradeOthers(core, la)
+	}
+	h.fillL2(core, la, st, model)
+	h.fillL1(core, la, st, model, false)
+	h.dir[la] |= 1 << uint(core)
+	return lat, coh
+}
+
+// holdsModified reports whether core c holds la in Modified state.
+func (h *Hierarchy) holdsModified(c int, la uint64) bool {
+	if ln := h.l1[c].lookup(la); ln != nil && ln.state == Modified {
+		return true
+	}
+	if ln := h.l2[c].lookup(la); ln != nil && ln.state == Modified {
+		return true
+	}
+	return false
+}
+
+// othersHolding returns a mask of other cores that actually hold la,
+// scrubbing stale directory bits as a side effect.
+func (h *Hierarchy) othersHolding(core int, la uint64) uint32 {
+	sharers := h.dir[la]
+	var actual uint32
+	for c := 0; c < h.cfg.Cores; c++ {
+		if c == core || sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		if h.l1[c].lookup(la) != nil || h.l2[c].lookup(la) != nil {
+			actual |= 1 << uint(c)
+		}
+	}
+	h.dir[la] = actual | (sharers & (1 << uint(core)))
+	return actual
+}
+
+// invalidateOthers delivers invalidates to every other core actually
+// holding la, returning how many copies were dropped and the worst-case
+// round-trip latency among them (cross-socket invalidations are slower).
+// With probability q an invalidate for a model line is ignored and the
+// remote copy retained (stale) in Shared state — the obstinate cache.
+func (h *Hierarchy) invalidateOthers(writer int, la uint64, model bool) (dropped, lat int) {
+	actual := h.othersHolding(writer, la)
+	if actual == 0 {
+		return 0, 0
+	}
+	for c := 0; c < h.cfg.Cores; c++ {
+		if c == writer || actual&(1<<uint(c)) == 0 {
+			continue
+		}
+		if model && h.cfg.Obstinacy > 0 && h.randFloat() < h.cfg.Obstinacy {
+			h.stats.InvalidatesIgnored++
+			// The remote copy survives in S, now stale. The
+			// directory forgets it, exactly like a cache that
+			// acked the invalidate without acting on it.
+			h.markStale(c, la)
+			continue
+		}
+		h.stats.Invalidates++
+		h.dropLine(c, la)
+		dropped++
+		if l := h.cohLat(writer, c); l > lat {
+			lat = l
+		}
+	}
+	h.dir[la] &= 1 << uint(writer)
+	if o, ok := h.dirty[la]; ok && o != writer {
+		delete(h.dirty, la)
+	}
+	return dropped, lat
+}
+
+// downgradeOthers moves every other core's E/M copy of la to S (dirty data
+// is considered written back to the shared level).
+func (h *Hierarchy) downgradeOthers(reader int, la uint64) {
+	sharers := h.dir[la]
+	for c := 0; c < h.cfg.Cores; c++ {
+		if c == reader || sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		h.downgradeCore(c, la)
+	}
+	if o, ok := h.dirty[la]; ok && o != reader {
+		delete(h.dirty, la)
+	}
+}
+
+// downgradeCore moves core c's copy of la to S.
+func (h *Hierarchy) downgradeCore(c int, la uint64) {
+	if ln := h.l1[c].lookup(la); ln != nil && ln.state != Shared {
+		ln.state = Shared
+	}
+	if ln := h.l2[c].lookup(la); ln != nil && ln.state != Shared {
+		ln.state = Shared
+	}
+}
+
+// markStale downgrades core c's copy of la to a stale Shared line.
+func (h *Hierarchy) markStale(c int, la uint64) {
+	if ln := h.l1[c].lookup(la); ln != nil {
+		ln.state = Shared
+		ln.stale = true
+	}
+	if ln := h.l2[c].lookup(la); ln != nil {
+		ln.state = Shared
+		ln.stale = true
+	}
+}
+
+// dropLine removes la from core c's private caches.
+func (h *Hierarchy) dropLine(c int, la uint64) {
+	if ln := h.l2[c].lookup(la); ln != nil && ln.prefetched {
+		h.stats.PrefetchInvalidated++
+	}
+	h.l1[c].invalidate(la)
+	h.l2[c].invalidate(la)
+}
+
+// maybePrefetch issues sequential prefetches after a demand miss.
+func (h *Hierarchy) maybePrefetch(core int, la uint64, model bool) {
+	if !h.cfg.Prefetch || h.cfg.PrefetchDegree <= 0 {
+		return
+	}
+	l2 := h.l2[core]
+	for k := 1; k <= h.cfg.PrefetchDegree; k++ {
+		pa := la + uint64(k)
+		if l2.lookup(pa) != nil || h.l1[core].lookup(pa) != nil {
+			continue
+		}
+		h.stats.PrefetchIssued++
+		if model {
+			h.stats.PrefetchIssuedModel++
+		}
+		if o, ok := h.dirty[pa]; ok && o != core && h.holdsModified(o, pa) {
+			// The line is being actively written by another core:
+			// any prefetched copy is invalidated before use, so
+			// the prefetch achieves nothing but snoop traffic on
+			// an already-contended line.
+			h.stats.PrefetchFutile++
+			h.stats.PrefetchInvalidated++
+			if model {
+				h.contend(pa, h.cfg.CoherenceLat)
+			}
+			continue
+		}
+		if h.l3.lookup(pa) == nil {
+			h.stats.DRAMBytes += uint64(h.cfg.LineSize)
+			h.insertL3(pa, model)
+		}
+		ev, had := l2.insert(pa, Shared, model)
+		if had {
+			h.handleL2Eviction(core, ev)
+		}
+		if ln := l2.lookup(pa); ln != nil {
+			ln.prefetched = true
+		}
+		h.dir[pa] |= 1 << uint(core)
+	}
+}
+
+// fillL1 inserts la into core's L1, handling the eviction.
+func (h *Hierarchy) fillL1(core int, la uint64, st State, model, stale bool) {
+	ev, had := h.l1[core].insert(la, st, model)
+	if ln := h.l1[core].lookup(la); ln != nil {
+		ln.stale = stale
+	}
+	if had && ev.state == Modified {
+		// Dirty L1 victim falls back to L2.
+		if ln := h.l2[core].lookup(ev.tag); ln != nil {
+			ln.state = Modified
+		} else {
+			ev2, had2 := h.l2[core].insert(ev.tag, Modified, ev.model)
+			if had2 {
+				h.handleL2Eviction(core, ev2)
+			}
+		}
+	}
+}
+
+// fillL2 inserts la into core's L2, handling the eviction.
+func (h *Hierarchy) fillL2(core int, la uint64, st State, model bool) {
+	ev, had := h.l2[core].insert(la, st, model)
+	if had {
+		h.handleL2Eviction(core, ev)
+	}
+}
+
+// handleL2Eviction writes back dirty L2 victims into L3.
+func (h *Hierarchy) handleL2Eviction(core int, ev line) {
+	if ev.state == Modified {
+		if h.l3.lookup(ev.tag) == nil {
+			h.insertL3(ev.tag, ev.model)
+		}
+	}
+}
+
+// insertL3 fills la into the shared level, writing back dirty victims to
+// memory.
+func (h *Hierarchy) insertL3(la uint64, model bool) {
+	ev, had := h.l3.insert(la, Shared, model)
+	if had {
+		if ev.state == Modified {
+			h.stats.Writebacks++
+			h.stats.DRAMBytes += uint64(h.cfg.LineSize)
+		}
+		delete(h.dir, ev.tag)
+		delete(h.dirty, ev.tag)
+	}
+}
+
+// randFloat returns a uniform sample in [0, 1).
+func (h *Hierarchy) randFloat() float64 {
+	return float64(h.rng.Uint32()>>8) * (1.0 / (1 << 24))
+}

@@ -1,0 +1,442 @@
+// Package core implements the Buckwild! training engine — the paper's
+// primary contribution: stochastic gradient descent that combines
+// asynchronous lock-free execution (Hogwild!) with low-precision fixed-
+// point arithmetic, configurable over the full DMGC space.
+//
+// Worker goroutines share one model vector and update it without
+// synchronization; as in the paper, the resulting races are part of the
+// algorithm's semantics and provably benign for well-behaved problems. A
+// Locked sharing mode is provided as the baseline that Hogwild! famously
+// outruns, and a Sequential mode for deterministic single-thread runs.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"buckwild/internal/dataset"
+	"buckwild/internal/fixed"
+	"buckwild/internal/kernels"
+	"buckwild/internal/metrics"
+	"buckwild/internal/prng"
+)
+
+// Problem selects the loss being minimized. All three have the
+// dot-and-AXPY step structure of Section 2.
+type Problem int
+
+const (
+	// Logistic is l(w) = log(1+exp(-y w.x)), the paper's running
+	// example.
+	Logistic Problem = iota
+	// Linear is squared loss (w.x - y)^2 / 2.
+	Linear
+	// SVM is hinge loss max(0, 1 - y w.x).
+	SVM
+)
+
+// String names the problem.
+func (p Problem) String() string {
+	switch p {
+	case Logistic:
+		return "logistic"
+	case Linear:
+		return "linear"
+	case SVM:
+		return "svm"
+	}
+	return fmt.Sprintf("Problem(%d)", int(p))
+}
+
+// Sharing selects how workers share the model.
+type Sharing int
+
+const (
+	// Racy is true Hogwild!/Buckwild!: lock-free unsynchronized
+	// updates.
+	Racy Sharing = iota
+	// Locked serializes every step with a mutex — the slow baseline.
+	Locked
+	// Sequential runs all work on the calling goroutine regardless of
+	// Threads, for deterministic experiments.
+	Sequential
+)
+
+// String names the sharing mode.
+func (s Sharing) String() string {
+	switch s {
+	case Racy:
+		return "racy"
+	case Locked:
+		return "locked"
+	case Sequential:
+		return "sequential"
+	}
+	return fmt.Sprintf("Sharing(%d)", int(s))
+}
+
+// Config configures a training run.
+type Config struct {
+	Problem Problem
+	// D and M are the dataset and model precisions. D must match the
+	// dataset's storage precision.
+	D, M kernels.Prec
+	// Variant selects generic or hand-optimized kernel semantics.
+	Variant kernels.Variant
+	// Quant picks the model-write rounding strategy (ignored for F32
+	// models); QuantPeriod is the sharing period for QShared.
+	Quant       kernels.QuantKind
+	QuantPeriod int
+	// GradBits is the DMGC G term: the precision of intermediate
+	// gradient values (the dot result and the AXPY scalar). Zero or 32
+	// means full precision (the G term is omitted from the signature).
+	// Low-precision gradients use nearest rounding over a fixed-point
+	// grid with range [-16, 16), like the low-precision multipliers of
+	// Courbariaux et al. (Table 1's G10).
+	GradBits uint
+	// Threads is the number of asynchronous workers.
+	Threads int
+	// MiniBatch is B, the examples per model update (default 1).
+	MiniBatch int
+	// StepSize is the initial eta; StepDecay multiplies it after each
+	// epoch (default 1: constant step).
+	StepSize  float32
+	StepDecay float32
+	Epochs    int
+	Sharing   Sharing
+	// ObstinateQ emulates the statistical effect of the obstinate cache
+	// (Section 6.2) in software: each worker reads the model through a
+	// private snapshot that it re-synchronizes from the shared model
+	// with probability 1-q before each step, so with probability q a
+	// step computes on stale values, exactly as a cache that ignored
+	// invalidates would. Writes always reach the shared model. Zero
+	// disables the emulation (fully coherent reads).
+	ObstinateQ float64
+	Seed       uint64
+}
+
+func (c *Config) fill() error {
+	if c.Threads < 1 {
+		c.Threads = 1
+	}
+	if c.MiniBatch < 1 {
+		c.MiniBatch = 1
+	}
+	if c.Epochs < 1 {
+		c.Epochs = 1
+	}
+	if c.StepSize <= 0 {
+		return fmt.Errorf("core: StepSize must be positive")
+	}
+	if c.StepDecay == 0 {
+		c.StepDecay = 1
+	}
+	if c.StepDecay < 0 || c.StepDecay > 1 {
+		return fmt.Errorf("core: StepDecay must be in (0, 1]")
+	}
+	if c.ObstinateQ < 0 || c.ObstinateQ > 1 {
+		return fmt.Errorf("core: ObstinateQ must be in [0, 1]")
+	}
+	if c.GradBits != 0 && (c.GradBits < 6 || c.GradBits > 32) {
+		return fmt.Errorf("core: GradBits must be 0 (full) or in [6, 32]")
+	}
+	return nil
+}
+
+// gradFormat returns the fixed-point grid for gradient intermediates, or
+// nil for full precision.
+func (c *Config) gradFormat() *fixed.Format {
+	if c.GradBits == 0 || c.GradBits >= 32 {
+		return nil
+	}
+	f := fixed.Format{Bits: c.GradBits, Frac: c.GradBits - 5} // range [-16, 16)
+	return &f
+}
+
+// Result reports a finished run.
+type Result struct {
+	// W is the final model, dequantized.
+	W []float32
+	// TrainLoss holds the full-precision training loss after each
+	// epoch (index 0 is the loss before training).
+	TrainLoss []float64
+	// Steps counts model updates; Elapsed is wall time spent in
+	// workers.
+	Steps   int
+	Elapsed time.Duration
+	// NumbersPerSec is the measured dataset throughput on the host
+	// (meaningful for relative comparisons only; absolute hardware
+	// efficiency comes from package machine).
+	NumbersPerSec float64
+}
+
+// TrainDense runs Buckwild! SGD on a dense dataset.
+func TrainDense(cfg Config, ds *dataset.DenseSet) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if ds.X[0].P != cfg.D {
+		return nil, fmt.Errorf("core: dataset stored at %v but config says %v", ds.X[0].P, cfg.D)
+	}
+	w := kernels.NewVec(cfg.M, ds.N)
+	res := &Result{}
+	loss, err := denseLoss(cfg.Problem, w.Floats(), ds)
+	if err != nil {
+		return nil, err
+	}
+	res.TrainLoss = append(res.TrainLoss, loss)
+
+	eta := cfg.StepSize
+	start := time.Now()
+	var numbers float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := runDenseEpoch(cfg, ds, w, eta, epoch); err != nil {
+			return nil, err
+		}
+		numbers += float64(ds.Len()) * float64(ds.N)
+		eta *= cfg.StepDecay
+		loss, err := denseLoss(cfg.Problem, w.Floats(), ds)
+		if err != nil {
+			return nil, err
+		}
+		res.TrainLoss = append(res.TrainLoss, loss)
+	}
+	res.Elapsed = time.Since(start)
+	res.W = w.Floats()
+	res.Steps = cfg.Epochs * (ds.Len() / cfg.MiniBatch)
+	if res.Elapsed > 0 {
+		res.NumbersPerSec = numbers / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// runDenseEpoch processes every example once, spread over the workers.
+func runDenseEpoch(cfg Config, ds *dataset.DenseSet, w kernels.Vec, eta float32, epoch int) error {
+	threads := cfg.Threads
+	if cfg.Sharing == Sequential {
+		threads = 1
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	for t := 0; t < threads; t++ {
+		worker, err := newDenseWorker(cfg, t, epoch)
+		if err != nil {
+			return err
+		}
+		lo := t * ds.Len() / threads
+		hi := (t + 1) * ds.Len() / threads
+		run := func(t, lo, hi int, wk *denseWorker) {
+			defer wg.Done()
+			errs[t] = wk.run(ds, w, eta, lo, hi, cfg.Sharing == Locked, &mu)
+		}
+		wg.Add(1)
+		if cfg.Sharing == Sequential {
+			run(t, lo, hi, worker)
+		} else {
+			go run(t, lo, hi, worker)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// denseWorker holds one worker's kernels and scratch state.
+type denseWorker struct {
+	cfg     Config
+	kernel  *kernels.Dense
+	scratch []float32
+	order   *prng.Xorshift64
+	// snapshot is the worker's stale view of the model when the
+	// obstinate-cache emulation is active (ObstinateQ > 0).
+	snapshot kernels.Vec
+	// gradFmt quantizes gradient intermediates (nil = full precision).
+	gradFmt *fixed.Format
+}
+
+// quantGrad rounds a gradient intermediate onto the G grid.
+func (dw *denseWorker) quantGrad(v float32) float32 {
+	if dw.gradFmt == nil {
+		return v
+	}
+	return dw.gradFmt.Dequantize(dw.gradFmt.QuantizeBiased(v))
+}
+
+func newDenseWorker(cfg Config, id, epoch int) (*denseWorker, error) {
+	var q *kernels.Quantizer
+	var err error
+	if cfg.M != kernels.F32 {
+		q, err = kernels.NewQuantizer(cfg.M, cfg.Quant, cfg.QuantPeriod,
+			cfg.Seed^uint64(id)*0x9E3779B9+uint64(epoch)|1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	k, err := kernels.NewDense(cfg.D, cfg.M, cfg.Variant, q)
+	if err != nil {
+		return nil, err
+	}
+	return &denseWorker{cfg: cfg, kernel: k, gradFmt: cfg.gradFormat(),
+		order: prng.NewXorshift64(cfg.Seed ^ (uint64(id)+1)*0x51ED2701 ^ uint64(epoch))}, nil
+}
+
+// run processes examples [lo, hi) in mini-batches.
+func (dw *denseWorker) run(ds *dataset.DenseSet, w kernels.Vec, eta float32, lo, hi int, locked bool, mu *sync.Mutex) error {
+	b := dw.cfg.MiniBatch
+	for i := lo; i < hi; i += b {
+		end := i + b
+		if end > hi {
+			end = hi
+		}
+		if locked {
+			mu.Lock()
+		}
+		if b == 1 {
+			dw.step(ds, w, eta, i)
+		} else {
+			dw.batchStep(ds, w, eta, i, end)
+		}
+		if locked {
+			mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// step performs one single-example update: dot, scalar glue, AXPY.
+func (dw *denseWorker) step(ds *dataset.DenseSet, w kernels.Vec, eta float32, i int) {
+	x := ds.X[i]
+	view := w
+	if dw.cfg.ObstinateQ > 0 {
+		view = dw.obstinateView(w)
+	}
+	d := dw.quantGrad(dw.kernel.Dot(x, view))
+	a := dw.quantGrad(gradScale(dw.cfg.Problem, d, ds.Y[i], eta))
+	if a != 0 {
+		dw.kernel.Axpy(a, x, w)
+		if dw.cfg.ObstinateQ > 0 && !sameVec(view, w) {
+			// The worker's own writes land in its cached copy.
+			dw.kernel.Axpy(a, x, view)
+		}
+	}
+}
+
+// obstinateView returns the model view for this step: with probability
+// 1-q the snapshot is refreshed from the shared model (the invalidate was
+// honoured); otherwise the stale snapshot is used as-is.
+func (dw *denseWorker) obstinateView(w kernels.Vec) kernels.Vec {
+	if dw.snapshot.Len() == 0 {
+		dw.snapshot = w.Clone()
+		return dw.snapshot
+	}
+	u := float64(dw.order.Uint32()>>8) * (1.0 / (1 << 24))
+	if u >= dw.cfg.ObstinateQ {
+		copyVec(dw.snapshot, w)
+	}
+	return dw.snapshot
+}
+
+// sameVec reports whether two Vecs alias the same storage.
+func sameVec(a, b kernels.Vec) bool {
+	if a.P != b.P || a.Len() != b.Len() || a.Len() == 0 {
+		return false
+	}
+	switch a.P {
+	case kernels.F32:
+		return &a.F32[0] == &b.F32[0]
+	case kernels.I16:
+		return &a.I16[0] == &b.I16[0]
+	default:
+		return &a.I8[0] == &b.I8[0]
+	}
+}
+
+// copyVec copies src's storage into dst (same precision and length).
+func copyVec(dst, src kernels.Vec) {
+	switch src.P {
+	case kernels.F32:
+		copy(dst.F32, src.F32)
+	case kernels.I16:
+		copy(dst.I16, src.I16)
+	default:
+		copy(dst.I8, src.I8)
+	}
+}
+
+// batchStep accumulates B gradients at full precision and writes the model
+// once (Section 5.4: the model is written less frequently, so cache lines
+// are invalidated correspondingly less frequently).
+func (dw *denseWorker) batchStep(ds *dataset.DenseSet, w kernels.Vec, eta float32, lo, hi int) {
+	if dw.scratch == nil {
+		dw.scratch = make([]float32, w.Len())
+	}
+	g := dw.scratch
+	for j := range g {
+		g[j] = 0
+	}
+	any := false
+	for i := lo; i < hi; i++ {
+		d := dw.quantGrad(dw.kernel.Dot(ds.X[i], w))
+		a := dw.quantGrad(gradScale(dw.cfg.Problem, d, ds.Y[i], eta) / float32(hi-lo))
+		if a == 0 {
+			continue
+		}
+		any = true
+		x := ds.X[i]
+		for j := 0; j < x.Len(); j++ {
+			g[j] += a * x.At(j)
+		}
+	}
+	if !any {
+		return
+	}
+	q := dw.kernel.Q
+	for j := range g {
+		if g[j] != 0 || w.P == kernels.F32 {
+			w.Set(j, w.At(j)+g[j], q)
+		}
+	}
+}
+
+// gradScale returns the AXPY scalar a such that the SGD update is
+// w <- w + a*x.
+func gradScale(p Problem, dot, y, eta float32) float32 {
+	switch p {
+	case Logistic:
+		// -grad = y * sigmoid(-y (w.x)) * x
+		return eta * y * sigmoid(-y*dot)
+	case Linear:
+		return eta * (y - dot)
+	default: // SVM
+		if y*dot < 1 {
+			return eta * y
+		}
+		return 0
+	}
+}
+
+func sigmoid(z float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(z))))
+}
+
+// denseLoss evaluates the configured loss on the raw data.
+func denseLoss(p Problem, w []float32, ds *dataset.DenseSet) (float64, error) {
+	switch p {
+	case Logistic:
+		return metrics.LogisticLoss(w, ds.Raw, ds.Y)
+	case Linear:
+		return metrics.SquaredLoss(w, ds.Raw, ds.Y)
+	default:
+		return metrics.HingeLoss(w, ds.Raw, ds.Y)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"buckwild/internal/dataset"
+	"buckwild/internal/kernels"
+	"buckwild/internal/metrics"
+)
+
+// TrainSparse runs Buckwild! SGD on a sparse (coordinate-form) dataset.
+// Sparse Hogwild! is the setting the algorithm was originally designed
+// for: updates touch few coordinates, so collisions between workers are
+// rare and the races are especially benign.
+func TrainSparse(cfg Config, ds *dataset.SparseSet) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if ds.Val[0].P != cfg.D {
+		return nil, fmt.Errorf("core: dataset stored at %v but config says %v", ds.Val[0].P, cfg.D)
+	}
+	if cfg.MiniBatch != 1 {
+		return nil, fmt.Errorf("core: sparse training supports MiniBatch=1 (got %d); the paper's mini-batch study is dense", cfg.MiniBatch)
+	}
+	w := kernels.NewVec(cfg.M, ds.N)
+	res := &Result{}
+	loss, err := sparseLoss(cfg.Problem, w.Floats(), ds)
+	if err != nil {
+		return nil, err
+	}
+	res.TrainLoss = append(res.TrainLoss, loss)
+
+	eta := cfg.StepSize
+	start := time.Now()
+	var numbers float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := runSparseEpoch(cfg, ds, w, eta, epoch); err != nil {
+			return nil, err
+		}
+		numbers += float64(ds.NNZ())
+		eta *= cfg.StepDecay
+		loss, err := sparseLoss(cfg.Problem, w.Floats(), ds)
+		if err != nil {
+			return nil, err
+		}
+		res.TrainLoss = append(res.TrainLoss, loss)
+	}
+	res.Elapsed = time.Since(start)
+	res.W = w.Floats()
+	res.Steps = cfg.Epochs * ds.Len()
+	if res.Elapsed > 0 {
+		res.NumbersPerSec = numbers / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+func runSparseEpoch(cfg Config, ds *dataset.SparseSet, w kernels.Vec, eta float32, epoch int) error {
+	threads := cfg.Threads
+	if cfg.Sharing == Sequential {
+		threads = 1
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	for t := 0; t < threads; t++ {
+		var q *kernels.Quantizer
+		var err error
+		if cfg.M != kernels.F32 {
+			q, err = kernels.NewQuantizer(cfg.M, cfg.Quant, cfg.QuantPeriod,
+				cfg.Seed^uint64(t)*0x9E3779B9+uint64(epoch)|1)
+			if err != nil {
+				return err
+			}
+		}
+		k, err := kernels.NewSparse(cfg.D, cfg.M, cfg.Variant, q, ds.IdxBits)
+		if err != nil {
+			return err
+		}
+		lo := t * ds.Len() / threads
+		hi := (t + 1) * ds.Len() / threads
+		gf := cfg.gradFormat()
+		quant := func(v float32) float32 {
+			if gf == nil {
+				return v
+			}
+			return gf.Dequantize(gf.QuantizeBiased(v))
+		}
+		run := func(t, lo, hi int, k *kernels.Sparse) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if cfg.Sharing == Locked {
+					mu.Lock()
+				}
+				d := quant(k.Dot(ds.Idx[i], ds.Val[i], w))
+				a := quant(gradScale(cfg.Problem, d, ds.Y[i], eta))
+				if a != 0 {
+					k.Axpy(a, ds.Idx[i], ds.Val[i], w)
+				}
+				if cfg.Sharing == Locked {
+					mu.Unlock()
+				}
+			}
+			errs[t] = nil
+		}
+		wg.Add(1)
+		if cfg.Sharing == Sequential {
+			run(t, lo, hi, k)
+		} else {
+			go run(t, lo, hi, k)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sparseLoss(p Problem, w []float32, ds *dataset.SparseSet) (float64, error) {
+	switch p {
+	case Logistic:
+		return metrics.SparseLogisticLoss(w, ds.Idx, ds.RawVal, ds.Y)
+	default:
+		return 0, fmt.Errorf("core: sparse training currently evaluates logistic loss only, got %v", p)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"buckwild/internal/dataset"
+	"buckwild/internal/kernels"
+)
+
+func syncData(t *testing.T) *dataset.DenseSet {
+	t.Helper()
+	ds, err := dataset.GenDense(dataset.DenseConfig{N: 64, M: 2048, P: kernels.F32, Seed: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func syncRun(t *testing.T, ds *dataset.DenseSet, bits uint, ef bool) *Result {
+	t.Helper()
+	res, err := TrainSyncDense(SyncConfig{
+		Problem:        Logistic,
+		CommBits:       bits,
+		Workers:        4,
+		BatchPerWorker: 4,
+		ErrorFeedback:  ef,
+		StepSize:       0.1,
+		Epochs:         6,
+		Seed:           1,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSyncFullPrecisionConverges(t *testing.T) {
+	ds := syncData(t)
+	res := syncRun(t, ds, 32, false)
+	if last := res.TrainLoss[len(res.TrainLoss)-1]; last >= res.TrainLoss[0]*0.8 {
+		t.Errorf("synchronous SGD did not converge: %v", res.TrainLoss)
+	}
+	if res.Steps == 0 {
+		t.Error("no rounds executed")
+	}
+}
+
+func TestOneBitWithErrorFeedbackMatchesFullPrecision(t *testing.T) {
+	// The Seide et al. result (Table 1, C1s): 1-bit gradients with a
+	// carried-forward error converge close to full precision.
+	ds := syncData(t)
+	full := syncRun(t, ds, 32, false)
+	oneBit := syncRun(t, ds, 1, true)
+	lf := full.TrainLoss[len(full.TrainLoss)-1]
+	lo := oneBit.TrainLoss[len(oneBit.TrainLoss)-1]
+	if lo > lf*1.3+0.05 {
+		t.Errorf("1-bit+EF loss %v too far above full-precision %v", lo, lf)
+	}
+}
+
+func TestErrorFeedbackMatters(t *testing.T) {
+	// Without the carried-forward residual, 1-bit quantization loses
+	// the gradient magnitude information and converges worse.
+	ds := syncData(t)
+	withEF := syncRun(t, ds, 1, true)
+	withoutEF := syncRun(t, ds, 1, false)
+	le := withEF.TrainLoss[len(withEF.TrainLoss)-1]
+	ln := withoutEF.TrainLoss[len(withoutEF.TrainLoss)-1]
+	if le >= ln {
+		t.Errorf("error feedback (%v) should beat none (%v) at 1 bit", le, ln)
+	}
+}
+
+func TestMidPrecisionComm(t *testing.T) {
+	ds := syncData(t)
+	full := syncRun(t, ds, 32, false)
+	eight := syncRun(t, ds, 8, true)
+	lf := full.TrainLoss[len(full.TrainLoss)-1]
+	l8 := eight.TrainLoss[len(eight.TrainLoss)-1]
+	if l8 > lf*1.15+0.02 {
+		t.Errorf("8-bit comm loss %v too far above full %v", l8, lf)
+	}
+}
+
+func TestSyncValidation(t *testing.T) {
+	ds := syncData(t)
+	if _, err := TrainSyncDense(SyncConfig{CommBits: 0, StepSize: 0.1}, ds); err == nil {
+		t.Error("zero CommBits should fail")
+	}
+	if _, err := TrainSyncDense(SyncConfig{CommBits: 33, StepSize: 0.1}, ds); err == nil {
+		t.Error("CommBits > 32 should fail")
+	}
+	if _, err := TrainSyncDense(SyncConfig{CommBits: 8}, ds); err == nil {
+		t.Error("zero step should fail")
+	}
+	if _, err := TrainSyncDense(SyncConfig{CommBits: 8, StepSize: 0.1}, nil); err == nil {
+		t.Error("nil dataset should fail")
+	}
+}
+
+func TestSyncLossHelper(t *testing.T) {
+	ds := syncData(t)
+	w := make([]float32, ds.N)
+	for _, p := range []Problem{Logistic, Linear, SVM} {
+		if _, err := SyncLoss(p, w, ds); err != nil {
+			t.Errorf("%v: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delta encoding of sparse indices (paper footnote 6): when the model is
+// too large to be indexed by the low-precision index type, the dataset
+// stores the differences between successive nonzero coordinates instead of
+// the coordinates themselves. Since indices are sorted and gaps are small
+// at realistic densities, narrow gap values cover models far larger than
+// the raw index precision could address. A gap wider than the type allows
+// is split into chained maximal gaps against zero-valued padding entries
+// (the classic escape mechanism); callers see only the absolute indices.
+
+// MaxGap returns the largest representable gap for an index precision.
+func MaxGap(idxBits uint) (int32, error) {
+	switch idxBits {
+	case 8:
+		return 255, nil
+	case 16:
+		return 65535, nil
+	case 32:
+		return 1<<31 - 1, nil
+	}
+	return 0, fmt.Errorf("dataset: index precision must be 8, 16 or 32 bits")
+}
+
+// DeltaEncode converts sorted absolute indices into gaps representable at
+// idxBits, returning the gap list and the positions (into the gap list) of
+// padding entries inserted to escape oversized gaps. The first gap is the
+// first index itself.
+func DeltaEncode(idx []int32, idxBits uint) (gaps []int32, padding []int, err error) {
+	maxGap, err := MaxGap(idxBits)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !sort.SliceIsSorted(idx, func(i, j int) bool { return idx[i] < idx[j] }) {
+		return nil, nil, fmt.Errorf("dataset: DeltaEncode requires sorted indices")
+	}
+	prev := int32(0)
+	for k, v := range idx {
+		if v < 0 {
+			return nil, nil, fmt.Errorf("dataset: negative index %d", v)
+		}
+		if k > 0 && v == prev {
+			return nil, nil, fmt.Errorf("dataset: duplicate index %d", v)
+		}
+		gap := v - prev
+		for gap > maxGap {
+			gaps = append(gaps, maxGap)
+			padding = append(padding, len(gaps)-1)
+			gap -= maxGap
+		}
+		gaps = append(gaps, gap)
+		prev = v
+	}
+	return gaps, padding, nil
+}
+
+// DeltaDecode reconstructs absolute indices from a gap list, skipping the
+// given padding positions.
+func DeltaDecode(gaps []int32, padding []int) []int32 {
+	pad := make(map[int]bool, len(padding))
+	for _, p := range padding {
+		pad[p] = true
+	}
+	out := make([]int32, 0, len(gaps)-len(padding))
+	pos := int32(0)
+	for k, g := range gaps {
+		pos += g
+		if !pad[k] {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// EncodedLen returns how many stored entries (gaps, including padding) a
+// sorted index list needs at the given precision — the quantity the memory
+// traffic model should charge when indices are delta-encoded.
+func EncodedLen(idx []int32, idxBits uint) (int, error) {
+	gaps, _, err := DeltaEncode(idx, idxBits)
+	if err != nil {
+		return 0, err
+	}
+	return len(gaps), nil
+}

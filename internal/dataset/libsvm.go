@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"buckwild/internal/fixed"
+	"buckwild/internal/kernels"
+	"buckwild/internal/prng"
+)
+
+// LIBSVM-format input, so real datasets (a9a, rcv1, news20, ...) can be fed
+// to the engine in the format the sparse-learning community uses:
+//
+//	<label> <index>:<value> <index>:<value> ...
+//
+// with 1-based feature indices. Lines may carry a trailing '#' comment.
+
+// LibSVMConfig controls how a parsed dataset is stored.
+type LibSVMConfig struct {
+	// P is the dataset precision the values are quantized to.
+	P kernels.Prec
+	// IdxBits is the stored index precision (8, 16 or 32).
+	IdxBits uint
+	// Rounding selects the one-time dataset quantization discipline.
+	Rounding fixed.Rounding
+	// NumFeatures forces the model dimension; zero infers it from the
+	// largest index seen.
+	NumFeatures int
+	Seed        uint64
+}
+
+// ReadLibSVM parses a LIBSVM-format stream into a sparse dataset. Labels
+// are mapped to +-1: values > 0 become +1 and everything else -1 (the
+// binary convention; multiclass files should be pre-filtered).
+func ReadLibSVM(r io.Reader, cfg LibSVMConfig) (*SparseSet, error) {
+	switch cfg.IdxBits {
+	case 0:
+		cfg.IdxBits = 32
+	case 8, 16, 32:
+	default:
+		return nil, fmt.Errorf("dataset: index precision must be 8, 16 or 32 bits")
+	}
+	var rs fixed.RandSource
+	if cfg.Rounding == fixed.Unbiased {
+		rs = prng.NewXorshift32(uint32(cfg.Seed) | 1)
+	}
+
+	d := &SparseSet{IdxBits: cfg.IdxBits}
+	maxIdx := int32(-1)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		label, err := strconv.ParseFloat(fields[0], 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad label %q", lineNo, fields[0])
+		}
+		y := float32(-1)
+		if label > 0 {
+			y = 1
+		}
+		idx := make([]int32, 0, len(fields)-1)
+		vals := make([]float32, 0, len(fields)-1)
+		prev := int32(-1)
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon <= 0 {
+				return nil, fmt.Errorf("dataset: line %d: bad feature %q", lineNo, f)
+			}
+			j, err := strconv.ParseInt(f[:colon], 10, 32)
+			if err != nil || j < 1 {
+				return nil, fmt.Errorf("dataset: line %d: bad index %q", lineNo, f[:colon])
+			}
+			v, err := strconv.ParseFloat(f[colon+1:], 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad value %q", lineNo, f[colon+1:])
+			}
+			j0 := int32(j - 1) // to 0-based
+			if j0 <= prev {
+				return nil, fmt.Errorf("dataset: line %d: indices must be strictly increasing", lineNo)
+			}
+			prev = j0
+			if j0 > maxIdx {
+				maxIdx = j0
+			}
+			idx = append(idx, j0)
+			vals = append(vals, float32(v))
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		d.Idx = append(d.Idx, idx)
+		d.RawVal = append(d.RawVal, vals)
+		d.Val = append(d.Val, quantizeRow(cfg.P, vals, cfg.Rounding, rs))
+		d.Y = append(d.Y, y)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	if len(d.Idx) == 0 {
+		return nil, fmt.Errorf("dataset: no examples in input")
+	}
+	d.N = int(maxIdx) + 1
+	if cfg.NumFeatures > 0 {
+		if cfg.NumFeatures <= int(maxIdx) {
+			return nil, fmt.Errorf("dataset: NumFeatures %d smaller than max index %d", cfg.NumFeatures, maxIdx+1)
+		}
+		d.N = cfg.NumFeatures
+	}
+	return d, nil
+}
+
+// WriteLibSVM writes a sparse dataset in LIBSVM format (1-based indices,
+// raw full-precision values).
+func WriteLibSVM(w io.Writer, d *SparseSet) error {
+	if d == nil || d.Len() == 0 {
+		return fmt.Errorf("dataset: nothing to write")
+	}
+	bw := bufio.NewWriter(w)
+	for i := 0; i < d.Len(); i++ {
+		if _, err := fmt.Fprintf(bw, "%+g", d.Y[i]); err != nil {
+			return err
+		}
+		for k, j := range d.Idx[i] {
+			if _, err := fmt.Fprintf(bw, " %d:%g", j+1, d.RawVal[i][k]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"buckwild/internal/fixed"
+	"buckwild/internal/kernels"
+)
+
+const sampleLibSVM = `+1 1:0.5 3:-0.25 10:1 # a comment
+-1 2:0.75
+
++1 1:-1 2:0.125
+`
+
+func TestReadLibSVM(t *testing.T) {
+	d, err := ReadLibSVM(strings.NewReader(sampleLibSVM), LibSVMConfig{
+		P: kernels.I8, IdxBits: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("examples = %d, want 3", d.Len())
+	}
+	if d.N != 10 {
+		t.Errorf("inferred dimension = %d, want 10", d.N)
+	}
+	if d.Y[0] != 1 || d.Y[1] != -1 || d.Y[2] != 1 {
+		t.Errorf("labels wrong: %v", d.Y)
+	}
+	// Indices are converted to 0-based.
+	if d.Idx[0][0] != 0 || d.Idx[0][1] != 2 || d.Idx[0][2] != 9 {
+		t.Errorf("indices wrong: %v", d.Idx[0])
+	}
+	// Values quantized at I8 but exactly representable here.
+	if got := d.Val[0].At(1); got != -0.25 {
+		t.Errorf("quantized value = %v, want -0.25", got)
+	}
+	if d.IdxBits != 16 {
+		t.Error("IdxBits not preserved")
+	}
+}
+
+func TestReadLibSVMNumFeatures(t *testing.T) {
+	d, err := ReadLibSVM(strings.NewReader("+1 1:1\n"), LibSVMConfig{
+		P: kernels.F32, NumFeatures: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 100 {
+		t.Errorf("forced dimension = %d", d.N)
+	}
+	if _, err := ReadLibSVM(strings.NewReader("+1 50:1\n"), LibSVMConfig{
+		P: kernels.F32, NumFeatures: 10,
+	}); err == nil {
+		t.Error("NumFeatures smaller than max index should fail")
+	}
+}
+
+func TestReadLibSVMErrors(t *testing.T) {
+	bad := []string{
+		"abc 1:1\n",        // bad label
+		"+1 0:1\n",         // index < 1
+		"+1 x:1\n",         // bad index
+		"+1 1:z\n",         // bad value
+		"+1 nocolon\n",     // missing colon
+		"+1 3:1 2:1\n",     // decreasing indices
+		"",                 // empty input
+		"# only comment\n", // no examples
+	}
+	for _, in := range bad {
+		if _, err := ReadLibSVM(strings.NewReader(in), LibSVMConfig{P: kernels.F32}); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+	if _, err := ReadLibSVM(strings.NewReader("+1 1:1\n"), LibSVMConfig{P: kernels.F32, IdxBits: 9}); err == nil {
+		t.Error("bad index precision should fail")
+	}
+}
+
+func TestLibSVMRoundTrip(t *testing.T) {
+	orig, err := GenSparse(SparseConfig{
+		N: 200, M: 25, Density: 0.05, P: kernels.F32, IdxBits: 32,
+		Rounding: fixed.Biased, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writing requires sorted indices per line; sort a copy.
+	for i := range orig.Idx {
+		sortPair(orig.Idx[i], orig.RawVal[i])
+		v := kernels.NewVec(kernels.F32, len(orig.RawVal[i]))
+		copy(v.F32, orig.RawVal[i])
+		orig.Val[i] = v
+	}
+	var buf bytes.Buffer
+	if err := WriteLibSVM(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLibSVM(&buf, LibSVMConfig{P: kernels.F32, NumFeatures: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() || back.N != orig.N {
+		t.Fatalf("shape changed: %dx%d -> %dx%d", orig.Len(), orig.N, back.Len(), back.N)
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if back.Y[i] != orig.Y[i] {
+			t.Fatalf("label %d changed", i)
+		}
+		for k := range orig.Idx[i] {
+			if back.Idx[i][k] != orig.Idx[i][k] {
+				t.Fatalf("index (%d,%d) changed", i, k)
+			}
+			if back.RawVal[i][k] != orig.RawVal[i][k] {
+				t.Fatalf("value (%d,%d) changed: %v -> %v", i, k, orig.RawVal[i][k], back.RawVal[i][k])
+			}
+		}
+	}
+	if err := WriteLibSVM(&buf, &SparseSet{}); err == nil {
+		t.Error("empty write should fail")
+	}
+}
+
+// sortPair sorts idx ascending, permuting vals identically.
+func sortPair(idx []int32, vals []float32) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package dmgc
+
+import "fmt"
+
+// PriorWork is one row of Table 1: a previously published low-precision
+// system classified under the DMGC model.
+type PriorWork struct {
+	Paper     string
+	Signature Signature
+	// Note explains how the classification follows from the system's
+	// description (Section 3.1).
+	Note string
+}
+
+// Table1 is the paper's Table 1: DMGC signatures of previous algorithms.
+func Table1() []PriorWork {
+	return []PriorWork{
+		{
+			Paper:     "Savich and Moussa [45], 18-bit",
+			Signature: MustParse("G18"),
+			Note:      "18-bit arithmetic for intermediate values on the FPGA; dataset and model effectively full fidelity",
+		},
+		{
+			Paper:     "Seide et al. [46]",
+			Signature: MustParse("C1s"),
+			Note:      "gradients quantized to one bit per value and exchanged synchronously; the full-precision model and carried-forward error mean only communication is low-precision",
+		},
+		{
+			Paper:     "Courbariaux et al. [9], 10-bit",
+			Signature: MustParse("G10"),
+			Note:      "10-bit multipliers with full-precision accumulators: only intermediates are low-precision",
+		},
+		{
+			Paper:     "Gupta et al. [14]",
+			Signature: MustParse("D8M16"),
+			Note:      "8-bit inputs, 16-bit model with stochastic rounding",
+		},
+		{
+			Paper:     "De Sa et al. [11], 8-bit",
+			Signature: MustParse("D8M8"),
+			Note:      "8-bit dataset and model, asynchronous updates",
+		},
+	}
+}
+
+// table2Row is one row of Table 2: base sequential throughput in GNPS for a
+// signature, dense and sparse, as measured by the paper on its Xeon
+// E7-8890 v3. These are the reference values the reproduction's simulated
+// machine is compared against (the paper itself notes "throughputs vary by
+// CPU").
+type table2Row struct {
+	dense, sparse string // signature spellings (sparse includes the index term)
+	denseT1       float64
+	sparseT1      float64
+}
+
+var table2 = []table2Row{
+	{"D32fM8", "D32fi32M8", 0.203, 0.103},
+	{"D32fM16", "D32fi32M16", 0.208, 0.080},
+	{"D32fM32f", "D32fi32M32f", 0.936, 0.101},
+	{"D8M32f", "D8i8M32f", 0.999, 0.089},
+	{"D16M32f", "D16i16M32f", 1.183, 0.089},
+	{"D16M16", "D16i16M16", 1.739, 0.106},
+	{"D8M16", "D8i8M16", 2.238, 0.105},
+	{"D16M8", "D16i16M8", 2.526, 0.172},
+	{"D8M8", "D8i8M8", 3.339, 0.166},
+}
+
+// Table2Signatures returns the nine signature pairs of Table 2; sparse
+// selects the sparse spellings (with index terms).
+func Table2Signatures(sparse bool) []Signature {
+	out := make([]Signature, len(table2))
+	for i, r := range table2 {
+		if sparse {
+			out[i] = MustParse(r.sparse)
+		} else {
+			out[i] = MustParse(r.dense)
+		}
+	}
+	return out
+}
+
+// Table2Base returns the paper-measured base sequential throughput (GNPS)
+// for a signature, using the sparse column when the signature has an index
+// term.
+func Table2Base(sig Signature) (float64, error) {
+	for _, r := range table2 {
+		if sig.Sparse() {
+			if sig.String() == r.sparse {
+				return r.sparseT1, nil
+			}
+		} else if sig.String() == r.dense {
+			return r.denseT1, nil
+		}
+	}
+	return 0, fmt.Errorf("dmgc: signature %v is not in Table 2", sig)
+}
+
+// Optimization is one row of Table 3: an optimization, when it helps, and
+// its statistical-efficiency cost.
+type Optimization struct {
+	Name       string
+	Beneficial string
+	StatLoss   string
+}
+
+// Table3 is the paper's Table 3: the summary of optimizations studied.
+func Table3() []Optimization {
+	return []Optimization{
+		{"Optimized SIMD", "Always", "None"},
+		{"Fast PRNG", "Using unbiased rounding", "Negligible"},
+		{"No prefetching", "Communication-bound", "Negligible"},
+		{"Mini-batch", "Communication-bound", "Possible"},
+		{"New instructions", "Always", "None"},
+		{"Obstinate cache", "Communication-bound", "Negligible"},
+	}
+}

@@ -1,0 +1,145 @@
+package dmgc
+
+import (
+	"fmt"
+	"math"
+)
+
+// The statistical-efficiency side of the DMGC model. Section 3 notes that
+// "the information in a DMGC signature is enough to model the statistical
+// efficiency of an algorithm from first principles by using techniques from
+// previous work like De Sa et al. [11]" (Taming the Wild). This file
+// implements that first-principles model for strongly convex problems:
+// asynchronous low-precision SGD with unbiased rounding converges linearly
+// to a noise ball whose radius combines the gradient-variance ball of plain
+// SGD with a quantization term and an asynchrony (staleness) term.
+//
+// The bounds follow the structure of the Hogwild!/Buckwild! analyses:
+// for step size eta on a mu-strongly-convex, L-smooth objective with
+// gradient second moment M2,
+//
+//	rate per step     ~ 2 eta mu - O(eta^2 L^2 (1 + tau))
+//	noise ball (x^2)  ~ eta M2 / (2 mu - ...) + delta^2 n / (4 ...) + ...
+//
+// where delta is the model quantum (2^-Frac) and tau the expected staleness
+// (proportional to the thread count). The constants are the simple forms of
+// those analyses; the model's purpose — like the paper's — is to expose how
+// the ball scales with the signature's precisions, not to be sharp.
+
+// StatProblem describes the optimization landscape for the statistical
+// model.
+type StatProblem struct {
+	// N is the model dimension.
+	N int
+	// Mu and L are the strong-convexity and smoothness constants.
+	Mu, L float64
+	// M2 is the second moment of the gradient estimator's norm.
+	M2 float64
+}
+
+// Validate checks the problem parameters.
+func (p StatProblem) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("dmgc: StatProblem needs N >= 1")
+	}
+	if p.Mu <= 0 || p.L < p.Mu {
+		return fmt.Errorf("dmgc: need 0 < Mu <= L")
+	}
+	if p.M2 <= 0 {
+		return fmt.Errorf("dmgc: need M2 > 0")
+	}
+	return nil
+}
+
+// StatPrediction is the model's output for one configuration.
+type StatPrediction struct {
+	// Rate is the per-step contraction factor of the expected squared
+	// distance to the optimum (smaller is faster); 1 - Rate is the
+	// linear convergence speed.
+	Rate float64
+	// NoiseBall is the asymptotic expected squared distance to the
+	// optimum, decomposed into its three sources.
+	NoiseBall     float64
+	GradientTerm  float64
+	QuantizeTerm  float64
+	StalenessTerm float64
+	// StepsTo reaches within 2x of the noise ball from distance R0^2.
+	StepsTo func(r0Sq float64) float64
+}
+
+// modelQuantum returns the model write quantum implied by a signature (the
+// standard formats of package fixed: Frac = Bits - 2), or 0 for a float
+// model.
+func modelQuantum(sig Signature) float64 {
+	if !sig.M.Present || sig.M.Float {
+		return 0
+	}
+	frac := int(sig.ModelBits()) - 2
+	return math.Pow(2, -float64(frac))
+}
+
+// PredictStatistics evaluates the first-principles statistical model for a
+// signature at the given step size and thread count, assuming unbiased
+// model-write rounding (the setting of the De Sa et al. analysis; biased
+// rounding adds an O(delta) bias this model does not cover).
+func PredictStatistics(sig Signature, p StatProblem, eta float64, threads int) (*StatPrediction, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if eta <= 0 {
+		return nil, fmt.Errorf("dmgc: step size must be positive")
+	}
+	if threads < 1 {
+		return nil, fmt.Errorf("dmgc: threads must be >= 1")
+	}
+	// Expected staleness grows with the worker count (tau ~ threads-1
+	// for uniform interleaving).
+	tau := float64(threads - 1)
+	// Effective contraction: the asynchrony penalty shrinks the usable
+	// part of the step (perturbed-iterate analysis).
+	contract := 2*eta*p.Mu - eta*eta*p.L*p.L*(1+tau)
+	if contract <= 0 {
+		return nil, fmt.Errorf("dmgc: step size %v too large for stability at %d threads (contraction %v)", eta, threads, contract)
+	}
+	if contract > 1 {
+		contract = 1
+	}
+	delta := modelQuantum(sig)
+	// Per-step additive noise: gradient variance, quantization variance
+	// (delta^2/4 per written coordinate, n coordinates per step), and
+	// the staleness cross-term.
+	grad := eta * eta * p.M2
+	quant := eta * delta * math.Sqrt(p.M2) * math.Sqrt(float64(p.N)) / 2
+	stale := eta * eta * p.L * math.Sqrt(p.M2) * tau * eta
+	ball := (grad + quant + stale) / contract
+	pred := &StatPrediction{
+		Rate:          1 - contract,
+		NoiseBall:     ball,
+		GradientTerm:  grad / contract,
+		QuantizeTerm:  quant / contract,
+		StalenessTerm: stale / contract,
+	}
+	c := contract
+	pred.StepsTo = func(r0Sq float64) float64 {
+		if r0Sq <= 2*ball {
+			return 0
+		}
+		// (1-c)^k r0^2 <= ball  =>  k >= log(r0^2/ball) / -log(1-c)
+		return math.Log(r0Sq/ball) / -math.Log1p(-c)
+	}
+	return pred, nil
+}
+
+// MaxStableStep returns the largest step size the model certifies stable
+// for the problem at the given thread count.
+func MaxStableStep(p StatProblem, threads int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if threads < 1 {
+		return 0, fmt.Errorf("dmgc: threads must be >= 1")
+	}
+	tau := float64(threads - 1)
+	// 2 eta mu - eta^2 L^2 (1+tau) > 0  =>  eta < 2 mu / (L^2 (1+tau)).
+	return 2 * p.Mu / (p.L * p.L * (1 + tau)), nil
+}

@@ -1,0 +1,92 @@
+package fixed
+
+// Saturating scalar arithmetic helpers used by the low-precision kernels.
+// These mirror the behaviour of the AVX2 saturating integer instructions
+// (vpaddsb, vpaddsw, ...) that the hand-optimized kernels in the paper rely
+// on: results that overflow the type clamp to the type bounds instead of
+// wrapping.
+
+// AddSat8 returns a+b saturated to the int8 range.
+func AddSat8(a, b int8) int8 {
+	s := int16(a) + int16(b)
+	if s > 127 {
+		return 127
+	}
+	if s < -128 {
+		return -128
+	}
+	return int8(s)
+}
+
+// AddSat16 returns a+b saturated to the int16 range.
+func AddSat16(a, b int16) int16 {
+	s := int32(a) + int32(b)
+	if s > 32767 {
+		return 32767
+	}
+	if s < -32768 {
+		return -32768
+	}
+	return int16(s)
+}
+
+// AddSat32 returns a+b saturated to the int32 range.
+func AddSat32(a, b int32) int32 {
+	s := int64(a) + int64(b)
+	if s > 2147483647 {
+		return 2147483647
+	}
+	if s < -2147483648 {
+		return -2147483648
+	}
+	return int32(s)
+}
+
+// MulAdd8to16 computes a*b + c with the 8-bit operands widened to 16 bits
+// and the accumulation saturated to int16. This is the per-lane behaviour of
+// the vpmaddubsw-style fused multiply-add the hand-optimized dot kernel is
+// built on: the multiply itself is exact (8x8 -> 16 bits) and only the
+// accumulate saturates.
+func MulAdd8to16(a, b int8, c int16) int16 {
+	return AddSat16(int16(a)*int16(b), c)
+}
+
+// MulAdd16to32 computes a*b + c with the 16-bit operands widened to 32 bits
+// and the accumulation saturated to int32 (vpmaddwd-style).
+func MulAdd16to32(a, b int16, c int32) int32 {
+	return AddSat32(int32(a)*int32(b), c)
+}
+
+// Clamp8 saturates a wide value to int8.
+func Clamp8(v int32) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return -128
+	}
+	return int8(v)
+}
+
+// Clamp16 saturates a wide value to int16.
+func Clamp16(v int32) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}
+
+// Clamp4 saturates a wide value to the 4-bit signed range [-8, 7]. 4-bit
+// values are stored in int8 containers (two per byte in packed storage).
+func Clamp4(v int32) int8 {
+	if v > 7 {
+		return 7
+	}
+	if v < -8 {
+		return -8
+	}
+	return int8(v)
+}

@@ -1,0 +1,258 @@
+// Package fpga models the Section 8 FPGA implementation of Buckwild! SGD:
+// a parameterized linear-regression SGD datapath compiled (in the paper,
+// through DHDL) onto an Altera Stratix V, with a heuristic design-space
+// search over SIMD lane count, pipeline organization (the two-stage and
+// three-stage designs of Figure 7c), and precision.
+//
+// On the FPGA the DMGC precisions translate directly into hardware: lower
+// precision shrinks the multipliers (reclaiming logic for more lanes),
+// narrows the BRAM model storage, and reduces the DRAM bytes per element,
+// so throughput and area both improve as precision drops (Figure 7f).
+package fpga
+
+import (
+	"fmt"
+	"math"
+)
+
+// Device describes an FPGA part.
+type Device struct {
+	Name string
+	// ALMs is the adaptive logic module budget, DSPs the hard
+	// multiplier budget, BRAMKb the block RAM budget in kilobits.
+	ALMs, DSPs int
+	BRAMKb     float64
+	// ClockMHz is the achievable datapath clock; DRAMGBs the board
+	// memory bandwidth; Watts the typical board power.
+	ClockMHz float64
+	DRAMGBs  float64
+	Watts    float64
+	// BurstBytes is the DRAM burst size (used by the SGD-vs-mini-batch
+	// organization rule).
+	BurstBytes int
+}
+
+// StratixVGSD8 returns the paper's device, an Altera Stratix V GS 5SGSD8.
+func StratixVGSD8() Device {
+	return Device{
+		Name:       "Stratix V GS 5SGSD8",
+		ALMs:       262400,
+		DSPs:       1963,
+		BRAMKb:     50 << 10,
+		ClockMHz:   200,
+		DRAMGBs:    12.8,
+		Watts:      25,
+		BurstBytes: 64,
+	}
+}
+
+// Pipeline selects the design organization of Figure 7c.
+type Pipeline int
+
+const (
+	// TwoStage splits the design into data-load and data-process; the
+	// process stage must consume data twice as fast as the off-chip
+	// load (each element is read twice per update), so its logic runs
+	// at effective double rate. No redundant data copy is needed, so
+	// it is the better candidate when BRAM is scarce.
+	TwoStage Pipeline = iota
+	// ThreeStage splits into off-chip-load, error-compute and
+	// update-compute, all consuming at the same rate; the middle stage
+	// copies data into a second buffer for the third stage, costing
+	// BRAM but simplifying each stage — better when logic is scarce
+	// and BRAM abundant.
+	ThreeStage
+)
+
+// String names the pipeline.
+func (p Pipeline) String() string {
+	if p == TwoStage {
+		return "two-stage"
+	}
+	return "three-stage"
+}
+
+// Params describes one candidate design point.
+type Params struct {
+	// DataBits and ModelBits are the DMGC dataset and model precisions.
+	DataBits, ModelBits uint
+	// Lanes is the SIMD width in elements per cycle per compute stage.
+	Lanes int
+	// Pipeline is the stage organization.
+	Pipeline Pipeline
+	// MiniBatch is B; the organization rule of Section 8 prefers
+	// mini-batch unless one data vector spans >= 100 DRAM bursts.
+	MiniBatch int
+	// ModelSize is n, which must fit in BRAM.
+	ModelSize int
+	// Unbiased adds per-lane XORSHIFT rounding modules.
+	Unbiased bool
+}
+
+// Report is the outcome of evaluating a design point.
+type Report struct {
+	Params   Params
+	Feasible bool
+	// Reason explains infeasibility.
+	Reason string
+	// ALMs, DSPs and BRAMKb are the resources consumed.
+	ALMs, DSPs int
+	BRAMKb     float64
+	// GNPS is dataset throughput; GNPSPerWatt normalizes by board
+	// power.
+	GNPS        float64
+	GNPSPerWatt float64
+	// ComputeGNPS and MemoryGNPS are the two ceilings.
+	ComputeGNPS, MemoryGNPS float64
+}
+
+// multALMs estimates the soft-logic cost of a dataBits x modelBits
+// multiplier when built in ALMs (roughly an array multiplier: one ALM per
+// partial-product bit pair, halved by carry-save packing).
+func multALMs(db, mb uint) int {
+	return int(db*mb) / 2
+}
+
+// Evaluate sizes one design point on a device.
+func Evaluate(dev Device, p Params) (Report, error) {
+	r := Report{Params: p}
+	if err := validate(p); err != nil {
+		return r, err
+	}
+
+	// Compute logic: each update needs a dot lane and an update lane
+	// per SIMD lane. The two-stage design runs its single compute stage
+	// at double rate (extra muxing/control ~25%); the three-stage
+	// design instantiates two single-rate stages.
+	dotALMs := multALMs(p.DataBits, p.ModelBits) + int(p.DataBits+p.ModelBits) // multiplier + adder-tree share
+	updALMs := multALMs(p.DataBits, 16) + int(p.ModelBits)*2                   // scalar multiply + rounding add
+	perLane := dotALMs + updALMs
+	logic := perLane * p.Lanes
+	if p.Pipeline == TwoStage {
+		logic = int(float64(logic) * 1.25)
+	}
+	// Control, AXI/DRAM interface, and scalar section.
+	logic += 8000
+	if p.Unbiased {
+		// One 128-bit XORSHIFT module per 8 lanes.
+		logic += 120 * ((p.Lanes + 7) / 8)
+	}
+
+	// DSP blocks: wide multiplies prefer hard DSPs (one 27x27 or two
+	// 18x18 per block); 8-bit and narrower multiplies stay in logic.
+	dsps := 0
+	if p.DataBits > 8 || p.ModelBits > 8 {
+		dsps = p.Lanes
+		logic -= multALMs(p.DataBits, p.ModelBits) * p.Lanes / 2
+		if logic < 8000 {
+			logic = 8000
+		}
+	}
+
+	// BRAM: the model, the streaming input buffers, and (three-stage
+	// only) the redundant data copy between stages.
+	modelKb := float64(p.ModelSize) * float64(p.ModelBits) / 1024
+	bufKb := 2 * float64(dev.BurstBytes) * 8 * float64(p.Lanes) / 1024
+	bram := modelKb + bufKb
+	if p.Pipeline == ThreeStage {
+		bram += modelKb + bufKb // stage-2 to stage-3 copy
+	}
+
+	r.ALMs, r.DSPs, r.BRAMKb = logic, dsps, bram
+	switch {
+	case logic > dev.ALMs:
+		r.Reason = fmt.Sprintf("needs %d ALMs, device has %d", logic, dev.ALMs)
+	case dsps > dev.DSPs:
+		r.Reason = fmt.Sprintf("needs %d DSPs, device has %d", dsps, dev.DSPs)
+	case bram > dev.BRAMKb:
+		r.Reason = fmt.Sprintf("needs %.0f Kb BRAM, device has %.0f", bram, dev.BRAMKb)
+	}
+	if r.Reason != "" {
+		return r, nil
+	}
+	r.Feasible = true
+
+	// Throughput ceilings. The compute ceiling is lanes x clock
+	// (halved for the double-rate two-stage consume); the memory
+	// ceiling is DRAM bandwidth over the per-element footprint.
+	clockHz := dev.ClockMHz * 1e6
+	compute := float64(p.Lanes) * clockHz
+	if p.Pipeline == TwoStage {
+		compute /= 2
+	}
+	// Mini-batch amortizes the per-update DRAM command overhead; plain
+	// SGD pays it once per model-sized vector (Section 8: plain SGD is
+	// acceptable only when a data vector spans >= ~100 bursts).
+	bytesPerElem := float64(p.DataBits) / 8
+	vecBursts := float64(p.ModelSize) * bytesPerElem / float64(dev.BurstBytes)
+	cmdOverhead := 1.0
+	if p.MiniBatch <= 1 && vecBursts < 100 {
+		cmdOverhead = 1 + 20/vecBursts // fixed ~20-burst command setup cost
+	}
+	memory := dev.DRAMGBs * 1e9 / (bytesPerElem * cmdOverhead)
+	r.ComputeGNPS = compute / 1e9
+	r.MemoryGNPS = memory / 1e9
+	r.GNPS = math.Min(r.ComputeGNPS, r.MemoryGNPS)
+	r.GNPSPerWatt = r.GNPS / dev.Watts
+	return r, nil
+}
+
+func validate(p Params) error {
+	for _, b := range []uint{p.DataBits, p.ModelBits} {
+		switch b {
+		case 4, 8, 16, 32:
+		default:
+			return fmt.Errorf("fpga: precision %d not in {4, 8, 16, 32}", b)
+		}
+	}
+	if p.Lanes < 1 {
+		return fmt.Errorf("fpga: lanes must be positive")
+	}
+	if p.ModelSize < 1 {
+		return fmt.Errorf("fpga: model size must be positive")
+	}
+	if p.MiniBatch < 0 {
+		return fmt.Errorf("fpga: negative mini-batch")
+	}
+	return nil
+}
+
+// Search performs the DHDL-style heuristic design-space search: it sweeps
+// lane counts (powers of two) and both pipeline organizations and returns
+// the feasible design with the highest throughput, preferring lower
+// resource use on ties.
+func Search(dev Device, dataBits, modelBits uint, modelSize int, unbiased bool) (Report, error) {
+	var best Report
+	found := false
+	for _, pipe := range []Pipeline{TwoStage, ThreeStage} {
+		for lanes := 1; lanes <= 1024; lanes *= 2 {
+			for _, b := range []int{1, 16} {
+				r, err := Evaluate(dev, Params{
+					DataBits:  dataBits,
+					ModelBits: modelBits,
+					Lanes:     lanes,
+					Pipeline:  pipe,
+					MiniBatch: b,
+					ModelSize: modelSize,
+					Unbiased:  unbiased,
+				})
+				if err != nil {
+					return Report{}, err
+				}
+				if !r.Feasible {
+					continue
+				}
+				if !found || r.GNPS > best.GNPS ||
+					(r.GNPS == best.GNPS && r.ALMs < best.ALMs) {
+					best = r
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		return Report{}, fmt.Errorf("fpga: no feasible design for D%dM%d n=%d on %s",
+			dataBits, modelBits, modelSize, dev.Name)
+	}
+	return best, nil
+}

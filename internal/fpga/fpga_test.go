@@ -1,0 +1,211 @@
+package fpga
+
+import (
+	"testing"
+)
+
+func TestDeviceAndValidation(t *testing.T) {
+	dev := StratixVGSD8()
+	if dev.ALMs <= 0 || dev.DSPs <= 0 || dev.BRAMKb <= 0 || dev.Watts <= 0 {
+		t.Fatalf("bad device: %+v", dev)
+	}
+	bad := []Params{
+		{DataBits: 7, ModelBits: 8, Lanes: 8, ModelSize: 100},
+		{DataBits: 8, ModelBits: 8, Lanes: 0, ModelSize: 100},
+		{DataBits: 8, ModelBits: 8, Lanes: 8, ModelSize: 0},
+		{DataBits: 8, ModelBits: 8, Lanes: 8, ModelSize: 10, MiniBatch: -1},
+	}
+	for i, p := range bad {
+		if _, err := Evaluate(dev, p); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestEvaluateFeasibleDesign(t *testing.T) {
+	r, err := Evaluate(StratixVGSD8(), Params{
+		DataBits: 8, ModelBits: 8, Lanes: 32, Pipeline: TwoStage,
+		MiniBatch: 16, ModelSize: 4096, Unbiased: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatalf("modest design should fit: %s", r.Reason)
+	}
+	if r.GNPS <= 0 || r.GNPSPerWatt <= 0 {
+		t.Errorf("throughput not computed: %+v", r)
+	}
+	if r.GNPS > r.ComputeGNPS || r.GNPS > r.MemoryGNPS {
+		t.Error("GNPS must be the min of its ceilings")
+	}
+}
+
+func TestInfeasibleDesigns(t *testing.T) {
+	dev := StratixVGSD8()
+	// Model too large for BRAM.
+	r, err := Evaluate(dev, Params{DataBits: 32, ModelBits: 32, Lanes: 4,
+		MiniBatch: 16, ModelSize: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible {
+		t.Error("16M-element 32-bit model cannot fit 50Mb of BRAM")
+	}
+	// Absurd lane count blows the logic budget.
+	r, _ = Evaluate(dev, Params{DataBits: 8, ModelBits: 8, Lanes: 1 << 16,
+		MiniBatch: 16, ModelSize: 128})
+	if r.Feasible {
+		t.Error("65536 lanes cannot fit the ALM budget")
+	}
+}
+
+func TestLowerPrecisionMoreThroughputLessArea(t *testing.T) {
+	// Figure 7f: as precision decreases, throughput rises (up to
+	// ~2.5x) and resources fall.
+	dev := StratixVGSD8()
+	const n = 8192
+	r32, err := Search(dev, 32, 32, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := Search(dev, 16, 16, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Search(dev, 8, 8, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r8.GNPS > r16.GNPS && r16.GNPS > r32.GNPS) {
+		t.Errorf("throughput not monotone: 8=%v 16=%v 32=%v", r8.GNPS, r16.GNPS, r32.GNPS)
+	}
+	if ratio := r8.GNPS / r32.GNPS; ratio < 1.8 || ratio > 5 {
+		t.Errorf("8-bit/32-bit throughput = %.2f, paper shows up to ~2.5x", ratio)
+	}
+	if r8.BRAMKb >= r32.BRAMKb {
+		t.Error("lower precision must use less BRAM")
+	}
+}
+
+func TestHalvingDatasetPrecisionHelps(t *testing.T) {
+	// Section 8: "when keeping the model precision fixed, halving the
+	// dataset precision improves both throughput and area".
+	dev := StratixVGSD8()
+	r16, err := Search(dev, 16, 16, 8192, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8d, err := Search(dev, 8, 16, 8192, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8d.GNPS < r16.GNPS {
+		t.Errorf("halving dataset precision should not lose throughput: %v vs %v", r8d.GNPS, r16.GNPS)
+	}
+}
+
+func TestGNPSPerWattBeatsXeon(t *testing.T) {
+	// Section 8: 0.339 GNPS/W on the FPGA vs 0.143 on the Xeon.
+	r, err := Search(StratixVGSD8(), 8, 8, 8192, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const xeonGNPSPerWatt = 0.143
+	if r.GNPSPerWatt < 1.5*xeonGNPSPerWatt {
+		t.Errorf("FPGA GNPS/W = %v, should clearly beat the Xeon's %v", r.GNPSPerWatt, xeonGNPSPerWatt)
+	}
+	if r.GNPSPerWatt > 10*xeonGNPSPerWatt {
+		t.Errorf("FPGA GNPS/W = %v suspiciously high", r.GNPSPerWatt)
+	}
+}
+
+func TestPipelineTradeoff(t *testing.T) {
+	// Figure 7c: three-stage spends BRAM to simplify logic; two-stage
+	// the reverse.
+	dev := StratixVGSD8()
+	p := Params{DataBits: 8, ModelBits: 8, Lanes: 64, MiniBatch: 16, ModelSize: 65536}
+	p.Pipeline = TwoStage
+	two, err := Evaluate(dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Pipeline = ThreeStage
+	three, err := Evaluate(dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.BRAMKb <= two.BRAMKb {
+		t.Error("three-stage must use more BRAM (redundant copy)")
+	}
+	if three.ALMs >= two.ALMs {
+		t.Error("two-stage must use more logic (double-rate stage)")
+	}
+	if TwoStage.String() != "two-stage" || ThreeStage.String() != "three-stage" {
+		t.Error("pipeline names")
+	}
+}
+
+func TestMiniBatchRuleOfSection8(t *testing.T) {
+	// Mini-batch wins unless a data vector spans >= ~100 DRAM bursts.
+	dev := StratixVGSD8()
+	smallVec := Params{DataBits: 8, ModelBits: 8, Lanes: 64, Pipeline: ThreeStage, ModelSize: 1024}
+	b1 := smallVec
+	b1.MiniBatch = 1
+	b16 := smallVec
+	b16.MiniBatch = 16
+	r1, err := Evaluate(dev, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := Evaluate(dev, b16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16.GNPS <= r1.GNPS {
+		t.Errorf("mini-batch should win for short vectors: B1=%v B16=%v", r1.GNPS, r16.GNPS)
+	}
+	// A vector spanning >100 bursts amortizes commands by itself.
+	bigVec := smallVec
+	bigVec.ModelSize = 100 * dev.BurstBytes * 2 // ~200 bursts at 1 B/elem
+	bigVec.MiniBatch = 1
+	rBig, err := Evaluate(dev, bigVec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigVec.MiniBatch = 16
+	rBigB, err := Evaluate(dev, bigVec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBig.GNPS < 0.95*rBigB.GNPS {
+		t.Errorf("long vectors should not need mini-batching: %v vs %v", rBig.GNPS, rBigB.GNPS)
+	}
+}
+
+func TestSearchReturnsBest(t *testing.T) {
+	dev := StratixVGSD8()
+	best, err := Search(dev, 8, 8, 4096, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Feasible {
+		t.Fatal("search returned infeasible design")
+	}
+	// No single evaluated candidate should beat the search result.
+	for lanes := 1; lanes <= 1024; lanes *= 2 {
+		for _, pipe := range []Pipeline{TwoStage, ThreeStage} {
+			r, err := Evaluate(dev, Params{DataBits: 8, ModelBits: 8, Lanes: lanes,
+				Pipeline: pipe, MiniBatch: 16, ModelSize: 4096, Unbiased: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Feasible && r.GNPS > best.GNPS {
+				t.Errorf("search missed a better design: %+v", r.Params)
+			}
+		}
+	}
+	if _, err := Search(dev, 32, 32, 1<<26, false); err == nil {
+		t.Error("impossible model size should fail the search")
+	}
+}

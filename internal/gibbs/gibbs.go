@@ -1,0 +1,158 @@
+// Package gibbs implements asynchronous ("Hogwild") Gibbs sampling on an
+// Ising model — the other member of the paper's family of lock-free
+// asynchronous algorithms (De Sa, Ré, Olukotun, "Ensuring Rapid Mixing and
+// Low Bias for Asynchronous Gibbs Sampling", cited in Section 2). Worker
+// goroutines resample spins against possibly stale neighbour values without
+// any locking; on fast-mixing (sub-critical) models the stationary
+// distribution is provably close to the sequential sampler's, the same
+// races-are-benign phenomenon Buckwild! relies on.
+package gibbs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"buckwild/internal/prng"
+)
+
+// Ising is an L x L periodic-lattice Ising model at inverse temperature
+// Beta with spins in {-1, +1}.
+type Ising struct {
+	L     int
+	Beta  float64
+	spins []int8
+}
+
+// NewIsing creates a model with spins initialized uniformly at random.
+func NewIsing(l int, beta float64, seed uint64) (*Ising, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("gibbs: lattice side must be >= 2")
+	}
+	if beta < 0 {
+		return nil, fmt.Errorf("gibbs: negative beta")
+	}
+	m := &Ising{L: l, Beta: beta, spins: make([]int8, l*l)}
+	g := prng.NewXorshift64(seed ^ 0x151196)
+	for i := range m.spins {
+		if g.Uint32()&1 == 0 {
+			m.spins[i] = 1
+		} else {
+			m.spins[i] = -1
+		}
+	}
+	return m, nil
+}
+
+// neighborSum returns the sum of the four neighbour spins of site (x, y).
+func (m *Ising) neighborSum(x, y int) int {
+	l := m.L
+	up := m.spins[((y+l-1)%l)*l+x]
+	down := m.spins[((y+1)%l)*l+x]
+	left := m.spins[y*l+(x+l-1)%l]
+	right := m.spins[y*l+(x+1)%l]
+	return int(up) + int(down) + int(left) + int(right)
+}
+
+// resample draws site (x, y) from its conditional distribution using g.
+func (m *Ising) resample(x, y int, g *prng.Xorshift64) {
+	s := float64(m.neighborSum(x, y))
+	pUp := 1 / (1 + math.Exp(-2*m.Beta*s))
+	v := int8(-1)
+	if float64(prng.Float32(g)) < pUp {
+		v = 1
+	}
+	m.spins[y*m.L+x] = v
+}
+
+// Sweep performs one sequential systematic-scan Gibbs sweep.
+func (m *Ising) Sweep(g *prng.Xorshift64) {
+	for y := 0; y < m.L; y++ {
+		for x := 0; x < m.L; x++ {
+			m.resample(x, y, g)
+		}
+	}
+}
+
+// HogwildSweep performs one lattice's worth of updates split across
+// workers, each resampling a random-site stream without synchronization.
+// Neighbour reads may observe concurrent writes — the asynchronous Gibbs
+// races under study.
+func (m *Ising) HogwildSweep(workers int, seed uint64) error {
+	if workers < 1 {
+		return fmt.Errorf("gibbs: workers must be >= 1")
+	}
+	n := m.L * m.L
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := prng.NewXorshift64(seed ^ uint64(w+1)*0x9E3779B97F4A7C15)
+			for k := 0; k < n/workers; k++ {
+				site := int(g.Uint64() % uint64(n))
+				m.resample(site%m.L, site/m.L, g)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+// Magnetization returns the mean spin.
+func (m *Ising) Magnetization() float64 {
+	var s int
+	for _, v := range m.spins {
+		s += int(v)
+	}
+	return float64(s) / float64(len(m.spins))
+}
+
+// EnergyPerSite returns -sum_<ij> s_i s_j / N (each bond counted once).
+func (m *Ising) EnergyPerSite() float64 {
+	l := m.L
+	var e int
+	for y := 0; y < l; y++ {
+		for x := 0; x < l; x++ {
+			s := int(m.spins[y*l+x])
+			right := int(m.spins[y*l+(x+1)%l])
+			down := int(m.spins[((y+1)%l)*l+x])
+			e -= s * (right + down)
+		}
+	}
+	return float64(e) / float64(l*l)
+}
+
+// Estimate runs burn-in plus measurement sweeps and returns the mean
+// energy per site and mean absolute magnetization, using the sequential
+// sampler when workers == 1 and Hogwild otherwise.
+func Estimate(l int, beta float64, workers, burn, measure int, seed uint64) (energy, absMag float64, err error) {
+	if burn < 0 || measure < 1 {
+		return 0, 0, fmt.Errorf("gibbs: need non-negative burn-in and positive measurement sweeps")
+	}
+	m, err := NewIsing(l, beta, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	g := prng.NewXorshift64(seed ^ 0xE57)
+	step := func(i int) error {
+		if workers == 1 {
+			m.Sweep(g)
+			return nil
+		}
+		return m.HogwildSweep(workers, seed+uint64(i)*0x61C88647)
+	}
+	for i := 0; i < burn; i++ {
+		if err := step(i); err != nil {
+			return 0, 0, err
+		}
+	}
+	for i := 0; i < measure; i++ {
+		if err := step(burn + i); err != nil {
+			return 0, 0, err
+		}
+		energy += m.EnergyPerSite()
+		absMag += math.Abs(m.Magnetization())
+	}
+	return energy / float64(measure), absMag / float64(measure), nil
+}

@@ -1,0 +1,110 @@
+package gibbs
+
+import (
+	"math"
+	"testing"
+
+	"buckwild/internal/prng"
+)
+
+func TestNewIsing(t *testing.T) {
+	m, err := NewIsing(8, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := 0
+	for _, s := range m.spins {
+		if s != 1 && s != -1 {
+			t.Fatalf("spin %d not in {-1,+1}", s)
+		}
+		if s == 1 {
+			ups++
+		}
+	}
+	if ups == 0 || ups == 64 {
+		t.Error("initial spins should be mixed")
+	}
+	if _, err := NewIsing(1, 0.3, 1); err == nil {
+		t.Error("tiny lattice should fail")
+	}
+	if _, err := NewIsing(8, -1, 1); err == nil {
+		t.Error("negative beta should fail")
+	}
+}
+
+func TestObservablesRanges(t *testing.T) {
+	m, _ := NewIsing(16, 0.3, 2)
+	g := prng.NewXorshift64(3)
+	for i := 0; i < 10; i++ {
+		m.Sweep(g)
+	}
+	if mag := m.Magnetization(); mag < -1 || mag > 1 {
+		t.Errorf("magnetization %v out of range", mag)
+	}
+	if e := m.EnergyPerSite(); e < -2 || e > 2 {
+		t.Errorf("energy per site %v out of range", e)
+	}
+}
+
+func TestInfiniteTemperatureIsUniform(t *testing.T) {
+	// beta = 0: spins are independent fair coins; energy per site ~ 0.
+	e, mag, err := Estimate(24, 0, 1, 20, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e) > 0.08 {
+		t.Errorf("beta=0 energy per site = %v, want ~0", e)
+	}
+	if mag > 0.1 {
+		t.Errorf("beta=0 |m| = %v, want small", mag)
+	}
+}
+
+func TestLowTemperatureOrders(t *testing.T) {
+	// Well above critical coupling (beta ~ 0.44 on the square lattice),
+	// the model magnetizes and the energy approaches -2.
+	_, mag, err := Estimate(16, 1.0, 1, 200, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mag < 0.9 {
+		t.Errorf("beta=1 |m| = %v, should be strongly ordered", mag)
+	}
+}
+
+func TestHogwildMatchesSequentialSubcritical(t *testing.T) {
+	// The De Sa et al. result: on fast-mixing (sub-critical) models,
+	// asynchronous Gibbs has low bias — its observables match the
+	// sequential sampler's.
+	const l, beta = 24, 0.3
+	eSeq, mSeq, err := Estimate(l, beta, 1, 100, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eHog, mHog, err := Estimate(l, beta, 4, 100, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eSeq-eHog) > 0.1 {
+		t.Errorf("energy bias too large: seq %v vs hogwild %v", eSeq, eHog)
+	}
+	if math.Abs(mSeq-mHog) > 0.1 {
+		t.Errorf("|m| bias too large: seq %v vs hogwild %v", mSeq, mHog)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, _, err := Estimate(8, 0.3, 1, -1, 10, 1); err == nil {
+		t.Error("negative burn-in should fail")
+	}
+	if _, _, err := Estimate(8, 0.3, 1, 1, 0, 1); err == nil {
+		t.Error("zero measurement should fail")
+	}
+	if _, _, err := Estimate(1, 0.3, 1, 1, 1, 1); err == nil {
+		t.Error("bad lattice should fail")
+	}
+	m, _ := NewIsing(8, 0.3, 1)
+	if err := m.HogwildSweep(0, 1); err == nil {
+		t.Error("zero workers should fail")
+	}
+}

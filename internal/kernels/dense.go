@@ -1,0 +1,204 @@
+package kernels
+
+import "fmt"
+
+// Variant selects the implementation style of a kernel (Section 5.1/6.1).
+type Variant int
+
+const (
+	// Generic mirrors compiler-generated code: widen everything to
+	// float32, compute in float, quantize per element on write.
+	Generic Variant = iota
+	// HandOpt mirrors the hand-written AVX2 code: fused widening integer
+	// multiply-adds for the dot, an integer rounding pipeline for AXPY.
+	HandOpt
+	// NewInsn is HandOpt executed with the Section 6.1 proposed
+	// instructions (QDOT8/QAXPY8 and the 4-bit family). Numerically it
+	// equals HandOpt; only the instruction stream differs.
+	NewInsn
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Generic:
+		return "generic"
+	case HandOpt:
+		return "handopt"
+	case NewInsn:
+		return "newinsn"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// aqFrac is the fixed-point fraction used for the broadcast scalar a in the
+// integer AXPY pipeline (the scalar is held in a 16-bit lane with 14
+// fractional bits, range [-2, 2)).
+const aqFrac = 14
+
+// Dense computes dot and AXPY over dense vectors at the configured dataset
+// precision D and model precision M.
+type Dense struct {
+	D, M Prec
+	V    Variant
+	// Q quantizes model writes; required iff M != F32.
+	Q *Quantizer
+}
+
+// NewDense validates and builds a dense kernel.
+func NewDense(d, m Prec, v Variant, q *Quantizer) (*Dense, error) {
+	if m != F32 && q == nil {
+		return nil, fmt.Errorf("kernels: model precision %v requires a quantizer", m)
+	}
+	if m == F32 && q != nil {
+		return nil, fmt.Errorf("kernels: float model takes no quantizer")
+	}
+	if v == NewInsn && !(d == I8 || d == I4) {
+		return nil, fmt.Errorf("kernels: proposed instructions cover 8- and 4-bit datasets, not %v", d)
+	}
+	return &Dense{D: d, M: m, V: v, Q: q}, nil
+}
+
+// MustDense is NewDense that panics on error.
+func MustDense(d, m Prec, v Variant, q *Quantizer) *Dense {
+	k, err := NewDense(d, m, v, q)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// intPath reports whether the hand-optimized integer pipeline applies:
+// both operands fixed point.
+func (k *Dense) intPath() bool {
+	return k.V != Generic && !k.D.IsFloat() && !k.M.IsFloat()
+}
+
+// Dot returns the inner product of the dataset vector x (precision D) and
+// the model vector w (precision M) as a real number.
+func (k *Dense) Dot(x, w Vec) float32 {
+	n := x.Len()
+	if w.Len() != n {
+		panic(fmt.Sprintf("kernels: Dot length mismatch %d != %d", n, w.Len()))
+	}
+	if k.intPath() {
+		return k.dotInt(x, w, n)
+	}
+	// Float path (generic, or hand-optimized FMA when either side is
+	// float): widen to float32 and accumulate.
+	var sum float32
+	for i := 0; i < n; i++ {
+		sum += x.At(i) * w.At(i)
+	}
+	return sum
+}
+
+// dotInt is the fused widening-multiply-add pipeline. For 8-bit (and 4-bit)
+// inputs it reproduces vpmaddubsw semantics: adjacent pairs multiply exactly
+// into 16 bits and their sum saturates at 16 bits; pair sums are then
+// accumulated exactly. For 16-bit inputs (vpmaddwd) the pair products
+// accumulate exactly into 32 bits. Mixed widths widen the narrower operand
+// first (exact).
+func (k *Dense) dotInt(x, w Vec, n int) float32 {
+	var acc int64
+	if k.D.Bits() <= 8 && k.M.Bits() <= 8 {
+		// vpmaddubsw: pairwise 8x8->16 with saturating pair add.
+		i := 0
+		for ; i+1 < n; i += 2 {
+			p0 := int32(x.Raw(i)) * int32(w.Raw(i))
+			p1 := int32(x.Raw(i+1)) * int32(w.Raw(i+1))
+			s := p0 + p1
+			if s > 32767 {
+				s = 32767
+			} else if s < -32768 {
+				s = -32768
+			}
+			acc += int64(s)
+		}
+		if i < n {
+			acc += int64(int32(x.Raw(i)) * int32(w.Raw(i)))
+		}
+	} else {
+		// vpmaddwd path (covers I16xI16 and mixed I8/I16): products are
+		// exact in 32 bits and pair sums are exact in 32 bits.
+		for i := 0; i < n; i++ {
+			acc += int64(x.Raw(i)) * int64(w.Raw(i))
+		}
+	}
+	return float32(acc) * k.D.Fixed().Quantum() * k.M.Fixed().Quantum()
+}
+
+// Axpy performs the model update w <- round(w + a*x) elementwise, where the
+// rounding into the model format follows the kernel's quantizer. For float
+// models this is a plain fused multiply-add with no rounding step.
+func (k *Dense) Axpy(a float32, x, w Vec) {
+	n := x.Len()
+	if w.Len() != n {
+		panic(fmt.Sprintf("kernels: Axpy length mismatch %d != %d", n, w.Len()))
+	}
+	switch {
+	case k.M.IsFloat():
+		for i := 0; i < n; i++ {
+			w.F32[i] += a * x.At(i)
+		}
+	case k.V != Generic && !k.D.IsFloat():
+		k.axpyInt(a, x, w, n)
+	case k.V != Generic: // float dataset, fixed model
+		// Hand-optimized float->fixed pipeline: the product is
+		// stochastically rounded to a model-format delta, which is
+		// added with saturation (this is the semantics of the
+		// proposed QAXPY8 instruction as well).
+		fm := k.M.Fixed()
+		for i := 0; i < n; i++ {
+			delta := k.Q.Quantize(a * x.At(i))
+			w.SetRaw(i, fm.Saturate(int64(w.Raw(i))+int64(delta)))
+		}
+	default:
+		// Generic: recompute w + a*x in float and round the sum.
+		for i := 0; i < n; i++ {
+			w.Set(i, w.At(i)+a*x.At(i), k.Q)
+		}
+	}
+}
+
+// axpyInt is the all-integer AXPY pipeline: the scalar a is quantized once
+// into a 16-bit lane with aqFrac fractional bits; each product
+// x_raw * a_raw is a wide integer whose model-format value is recovered by
+// a rounding right-shift (stochastic or nearest per the quantizer); the
+// delta is added to the model with saturation. This mirrors the
+// vpmullw / add-random-vector / truncate sequence of Section 6.1.
+func (k *Dense) axpyInt(a float32, x, w Vec, n int) {
+	aq := quantizeScalarA(a)
+	if aq == 0 {
+		// The scalar underflowed the a-lane format; the hand-optimized
+		// kernel genuinely performs no update in this case.
+		return
+	}
+	fx := k.D.Fixed()
+	fm := k.M.Fixed()
+	shift := fx.Frac + aqFrac - fm.Frac
+	for i := 0; i < n; i++ {
+		wide := int64(x.Raw(i)) * int64(aq)
+		delta := k.Q.RoundRaw(wide, shift)
+		w.SetRaw(i, fm.Saturate(int64(w.Raw(i))+int64(delta)))
+	}
+}
+
+// quantizeScalarA rounds the AXPY scalar into its 16-bit broadcast lane
+// (frac aqFrac), saturating at the lane bounds.
+func quantizeScalarA(a float32) int32 {
+	scaled := float64(a) * float64(int64(1)<<aqFrac)
+	if scaled >= 0 {
+		scaled += 0.5
+	} else {
+		scaled -= 0.5
+	}
+	v := int64(scaled)
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int32(v)
+}

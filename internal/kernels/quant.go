@@ -1,0 +1,124 @@
+package kernels
+
+import (
+	"fmt"
+
+	"buckwild/internal/fixed"
+	"buckwild/internal/prng"
+)
+
+// QuantKind identifies the randomness strategy behind a quantizer, which
+// determines its hardware cost (Section 5.2, Figure 5b). The numerical
+// behaviour of the three unbiased kinds differs only in which generator
+// supplies the random bits and how often fresh bits are drawn.
+type QuantKind int
+
+const (
+	// QBiased is nearest-neighbor rounding: no randomness, cheapest.
+	QBiased QuantKind = iota
+	// QMersenne is unbiased rounding with one MT19937 draw per rounded
+	// number — the Boost-based baseline, dominated by PRNG cost.
+	QMersenne
+	// QXorshift is unbiased rounding with one (vectorized) XORSHIFT draw
+	// per rounded number.
+	QXorshift
+	// QShared is unbiased rounding that reuses one vector of XORSHIFT
+	// randomness across Period consecutive roundings — the strategy used
+	// for the paper's headline throughput numbers.
+	QShared
+	// QHardware is unbiased rounding performed by the proposed QAXPY8
+	// instruction's hardware PRNG (Section 6.1): zero software cost.
+	QHardware
+)
+
+// String names the quantizer kind.
+func (k QuantKind) String() string {
+	switch k {
+	case QBiased:
+		return "biased"
+	case QMersenne:
+		return "unbiased-mt19937"
+	case QXorshift:
+		return "unbiased-xorshift"
+	case QShared:
+		return "unbiased-shared"
+	case QHardware:
+		return "unbiased-hardware"
+	}
+	return fmt.Sprintf("QuantKind(%d)", int(k))
+}
+
+// Unbiased reports whether the kind performs stochastic rounding.
+func (k QuantKind) Unbiased() bool { return k != QBiased }
+
+// Quantizer rounds real values into a fixed-point model format. It bundles
+// the format, the rounding discipline, and the randomness source so kernels
+// can stay agnostic of the strategy.
+type Quantizer struct {
+	Fmt  fixed.Format
+	Kind QuantKind
+	// Period is the randomness reuse period for QShared (ignored
+	// otherwise). The paper refreshes once per AXPY vector: period 8.
+	Period int
+	src    prng.Source
+}
+
+// NewQuantizer builds a quantizer for model precision m with the given
+// strategy. seed seeds the internal generator for the unbiased kinds.
+func NewQuantizer(m Prec, kind QuantKind, period int, seed uint64) (*Quantizer, error) {
+	if m == F32 {
+		return nil, fmt.Errorf("kernels: float model needs no quantizer")
+	}
+	q := &Quantizer{Fmt: m.Fixed(), Kind: kind, Period: period}
+	switch kind {
+	case QBiased:
+	case QMersenne:
+		q.src = prng.NewMT19937(uint32(seed) | 1)
+	case QXorshift, QHardware:
+		q.src = prng.NewBatch(seed)
+	case QShared:
+		if period < 1 {
+			period = prng.BatchLanes
+		}
+		q.Period = period
+		s, err := prng.NewShared(prng.NewBatch(seed), period)
+		if err != nil {
+			return nil, err
+		}
+		q.src = s
+	default:
+		return nil, fmt.Errorf("kernels: unknown quantizer kind %d", int(kind))
+	}
+	return q, nil
+}
+
+// MustQuantizer is NewQuantizer that panics on error, for tests and examples.
+func MustQuantizer(m Prec, kind QuantKind, period int, seed uint64) *Quantizer {
+	q, err := NewQuantizer(m, kind, period, seed)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Mode returns the fixed-point rounding mode implied by the kind.
+func (q *Quantizer) Mode() fixed.Rounding {
+	if q.Kind.Unbiased() {
+		return fixed.Unbiased
+	}
+	return fixed.Biased
+}
+
+// Quantize rounds a real value into the model format.
+func (q *Quantizer) Quantize(x float32) int32 {
+	if q.Kind.Unbiased() {
+		return q.Fmt.QuantizeUnbiased(x, q.src)
+	}
+	return q.Fmt.QuantizeBiased(x)
+}
+
+// RoundRaw requantizes a wide raw value down by shift bits (integer AXPY
+// pipeline; see fixed.Format.RoundRaw).
+func (q *Quantizer) RoundRaw(v int64, shift uint) int32 {
+	return q.Fmt.RoundRaw(v, shift, q.Mode(), q.src)
+}

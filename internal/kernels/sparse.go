@@ -1,0 +1,110 @@
+package kernels
+
+import "fmt"
+
+// Sparse computes dot and AXPY between a sparse dataset vector, given as
+// parallel index/value arrays, and a dense model vector. Sparse kernels are
+// gather/scatter bound: their memory accesses into the model are random, so
+// SIMD helps far less than in the dense case (the paper's Table 2 shows
+// sparse throughput nearly flat across precisions, and Figure 4b shows
+// hand-optimization can even hurt for small sparse models).
+//
+// The index precision (Section 3, "index precision") affects only memory
+// traffic: indices are always materialized as int32 in Go, and IdxBits
+// records the storage width the instruction streams should charge for.
+type Sparse struct {
+	D, M Prec
+	V    Variant
+	Q    *Quantizer
+	// IdxBits is the stored index width in bits (8, 16 or 32). Widths
+	// below 32 use delta encoding for models too large to index directly
+	// (paper footnote 6); the traffic model charges IdxBits per nonzero.
+	IdxBits uint
+}
+
+// NewSparse validates and builds a sparse kernel.
+func NewSparse(d, m Prec, v Variant, q *Quantizer, idxBits uint) (*Sparse, error) {
+	if m != F32 && q == nil {
+		return nil, fmt.Errorf("kernels: model precision %v requires a quantizer", m)
+	}
+	if m == F32 && q != nil {
+		return nil, fmt.Errorf("kernels: float model takes no quantizer")
+	}
+	switch idxBits {
+	case 8, 16, 32:
+	default:
+		return nil, fmt.Errorf("kernels: index precision must be 8, 16 or 32 bits, got %d", idxBits)
+	}
+	return &Sparse{D: d, M: m, V: v, Q: q, IdxBits: idxBits}, nil
+}
+
+// MustSparse is NewSparse that panics on error.
+func MustSparse(d, m Prec, v Variant, q *Quantizer, idxBits uint) *Sparse {
+	k, err := NewSparse(d, m, v, q, idxBits)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Dot returns the inner product of the sparse vector (idx, x) with the
+// dense model w. x holds the nonzero values at dataset precision; idx holds
+// their positions in w.
+func (k *Sparse) Dot(idx []int32, x, w Vec) float32 {
+	if len(idx) != x.Len() {
+		panic(fmt.Sprintf("kernels: sparse Dot: %d indices, %d values", len(idx), x.Len()))
+	}
+	if k.V != Generic && !k.D.IsFloat() && !k.M.IsFloat() {
+		// Integer gather pipeline: exact widening multiplies, wide
+		// accumulation (the gathered model values cannot use the
+		// paired vpmadd instructions, so products accumulate
+		// individually).
+		var acc int64
+		for j, i := range idx {
+			acc += int64(x.Raw(j)) * int64(w.Raw(int(i)))
+		}
+		return float32(acc) * k.D.Fixed().Quantum() * k.M.Fixed().Quantum()
+	}
+	var sum float32
+	for j, i := range idx {
+		sum += x.At(j) * w.At(int(i))
+	}
+	return sum
+}
+
+// Axpy performs the sparse model update w[idx[j]] <- round(w[idx[j]] +
+// a*x[j]) for every nonzero j.
+func (k *Sparse) Axpy(a float32, idx []int32, x, w Vec) {
+	if len(idx) != x.Len() {
+		panic(fmt.Sprintf("kernels: sparse Axpy: %d indices, %d values", len(idx), x.Len()))
+	}
+	switch {
+	case k.M.IsFloat():
+		for j, i := range idx {
+			w.F32[i] += a * x.At(j)
+		}
+	case k.V != Generic && !k.D.IsFloat():
+		aq := quantizeScalarA(a)
+		if aq == 0 {
+			return
+		}
+		fx := k.D.Fixed()
+		fm := k.M.Fixed()
+		shift := fx.Frac + aqFrac - fm.Frac
+		for j, i := range idx {
+			wide := int64(x.Raw(j)) * int64(aq)
+			delta := k.Q.RoundRaw(wide, shift)
+			w.SetRaw(int(i), fm.Saturate(int64(w.Raw(int(i)))+int64(delta)))
+		}
+	case k.V != Generic: // float dataset, fixed model
+		fm := k.M.Fixed()
+		for j, i := range idx {
+			delta := k.Q.Quantize(a * x.At(j))
+			w.SetRaw(int(i), fm.Saturate(int64(w.Raw(int(i)))+int64(delta)))
+		}
+	default:
+		for j, i := range idx {
+			w.Set(int(i), w.At(int(i))+a*x.At(j), k.Q)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package kernels implements the dot-product and AXPY kernels that dominate
+// the cost of an SGD step (Section 2 of the paper), for every combination of
+// dataset and model precision in the DMGC space.
+//
+// Each kernel exists in two variants mirroring Section 5.1:
+//
+//   - Generic: the computation a compiler produces from straightforward
+//     C++ — every low-precision input is widened to 32-bit float, the
+//     arithmetic happens in float, and results are quantized elementwise.
+//   - HandOpt: the computation the hand-written AVX2 code performs — 8- and
+//     16-bit values are multiplied with fused widening multiply-adds
+//     (vpmaddubsw / vpmaddwd semantics) and model writes go through an
+//     integer rounding pipeline.
+//
+// The numerical semantics of both variants are implemented bit-accurately in
+// portable Go. Their hardware cost is captured separately as simd.Stream
+// instruction streams (see stream.go), which the machine model converts to
+// cycles; this is how the reproduction recovers the paper's throughput
+// results without real SIMD intrinsics.
+package kernels
+
+import (
+	"fmt"
+
+	"buckwild/internal/fixed"
+)
+
+// Prec is a storage precision for dataset or model numbers.
+type Prec int
+
+const (
+	// F32 is IEEE 32-bit floating point (the full-precision baseline).
+	F32 Prec = iota
+	// I16 is 16-bit fixed point (fixed.Q16).
+	I16
+	// I8 is 8-bit fixed point (fixed.Q8).
+	I8
+	// I4 is 4-bit fixed point (fixed.Q4), stored one value per int8.
+	// Current CPUs have no 4-bit arithmetic; this precision exists for
+	// the Section 6.1 what-if ISA study.
+	I4
+)
+
+// Bits returns the storage width of the precision in bits.
+func (p Prec) Bits() uint {
+	switch p {
+	case F32:
+		return 32
+	case I16:
+		return 16
+	case I8:
+		return 8
+	case I4:
+		return 4
+	}
+	panic(fmt.Sprintf("kernels: invalid Prec(%d)", int(p)))
+}
+
+// Bytes returns the in-memory storage size of one element in bytes. Note
+// that I4 is modelled as packed (half a byte) for memory-traffic purposes
+// even though the Go representation stores one nibble per int8.
+func (p Prec) Bytes() float64 {
+	return float64(p.Bits()) / 8
+}
+
+// Fixed returns the fixed-point format backing an integer precision.
+// It panics for F32, which has no fixed-point format.
+func (p Prec) Fixed() fixed.Format {
+	switch p {
+	case I16:
+		return fixed.Q16
+	case I8:
+		return fixed.Q8
+	case I4:
+		return fixed.Q4
+	}
+	panic(fmt.Sprintf("kernels: Prec %v has no fixed-point format", p))
+}
+
+// IsFloat reports whether the precision is floating point.
+func (p Prec) IsFloat() bool { return p == F32 }
+
+// String names the precision as it appears in DMGC signatures.
+func (p Prec) String() string {
+	switch p {
+	case F32:
+		return "32f"
+	case I16:
+		return "16"
+	case I8:
+		return "8"
+	case I4:
+		return "4"
+	}
+	return fmt.Sprintf("Prec(%d)", int(p))
+}
+
+// ParsePrec parses a DMGC-style precision token ("32f", "16", "8", "4").
+func ParsePrec(s string) (Prec, error) {
+	switch s {
+	case "32f", "32":
+		return F32, nil
+	case "16":
+		return I16, nil
+	case "8":
+		return I8, nil
+	case "4":
+		return I4, nil
+	}
+	return 0, fmt.Errorf("kernels: unknown precision %q", s)
+}
+
+// Vec is a vector stored at one of the supported precisions. Exactly one of
+// the backing slices is non-nil, selected by P. I4 values live in I8 with
+// each element restricted to [-8, 7].
+type Vec struct {
+	P   Prec
+	F32 []float32
+	I16 []int16
+	I8  []int8
+}
+
+// NewVec allocates a zero vector of length n at precision p.
+func NewVec(p Prec, n int) Vec {
+	v := Vec{P: p}
+	switch p {
+	case F32:
+		v.F32 = make([]float32, n)
+	case I16:
+		v.I16 = make([]int16, n)
+	case I8, I4:
+		v.I8 = make([]int8, n)
+	default:
+		panic(fmt.Sprintf("kernels: NewVec: invalid Prec(%d)", int(p)))
+	}
+	return v
+}
+
+// Len returns the vector length.
+func (v Vec) Len() int {
+	switch v.P {
+	case F32:
+		return len(v.F32)
+	case I16:
+		return len(v.I16)
+	default:
+		return len(v.I8)
+	}
+}
+
+// At returns the real (dequantized) value at index i.
+func (v Vec) At(i int) float32 {
+	switch v.P {
+	case F32:
+		return v.F32[i]
+	case I16:
+		return fixed.Q16.Dequantize(int32(v.I16[i]))
+	case I8:
+		return fixed.Q8.Dequantize(int32(v.I8[i]))
+	default: // I4
+		return fixed.Q4.Dequantize(int32(v.I8[i]))
+	}
+}
+
+// SetRaw stores a raw fixed-point value (or bit-cast float via SetFloat for
+// F32 vectors). It panics if called on a float vector.
+func (v Vec) SetRaw(i int, raw int32) {
+	switch v.P {
+	case I16:
+		v.I16[i] = int16(raw)
+	case I8, I4:
+		v.I8[i] = int8(raw)
+	default:
+		panic("kernels: SetRaw on float vector")
+	}
+}
+
+// Raw returns the raw fixed-point value at index i. It panics for F32.
+func (v Vec) Raw(i int) int32 {
+	switch v.P {
+	case I16:
+		return int32(v.I16[i])
+	case I8, I4:
+		return int32(v.I8[i])
+	default:
+		panic("kernels: Raw on float vector")
+	}
+}
+
+// Set quantizes and stores the real value x at index i using q. For F32
+// vectors the value is stored directly and q may be nil.
+func (v Vec) Set(i int, x float32, q *Quantizer) {
+	if v.P == F32 {
+		v.F32[i] = x
+		return
+	}
+	v.SetRaw(i, q.Quantize(x))
+}
+
+// Fill quantizes the real values xs into v using q (nil allowed for F32).
+func (v Vec) Fill(xs []float32, q *Quantizer) {
+	if len(xs) != v.Len() {
+		panic(fmt.Sprintf("kernels: Fill length mismatch: %d != %d", len(xs), v.Len()))
+	}
+	for i, x := range xs {
+		v.Set(i, x, q)
+	}
+}
+
+// Floats dequantizes the whole vector into a fresh []float32.
+func (v Vec) Floats() []float32 {
+	out := make([]float32, v.Len())
+	for i := range out {
+		out[i] = v.At(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the vector.
+func (v Vec) Clone() Vec {
+	c := NewVec(v.P, v.Len())
+	switch v.P {
+	case F32:
+		copy(c.F32, v.F32)
+	case I16:
+		copy(c.I16, v.I16)
+	default:
+		copy(c.I8, v.I8)
+	}
+	return c
+}
+
+// Zero resets all elements to zero.
+func (v Vec) Zero() {
+	switch v.P {
+	case F32:
+		for i := range v.F32 {
+			v.F32[i] = 0
+		}
+	case I16:
+		for i := range v.I16 {
+			v.I16[i] = 0
+		}
+	default:
+		for i := range v.I8 {
+			v.I8[i] = 0
+		}
+	}
+}

@@ -1,0 +1,434 @@
+// Package machine is the timing model of the simulated multicore: it
+// combines the compute cost of a kernel's instruction stream (package
+// simd), the memory behaviour of its access trace (packages trace and
+// cache), and a shared-DRAM bandwidth roofline into a predicted dataset
+// throughput in giga-numbers-per-second (GNPS) — the paper's
+// hardware-efficiency metric.
+//
+// The model is deliberately simple and documented:
+//
+//   - Compute: the throughput-model cycles of the kernel's instruction
+//     stream (fully pipelined inner loops).
+//   - Memory stalls: per-access latencies from the cache simulator, minus
+//     the L1 latency that pipelining hides. Streaming dataset loads enjoy
+//     memory-level parallelism: a DRAM-latency stall is divided by MLP
+//     (out-of-order cores sustain several outstanding line fills).
+//     Model-region accesses pay full latency: in the communication-bound
+//     regime these are coherence misses on the critical path.
+//   - Bandwidth: all cores share DRAM; a round of one step per core can
+//     never take less time than the round's DRAM traffic at the configured
+//     bandwidth.
+//
+// Per-core compute and memory time overlap imperfectly on a real core; the
+// model charges max(compute, memory) + 0.2*min(compute, memory), a standard
+// roofline-with-overlap compromise.
+package machine
+
+import (
+	"fmt"
+
+	"buckwild/internal/cache"
+	"buckwild/internal/kernels"
+	"buckwild/internal/prng"
+	"buckwild/internal/simd"
+	"buckwild/internal/trace"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// ClockGHz is the core clock (the paper's Xeon runs at 2.5 GHz).
+	ClockGHz float64
+	// DRAMBandwidthGBs is the shared memory bandwidth in GB/s.
+	DRAMBandwidthGBs float64
+	// CoreBandwidthGBs caps one core's sustainable DRAM streaming rate
+	// (a single core cannot saturate the socket's memory controllers;
+	// this is what makes the paper's base throughputs flat across model
+	// sizes and roughly inversely proportional to bytes per element).
+	CoreBandwidthGBs float64
+	// MLP is the number of overlapping outstanding DRAM fills for
+	// streaming loads.
+	MLP float64
+	// Cache is the hierarchy geometry (cores are taken from the
+	// workload's thread count).
+	Cache cache.Config
+	// Cost is the instruction cost model.
+	Cost *simd.CostModel
+	// MaxSimElements caps the model size simulated at line granularity;
+	// larger models are simulated at the cap and scaled (the per-element
+	// behaviour is homogeneous in the bandwidth-bound regime).
+	MaxSimElements int
+}
+
+// Xeon returns the reproduction's standard machine: 2.5 GHz, Haswell-EX
+// cache geometry, 60 GB/s of DRAM bandwidth.
+func Xeon() Config {
+	return Config{
+		ClockGHz:         2.5,
+		DRAMBandwidthGBs: 60,
+		CoreBandwidthGBs: 3.5,
+		MLP:              8,
+		Cache:            cache.XeonConfig(),
+		Cost:             simd.Haswell(),
+		MaxSimElements:   1 << 21,
+	}
+}
+
+// Workload describes the SGD configuration to simulate.
+type Workload struct {
+	Sparse bool
+	// D and M are the dataset and model precisions; IdxBits the sparse
+	// index width.
+	D, M    kernels.Prec
+	IdxBits uint
+	Variant kernels.Variant
+	Quant   kernels.QuantKind
+	// QuantPeriod is the randomness reuse period for QShared.
+	QuantPeriod int
+	// ModelSize is n (elements); Density the sparse nonzero fraction.
+	ModelSize int
+	Density   float64
+	Threads   int
+	// MiniBatch is B (examples per model update); 0 means 1.
+	MiniBatch int
+	// Sockets spreads the threads across NUMA sockets (0 or 1 = one
+	// socket). Cross-socket coherence pays the QPI round trip, but each
+	// socket contributes its own DRAM bandwidth — the DimmWitted-style
+	// trade-off the paper cites for NUMA machines.
+	Sockets int
+	// Prefetch enables the hardware prefetcher (Section 5.3).
+	Prefetch bool
+	// Obstinacy is the obstinate-cache q (Section 6.2).
+	Obstinacy float64
+	Seed      uint64
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	// GNPS is dataset throughput in giga-numbers-per-second.
+	GNPS float64
+	// CyclesPerRound is the simulated time of one round (every core
+	// performing one mini-batch step).
+	CyclesPerRound float64
+	// ComputeCyclesPerStep and MemCyclesPerStep decompose one core's
+	// step.
+	ComputeCyclesPerStep float64
+	MemCyclesPerStep     float64
+	// BandwidthCyclesPerRound is the DRAM-traffic lower bound;
+	// CoherenceCyclesPerStep the coherence share of one core's stalls.
+	BandwidthCyclesPerRound float64
+	CoherenceCyclesPerStep  float64
+	// Bound names the binding constraint: "compute", "memory",
+	// "bandwidth" or "communication".
+	Bound string
+	// Stats carries the cache counters of the measurement window.
+	Stats cache.Stats
+	// MeasuredSteps is the number of per-core steps in the window.
+	MeasuredSteps int
+}
+
+// sink accumulates adjusted memory stall cycles per core.
+type sink struct {
+	l1Lat  int
+	mlp    float64
+	cycles []float64
+	// coh tracks the coherence share of each core's stalls, used to
+	// label the communication-bound regime.
+	coh []float64
+}
+
+// Record implements trace.Sink. The stall policy:
+//
+//   - Coherence-event reads (dirty-remote transfers) sit on the critical
+//     path and are charged in full: waiting for another core's freshly
+//     written data is the stall that creates the communication-bound
+//     regime (Section 5.3: "cores must wait for data from the shared L3").
+//   - All writes, including upgrades that invalidate remote copies,
+//     retire through the store buffer and are free on the issuing core;
+//     their cost lands on the next reader as a dirty transfer, so charging
+//     both sides would double count.
+//   - Other reads are charged (latency - L1)/MLP: streaming and batched
+//     loads are independent, so an out-of-order core overlaps them.
+//     Random sparse gathers overlap poorly and pay half latency.
+func (s *sink) Record(core int, kind trace.Kind, write bool, latency int, coherent bool) {
+	if write {
+		return
+	}
+	if coherent {
+		// Dirty-remote transfers on distinct lines overlap a little
+		// (out-of-order cores keep ~2 in flight), unlike same-line
+		// ping-pong, which the line-contention floor captures.
+		s.cycles[core] += float64(latency) / 2
+		s.coh[core] += float64(latency) / 2
+		return
+	}
+	stall := float64(latency - s.l1Lat)
+	if stall <= 0 {
+		return
+	}
+	if kind == trace.ModelRandom {
+		s.cycles[core] += stall / 2
+		return
+	}
+	s.cycles[core] += stall / s.mlp
+}
+
+// Simulate runs the workload on the machine and returns its predicted
+// throughput. It warms the caches with one round, then measures over
+// several rounds.
+func Simulate(mc Config, w Workload) (*Result, error) {
+	if err := validate(mc, w); err != nil {
+		return nil, err
+	}
+	if w.MiniBatch < 1 {
+		w.MiniBatch = 1
+	}
+	simN := w.ModelSize
+	if simN > mc.MaxSimElements {
+		simN = mc.MaxSimElements
+	}
+
+	cc := mc.Cache
+	cc.Cores = w.Threads
+	cc.Prefetch = w.Prefetch
+	cc.Obstinacy = w.Obstinacy
+	cc.Seed = w.Seed
+	sockets := w.Sockets
+	if sockets < 1 {
+		sockets = 1
+	}
+	if sockets > 1 {
+		cc.CoresPerSocket = (w.Threads + sockets - 1) / sockets
+	}
+	h, err := cache.New(cc)
+	if err != nil {
+		return nil, err
+	}
+
+	elemsPerStep, compute, err := computeCycles(mc, w, simN)
+	if err != nil {
+		return nil, err
+	}
+
+	snk := &sink{
+		l1Lat:  cc.L1Lat,
+		mlp:    mc.MLP,
+		cycles: make([]float64, w.Threads),
+		coh:    make([]float64, w.Threads),
+	}
+	rng := prng.NewXorshift64(w.Seed ^ 0x5EED)
+
+	const warmRounds, measRounds = 2, 3
+	var offset uint64
+	runRound := func() error {
+		for c := 0; c < w.Threads; c++ {
+			if err := runStep(h, snk, c, w, simN, offset, rng); err != nil {
+				return err
+			}
+		}
+		offset += stepStreamBytes(w, simN)
+		return nil
+	}
+	for r := 0; r < warmRounds; r++ {
+		if err := runRound(); err != nil {
+			return nil, err
+		}
+	}
+	h.ResetStats()
+	for i := range snk.cycles {
+		snk.cycles[i] = 0
+		snk.coh[i] = 0
+	}
+	for r := 0; r < measRounds; r++ {
+		if err := runRound(); err != nil {
+			return nil, err
+		}
+	}
+
+	st := h.Stats()
+
+	// A single core cannot stream its dataset faster than its private
+	// bandwidth allows.
+	coreBWFloor := freshBytesPerStep(w, simN) / (mc.CoreBandwidthGBs / mc.ClockGHz)
+
+	// Per-core step time: compute and memory overlap imperfectly.
+	var maxStep, memPerStep, cohPerStep float64
+	for c, cyc := range snk.cycles {
+		mem := cyc / measRounds
+		memPerStep += mem / float64(w.Threads)
+		cohPerStep += snk.coh[c] / measRounds / float64(w.Threads)
+		stp := overlap(compute, mem)
+		if stp < coreBWFloor {
+			stp = coreBWFloor
+		}
+		if stp > maxStep {
+			maxStep = stp
+		}
+	}
+
+	// Shared-bandwidth bound for one round. Every populated socket
+	// contributes its own memory controllers.
+	bytesPerRound := float64(st.DRAMBytes) / measRounds
+	bwBytesPerCycle := mc.DRAMBandwidthGBs / mc.ClockGHz * float64(sockets)
+	bwCycles := bytesPerRound / bwBytesPerCycle
+
+	// Line ping-pong bound: coherence transactions targeting the same
+	// cache line serialize, so a round cannot beat the hottest line's
+	// accumulated transaction latency. This is the floor that makes
+	// small shared models slow (Section 4's communication-bound regime).
+	pingPong := float64(h.MaxLineContention()) / measRounds
+
+	round := maxStep
+	bound := "memory"
+	if compute >= memPerStep {
+		bound = "compute"
+	}
+	if bwCycles > round {
+		round = bwCycles
+		bound = "bandwidth"
+	}
+	if pingPong > round {
+		round = pingPong
+		bound = "communication"
+	}
+
+	// Scale back up if the model was capped: cycles per element are
+	// stationary at the cap, so throughput is unchanged, but report
+	// round time for the true size.
+	scale := float64(w.ModelSize) / float64(simN)
+	totalElems := float64(elemsPerStep) * float64(w.Threads) * scale
+	gnps := totalElems / (round * scale) * mc.ClockGHz
+
+	return &Result{
+		GNPS:                    gnps,
+		CyclesPerRound:          round * scale,
+		ComputeCyclesPerStep:    compute * scale,
+		MemCyclesPerStep:        memPerStep * scale,
+		BandwidthCyclesPerRound: bwCycles * scale,
+		CoherenceCyclesPerStep:  cohPerStep * scale,
+		Bound:                   bound,
+		Stats:                   h.Stats(),
+		MeasuredSteps:           measRounds,
+	}, nil
+}
+
+// overlap combines compute and memory time on one core.
+func overlap(compute, mem float64) float64 {
+	hi, lo := compute, mem
+	if mem > hi {
+		hi, lo = mem, compute
+	}
+	return hi + 0.2*lo
+}
+
+// computeCycles returns the dataset elements processed per step and the
+// compute cycles of one mini-batch step.
+func computeCycles(mc Config, w Workload, simN int) (elems int, cycles float64, err error) {
+	var q *kernels.Quantizer
+	if w.M != kernels.F32 {
+		q, err = kernels.NewQuantizer(w.M, w.Quant, w.QuantPeriod, w.Seed|1)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	var s simd.Stream
+	if w.Sparse {
+		k, err := kernels.NewSparse(w.D, w.M, w.Variant, q, w.IdxBits)
+		if err != nil {
+			return 0, 0, err
+		}
+		nnz := int(w.Density * float64(simN))
+		if nnz < 1 {
+			nnz = 1
+		}
+		s = k.DotStream(nnz)
+		s.Scale(int64(w.MiniBatch))
+		ax := k.AxpyStream(nnz)
+		ax.Scale(int64(w.MiniBatch))
+		s.Add(ax)
+		return nnz * w.MiniBatch, s.Cycles(mc.Cost), nil
+	}
+	k, err := kernels.NewDense(w.D, w.M, w.Variant, q)
+	if err != nil {
+		return 0, 0, err
+	}
+	s = k.DotStream(simN)
+	s.Scale(int64(w.MiniBatch)) // one dot per batch example
+	s.Add(k.AxpyStream(simN))   // one model update per batch
+	return simN * w.MiniBatch, s.Cycles(mc.Cost), nil
+}
+
+// runStep drives one mini-batch step's memory trace for one core.
+func runStep(h *cache.Hierarchy, snk *sink, core int, w Workload, simN int, offset uint64, rng *prng.Xorshift64) error {
+	if w.Sparse {
+		nnz := int(w.Density * float64(simN))
+		if nnz < 1 {
+			nnz = 1
+		}
+		return trace.Sparse(h, snk, core, trace.SparseConfig{
+			ModelElems:        simN,
+			NNZ:               nnz,
+			ValueBytesPerElem: w.D.Bytes(),
+			IndexBytesPerElem: float64(w.IdxBits) / 8,
+			ModelBytesPerElem: w.M.Bytes(),
+			MiniBatch:         w.MiniBatch,
+			Regions:           trace.DefaultRegions(),
+		}, offset, rng)
+	}
+	return trace.Dense(h, snk, core, trace.DenseConfig{
+		ModelElems:          simN,
+		DatasetBytesPerElem: w.D.Bytes(),
+		ModelBytesPerElem:   w.M.Bytes(),
+		MiniBatch:           w.MiniBatch,
+		Regions:             trace.DefaultRegions(),
+	}, offset)
+}
+
+// freshBytesPerStep returns the new dataset bytes one mini-batch step
+// streams from DRAM.
+func freshBytesPerStep(w Workload, simN int) float64 {
+	if w.Sparse {
+		nnz := int(w.Density * float64(simN))
+		if nnz < 1 {
+			nnz = 1
+		}
+		return float64(nnz) * (w.D.Bytes() + float64(w.IdxBits)/8) * float64(w.MiniBatch)
+	}
+	return float64(simN) * w.D.Bytes() * float64(w.MiniBatch)
+}
+
+// stepStreamBytes returns how far the dataset stream advances per round,
+// so successive rounds touch fresh data.
+func stepStreamBytes(w Workload, simN int) uint64 {
+	if w.Sparse {
+		nnz := int(w.Density * float64(simN))
+		if nnz < 1 {
+			nnz = 1
+		}
+		per := float64(nnz) * (w.D.Bytes() + float64(w.IdxBits)/8)
+		return uint64(per+63) / 64 * 64 * uint64(w.MiniBatch+1)
+	}
+	per := float64(simN) * w.D.Bytes()
+	return (uint64(per) + 63) / 64 * 64 * uint64(w.MiniBatch+1)
+}
+
+func validate(mc Config, w Workload) error {
+	if mc.ClockGHz <= 0 || mc.DRAMBandwidthGBs <= 0 || mc.MLP < 1 {
+		return fmt.Errorf("machine: bad machine config")
+	}
+	if mc.Cost == nil {
+		return fmt.Errorf("machine: nil cost model")
+	}
+	if mc.MaxSimElements < 1 {
+		return fmt.Errorf("machine: MaxSimElements must be positive")
+	}
+	if w.Threads < 1 || w.Threads > 32 {
+		return fmt.Errorf("machine: threads %d out of [1, 32]", w.Threads)
+	}
+	if w.ModelSize < 1 {
+		return fmt.Errorf("machine: model size must be positive")
+	}
+	if w.Sparse && (w.Density <= 0 || w.Density > 1) {
+		return fmt.Errorf("machine: sparse density %v out of (0, 1]", w.Density)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// Package metrics evaluates trained models and summarizes experiment
+// series. Losses are always computed in full precision on the raw
+// (unquantized) data, so that statistical-efficiency comparisons between
+// precisions measure the quality of the learned model, not the quality of
+// the evaluation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LogisticLoss returns the average logistic loss (log(1+exp(-y w.x)))
+// over the dataset.
+func LogisticLoss(w []float32, xs [][]float32, ys []float32) (float64, error) {
+	if err := checkShapes(w, xs, ys); err != nil {
+		return 0, err
+	}
+	var total float64
+	for i, x := range xs {
+		m := float64(ys[i]) * dot(w, x)
+		total += logistic(m)
+	}
+	return total / float64(len(xs)), nil
+}
+
+// SparseLogisticLoss is LogisticLoss for coordinate-form examples.
+func SparseLogisticLoss(w []float32, idx [][]int32, vals [][]float32, ys []float32) (float64, error) {
+	if len(idx) != len(vals) || len(idx) != len(ys) || len(idx) == 0 {
+		return 0, fmt.Errorf("metrics: mismatched sparse dataset shapes")
+	}
+	var total float64
+	for i := range idx {
+		var d float64
+		for k, j := range idx[i] {
+			d += float64(w[j]) * float64(vals[i][k])
+		}
+		total += logistic(float64(ys[i]) * d)
+	}
+	return total / float64(len(idx)), nil
+}
+
+// HingeLoss returns the average hinge loss max(0, 1 - y w.x).
+func HingeLoss(w []float32, xs [][]float32, ys []float32) (float64, error) {
+	if err := checkShapes(w, xs, ys); err != nil {
+		return 0, err
+	}
+	var total float64
+	for i, x := range xs {
+		m := 1 - float64(ys[i])*dot(w, x)
+		if m > 0 {
+			total += m
+		}
+	}
+	return total / float64(len(xs)), nil
+}
+
+// SquaredLoss returns the average squared error (w.x - y)^2 / 2.
+func SquaredLoss(w []float32, xs [][]float32, ys []float32) (float64, error) {
+	if err := checkShapes(w, xs, ys); err != nil {
+		return 0, err
+	}
+	var total float64
+	for i, x := range xs {
+		d := dot(w, x) - float64(ys[i])
+		total += d * d / 2
+	}
+	return total / float64(len(xs)), nil
+}
+
+// BinaryError returns the fraction of examples misclassified by
+// sign(w.x).
+func BinaryError(w []float32, xs [][]float32, ys []float32) (float64, error) {
+	if err := checkShapes(w, xs, ys); err != nil {
+		return 0, err
+	}
+	wrong := 0
+	for i, x := range xs {
+		if (dot(w, x) >= 0) != (ys[i] > 0) {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(xs)), nil
+}
+
+func checkShapes(w []float32, xs [][]float32, ys []float32) error {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return fmt.Errorf("metrics: dataset has %d examples, %d labels", len(xs), len(ys))
+	}
+	if len(w) != len(xs[0]) {
+		return fmt.Errorf("metrics: model dim %d, example dim %d", len(w), len(xs[0]))
+	}
+	return nil
+}
+
+func dot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// logistic returns log(1 + exp(-m)) computed stably.
+func logistic(m float64) float64 {
+	if m > 35 {
+		return math.Exp(-m)
+	}
+	if m < -35 {
+		return -m
+	}
+	return math.Log1p(math.Exp(-m))
+}
+
+// Summary holds basic statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	Median         float64
+	P10, P90       float64
+	First, Last    float64
+	MinIdx, MaxIdx int
+}
+
+// Summarize computes statistics over xs; it returns an error for an empty
+// sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("metrics: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0], First: xs[0], Last: xs[len(xs)-1]}
+	var sum float64
+	for i, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min, s.MinIdx = x, i
+		}
+		if x > s.Max {
+			s.Max, s.MaxIdx = x, i
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantile(sorted, 0.5)
+	s.P10 = quantile(sorted, 0.1)
+	s.P90 = quantile(sorted, 0.9)
+	return s, nil
+}
+
+// quantile interpolates the q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("metrics: empty sample")
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("metrics: GeoMean needs positive values, got %v", x)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}

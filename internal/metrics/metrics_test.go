@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+var (
+	w2  = []float32{1, -1}
+	xs2 = [][]float32{{1, 0}, {0, 1}, {1, 1}}
+	ys2 = []float32{1, -1, 1}
+)
+
+func TestLogisticLoss(t *testing.T) {
+	got, err := LogisticLoss(w2, xs2, ys2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Margins: 1, 1, 0 -> losses log(1+e^-1), log(1+e^-1), log 2.
+	want := (2*math.Log1p(math.Exp(-1)) + math.Log(2)) / 3
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogisticLoss = %v, want %v", got, want)
+	}
+}
+
+func TestLogisticLossStability(t *testing.T) {
+	// Extreme margins must not overflow.
+	big := []float32{1000}
+	l1, err := LogisticLoss(big, [][]float32{{1}}, []float32{1})
+	if err != nil || math.IsNaN(l1) || math.IsInf(l1, 0) || l1 < 0 {
+		t.Errorf("huge positive margin: %v, %v", l1, err)
+	}
+	l2, err := LogisticLoss(big, [][]float32{{1}}, []float32{-1})
+	if err != nil || math.Abs(l2-1000) > 1 {
+		t.Errorf("huge negative margin loss = %v, want ~1000", l2)
+	}
+}
+
+func TestSparseLogisticLossMatchesDense(t *testing.T) {
+	w := []float32{0.5, -0.25, 0.75, 0}
+	xs := [][]float32{{1, 0, 2, 0}, {0, 3, 0, 0}}
+	ys := []float32{1, -1}
+	dense, err := LogisticLoss(w, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := [][]int32{{0, 2}, {1}}
+	vals := [][]float32{{1, 2}, {3}}
+	sparse, err := SparseLogisticLoss(w, idx, vals, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dense-sparse) > 1e-12 {
+		t.Errorf("dense %v vs sparse %v", dense, sparse)
+	}
+}
+
+func TestHingeLoss(t *testing.T) {
+	got, err := HingeLoss(w2, xs2, ys2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Margins 1, 1, 0 -> hinge 0, 0, 1.
+	if math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("HingeLoss = %v, want 1/3", got)
+	}
+}
+
+func TestSquaredLoss(t *testing.T) {
+	w := []float32{2}
+	got, err := SquaredLoss(w, [][]float32{{1}, {2}}, []float32{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residuals 0 and 2 -> (0 + 4/2)/2 = 1.
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("SquaredLoss = %v, want 1", got)
+	}
+}
+
+func TestBinaryError(t *testing.T) {
+	got, err := BinaryError(w2, xs2, ys2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions: +, -, 0(>=0 -> +): all correct.
+	if got != 0 {
+		t.Errorf("BinaryError = %v, want 0", got)
+	}
+	// Flipped model misclassifies the first two examples; the third has
+	// margin 0, predicts positive, and stays correct.
+	got, _ = BinaryError([]float32{-1, 1}, xs2, ys2)
+	if math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("flipped model error = %v, want 2/3", got)
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	if _, err := LogisticLoss(w2, nil, nil); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	if _, err := LogisticLoss([]float32{1}, xs2, ys2); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	if _, err := LogisticLoss(w2, xs2, ys2[:2]); err == nil {
+		t.Error("label count mismatch should fail")
+	}
+	if _, err := SparseLogisticLoss(w2, [][]int32{{0}}, nil, nil); err == nil {
+		t.Error("sparse mismatch should fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{3, 1, 4, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-2.8) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.First != 3 || s.Last != 5 {
+		t.Errorf("first/last wrong: %+v", s)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty summarize should fail")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 7 || s.P10 != 7 || s.P90 != 7 || s.Std != 0 {
+		t.Errorf("single-sample summary wrong: %+v", s)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{2, 8})
+	if err != nil || math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean = %v, %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative values should fail")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty should fail")
+	}
+}

@@ -1,0 +1,153 @@
+package mf
+
+import (
+	"testing"
+
+	"buckwild/internal/kernels"
+)
+
+func ratings(t *testing.T, levels int) *Ratings {
+	t.Helper()
+	r, err := Generate(GenConfig{
+		Users: 80, Items: 60, Rank: 4, Observed: 6000, Levels: levels, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestGenerate(t *testing.T) {
+	r := ratings(t, 5)
+	if r.Len() != 6000 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	seenLevels := map[float32]bool{}
+	for k := 0; k < r.Len(); k++ {
+		if r.U[k] < 0 || int(r.U[k]) >= r.Users || r.I[k] < 0 || int(r.I[k]) >= r.Items {
+			t.Fatal("coordinate out of range")
+		}
+		seenLevels[r.R[k]] = true
+	}
+	if len(seenLevels) > 5 {
+		t.Errorf("%d distinct levels, want <= 5 (naturally quantized)", len(seenLevels))
+	}
+	if len(seenLevels) < 2 {
+		t.Error("degenerate ratings")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenConfig{Users: 0, Items: 1, Rank: 1, Observed: 1}); err == nil {
+		t.Error("zero users should fail")
+	}
+	if _, err := Generate(GenConfig{Users: 1, Items: 1, Rank: 0, Observed: 1}); err == nil {
+		t.Error("zero rank should fail")
+	}
+}
+
+func trainCfg(m kernels.Prec, threads int) Config {
+	return Config{
+		Rank:        8,
+		M:           m,
+		Quant:       kernels.QShared,
+		QuantPeriod: 8,
+		Threads:     threads,
+		StepSize:    0.05,
+		Lambda:      0.01,
+		Epochs:      10,
+		Seed:        7,
+	}
+}
+
+func TestTrainFullPrecision(t *testing.T) {
+	data := ratings(t, 5)
+	_, res, err := Train(trainCfg(kernels.F32, 1), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.RMSE[0], res.RMSE[len(res.RMSE)-1]
+	if last >= first*0.7 {
+		t.Errorf("RMSE did not fall: %v -> %v", first, last)
+	}
+	if last > 0.12 {
+		t.Errorf("final RMSE %v too high for a rank-8 fit of rank-4 data", last)
+	}
+}
+
+func TestTrainLowPrecisionCloseToFull(t *testing.T) {
+	data := ratings(t, 5)
+	_, full, err := Train(trainCfg(kernels.F32, 1), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, low, err := Train(trainCfg(kernels.I16, 1), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf := full.RMSE[len(full.RMSE)-1]
+	ll := low.RMSE[len(low.RMSE)-1]
+	if ll > lf*1.5+0.02 {
+		t.Errorf("16-bit RMSE %v too far above full-precision %v", ll, lf)
+	}
+}
+
+func TestTrainEightBit(t *testing.T) {
+	data := ratings(t, 5)
+	_, res, err := Train(trainCfg(kernels.I8, 1), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.RMSE[0], res.RMSE[len(res.RMSE)-1]
+	if last >= first*0.8 {
+		t.Errorf("8-bit training did not improve RMSE: %v -> %v", first, last)
+	}
+}
+
+func TestTrainHogwildThreads(t *testing.T) {
+	data := ratings(t, 5)
+	_, res, err := Train(trainCfg(kernels.I8, 4), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE[len(res.RMSE)-1] >= res.RMSE[0]*0.8 {
+		t.Error("racy multi-worker factorization did not converge")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	data := ratings(t, 5)
+	cfg := trainCfg(kernels.F32, 1)
+	cfg.Rank = 0
+	if _, _, err := Train(cfg, data); err == nil {
+		t.Error("zero rank should fail")
+	}
+	cfg = trainCfg(kernels.F32, 1)
+	cfg.StepSize = 0
+	if _, _, err := Train(cfg, data); err == nil {
+		t.Error("zero step should fail")
+	}
+	if _, _, err := Train(trainCfg(kernels.F32, 1), &Ratings{}); err == nil {
+		t.Error("empty ratings should fail")
+	}
+}
+
+func TestPredictBounds(t *testing.T) {
+	data := ratings(t, 5)
+	m, _, err := Train(trainCfg(kernels.F32, 1), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict(-1, 0); err == nil {
+		t.Error("negative user should fail")
+	}
+	if _, err := m.Predict(0, 10000); err == nil {
+		t.Error("out-of-range item should fail")
+	}
+	if _, err := m.Predict(0, 0); err != nil {
+		t.Errorf("valid prediction failed: %v", err)
+	}
+	if got := m.RMSE(data); got <= 0 {
+		t.Errorf("RMSE helper = %v", got)
+	}
+}

@@ -1,0 +1,253 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"buckwild/internal/prng"
+)
+
+// layer is one differentiable stage of a network. Layers cache what they
+// need for the backward pass; networks are therefore not safe for
+// concurrent training (the paper's NN experiments measure statistical, not
+// parallel, behaviour).
+type layer interface {
+	forward(x []float32) []float32
+	backward(grad []float32) []float32
+	update(lr float32, q *QuantSpec)
+	outSize() int
+}
+
+// convLayer is a valid 2-D convolution with stride 1 followed by ReLU.
+type convLayer struct {
+	inW, inH, inC int
+	outC, k       int
+	w             []float32 // [outC][inC*k*k]
+	b             []float32
+	in            []float32
+	out           []float32
+	dw            []float32
+	db            []float32
+}
+
+func newConv(inW, inH, inC, outC, k int, g prng.Source) (*convLayer, error) {
+	if k > inW || k > inH {
+		return nil, fmt.Errorf("nn: kernel %d larger than input %dx%d", k, inW, inH)
+	}
+	c := &convLayer{
+		inW: inW, inH: inH, inC: inC, outC: outC, k: k,
+		w:  make([]float32, outC*inC*k*k),
+		b:  make([]float32, outC),
+		dw: make([]float32, outC*inC*k*k),
+		db: make([]float32, outC),
+	}
+	xavierInit(c.w, inC*k*k, g)
+	return c, nil
+}
+
+func (c *convLayer) outW() int { return c.inW - c.k + 1 }
+func (c *convLayer) outH() int { return c.inH - c.k + 1 }
+func (c *convLayer) outSize() int {
+	return c.outW() * c.outH() * c.outC
+}
+
+// idx3 addresses a HWC-planar tensor stored as [c][y][x].
+func idx3(x, y, ch, w, h int) int { return ch*w*h + y*w + x }
+
+func (c *convLayer) forward(in []float32) []float32 {
+	ow, oh := c.outW(), c.outH()
+	if c.out == nil {
+		c.out = make([]float32, c.outSize())
+	}
+	c.in = in
+	ksz := c.k * c.k
+	for oc := 0; oc < c.outC; oc++ {
+		wBase := oc * c.inC * ksz
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				sum := c.b[oc]
+				for ic := 0; ic < c.inC; ic++ {
+					wOff := wBase + ic*ksz
+					for ky := 0; ky < c.k; ky++ {
+						inRow := idx3(x, y+ky, ic, c.inW, c.inH)
+						wRow := wOff + ky*c.k
+						for kx := 0; kx < c.k; kx++ {
+							sum += c.w[wRow+kx] * in[inRow+kx]
+						}
+					}
+				}
+				if sum < 0 { // ReLU
+					sum = 0
+				}
+				c.out[idx3(x, y, oc, ow, oh)] = sum
+			}
+		}
+	}
+	return c.out
+}
+
+func (c *convLayer) backward(grad []float32) []float32 {
+	ow, oh := c.outW(), c.outH()
+	dx := make([]float32, len(c.in))
+	ksz := c.k * c.k
+	for oc := 0; oc < c.outC; oc++ {
+		wBase := oc * c.inC * ksz
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				o := idx3(x, y, oc, ow, oh)
+				if c.out[o] <= 0 { // ReLU gate
+					continue
+				}
+				g := grad[o]
+				c.db[oc] += g
+				for ic := 0; ic < c.inC; ic++ {
+					wOff := wBase + ic*ksz
+					for ky := 0; ky < c.k; ky++ {
+						inRow := idx3(x, y+ky, ic, c.inW, c.inH)
+						wRow := wOff + ky*c.k
+						for kx := 0; kx < c.k; kx++ {
+							c.dw[wRow+kx] += g * c.in[inRow+kx]
+							dx[inRow+kx] += g * c.w[wRow+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+func (c *convLayer) update(lr float32, q *QuantSpec) {
+	for i := range c.w {
+		c.w[i] -= lr * c.dw[i]
+		c.dw[i] = 0
+	}
+	for i := range c.b {
+		c.b[i] -= lr * c.db[i]
+		c.db[i] = 0
+	}
+	q.QuantWeights(c.w)
+	q.QuantWeights(c.b)
+}
+
+// poolLayer is a 2x2 max pool with stride 2.
+type poolLayer struct {
+	inW, inH, c int
+	argmax      []int
+	out         []float32
+}
+
+func newPool(inW, inH, c int) *poolLayer {
+	return &poolLayer{inW: inW, inH: inH, c: c}
+}
+
+func (p *poolLayer) outW() int    { return p.inW / 2 }
+func (p *poolLayer) outH() int    { return p.inH / 2 }
+func (p *poolLayer) outSize() int { return p.outW() * p.outH() * p.c }
+
+func (p *poolLayer) forward(in []float32) []float32 {
+	ow, oh := p.outW(), p.outH()
+	if p.out == nil {
+		p.out = make([]float32, p.outSize())
+		p.argmax = make([]int, p.outSize())
+	}
+	for ch := 0; ch < p.c; ch++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				best := float32(math.Inf(-1))
+				bi := -1
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						i := idx3(2*x+dx, 2*y+dy, ch, p.inW, p.inH)
+						if in[i] > best {
+							best, bi = in[i], i
+						}
+					}
+				}
+				o := idx3(x, y, ch, ow, oh)
+				p.out[o] = best
+				p.argmax[o] = bi
+			}
+		}
+	}
+	return p.out
+}
+
+func (p *poolLayer) backward(grad []float32) []float32 {
+	dx := make([]float32, p.inW*p.inH*p.c)
+	for o, g := range grad {
+		dx[p.argmax[o]] += g
+	}
+	return dx
+}
+
+func (p *poolLayer) update(float32, *QuantSpec) {}
+
+// fcLayer is a fully connected layer (no activation; the network applies
+// softmax at the top).
+type fcLayer struct {
+	in, out int
+	w       []float32 // [out][in]
+	b       []float32
+	x       []float32
+	y       []float32
+	dw      []float32
+	db      []float32
+}
+
+func newFC(in, out int, g prng.Source) *fcLayer {
+	f := &fcLayer{
+		in: in, out: out,
+		w:  make([]float32, in*out),
+		b:  make([]float32, out),
+		dw: make([]float32, in*out),
+		db: make([]float32, out),
+	}
+	xavierInit(f.w, in, g)
+	return f
+}
+
+func (f *fcLayer) outSize() int { return f.out }
+
+func (f *fcLayer) forward(x []float32) []float32 {
+	if f.y == nil {
+		f.y = make([]float32, f.out)
+	}
+	f.x = x
+	for o := 0; o < f.out; o++ {
+		sum := f.b[o]
+		row := o * f.in
+		for i := 0; i < f.in; i++ {
+			sum += f.w[row+i] * x[i]
+		}
+		f.y[o] = sum
+	}
+	return f.y
+}
+
+func (f *fcLayer) backward(grad []float32) []float32 {
+	dx := make([]float32, f.in)
+	for o := 0; o < f.out; o++ {
+		g := grad[o]
+		f.db[o] += g
+		row := o * f.in
+		for i := 0; i < f.in; i++ {
+			f.dw[row+i] += g * f.x[i]
+			dx[i] += g * f.w[row+i]
+		}
+	}
+	return dx
+}
+
+func (f *fcLayer) update(lr float32, q *QuantSpec) {
+	for i := range f.w {
+		f.w[i] -= lr * f.dw[i]
+		f.dw[i] = 0
+	}
+	for i := range f.b {
+		f.b[i] -= lr * f.db[i]
+		f.db[i] = 0
+	}
+	q.QuantWeights(f.w)
+	q.QuantWeights(f.b)
+}

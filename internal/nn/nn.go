@@ -1,0 +1,125 @@
+// Package nn is the deep-learning substrate for the Section 7 experiments.
+// It plays the role the authors' modified Mocha plays in the paper: a
+// framework that simulates low-precision arithmetic of arbitrary bit widths
+// so that the statistical efficiency of low-precision training can be
+// measured (Figure 7b), plus an instruction-stream model of a convolution
+// layer for the hardware-efficiency proxy (Figure 7a).
+//
+// Quantization simulation follows the DMGC model the same way the paper's
+// does: the dataset (input activations) is quantized at the dataset
+// precision, the weights (model numbers) are requantized after every
+// update at the model precision with biased or unbiased rounding, and
+// intermediate gradients stay in full precision (no G term).
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"buckwild/internal/fixed"
+	"buckwild/internal/prng"
+)
+
+// QuantSpec describes how a network simulates low precision.
+type QuantSpec struct {
+	// WeightBits and ActBits are the model and dataset/activation
+	// precisions; 32 means full-precision float.
+	WeightBits, ActBits uint
+	// Rounding selects biased or unbiased weight rounding.
+	Rounding fixed.Rounding
+	// rs supplies randomness for unbiased rounding.
+	rs prng.Source
+}
+
+// FullPrecision returns the float baseline spec.
+func FullPrecision() QuantSpec {
+	return QuantSpec{WeightBits: 32, ActBits: 32}
+}
+
+// NewQuantSpec builds a quantization spec; bit widths of 32 disable
+// quantization for that class of numbers.
+func NewQuantSpec(weightBits, actBits uint, rounding fixed.Rounding, seed uint64) (QuantSpec, error) {
+	for _, b := range []uint{weightBits, actBits} {
+		if b < 2 || b > 32 {
+			return QuantSpec{}, fmt.Errorf("nn: bit width %d out of [2, 32]", b)
+		}
+	}
+	return QuantSpec{
+		WeightBits: weightBits,
+		ActBits:    actBits,
+		Rounding:   rounding,
+		rs:         prng.NewXorshift32(uint32(seed) | 1),
+	}, nil
+}
+
+// quantValue rounds x to a fixed-point grid with the given total bits,
+// placing the binary point to keep [-2, 2) representable (matching the
+// fixed package's standard formats).
+func (q *QuantSpec) quantValue(x float32, bits uint) float32 {
+	if bits >= 32 {
+		return x
+	}
+	f := fixed.Format{Bits: bits, Frac: bits - 2}
+	var raw int32
+	if q.Rounding == fixed.Unbiased && q.rs != nil {
+		raw = f.QuantizeUnbiased(x, q.rs)
+	} else {
+		raw = f.QuantizeBiased(x)
+	}
+	return f.Dequantize(raw)
+}
+
+// QuantWeights requantizes a weight slice in place at the weight
+// precision. It is called after every SGD update, which is exactly where
+// the paper's low-precision model loses information.
+func (q *QuantSpec) QuantWeights(w []float32) {
+	if q.WeightBits >= 32 {
+		return
+	}
+	for i, x := range w {
+		w[i] = q.quantValue(x, q.WeightBits)
+	}
+}
+
+// QuantActs quantizes an activation slice in place at the activation
+// (dataset) precision, using per-tensor dynamic range scaling: values are
+// quantized relative to the tensor's absolute maximum, the standard way
+// fixed-point NN simulators (including the paper's modified Mocha) keep
+// every layer's dynamic range representable. Without it, deep-layer
+// activations saturate the fixed grid and training collapses regardless of
+// bit width.
+func (q *QuantSpec) QuantActs(a []float32) {
+	if q.ActBits >= 32 {
+		return
+	}
+	var absMax float32
+	for _, x := range a {
+		if x > absMax {
+			absMax = x
+		} else if -x > absMax {
+			absMax = -x
+		}
+	}
+	if absMax == 0 {
+		return
+	}
+	f := fixed.Format{Bits: q.ActBits, Frac: q.ActBits - 1} // grid over [-1, 1)
+	inv := 1 / absMax
+	for i, x := range a {
+		var raw int32
+		if q.Rounding == fixed.Unbiased && q.rs != nil {
+			raw = f.QuantizeUnbiased(x*inv, q.rs)
+		} else {
+			raw = f.QuantizeBiased(x * inv)
+		}
+		a[i] = f.Dequantize(raw) * absMax
+	}
+}
+
+// xavierInit fills w with scaled uniform noise.
+func xavierInit(w []float32, fanIn int, g prng.Source) {
+	scale := float32(math.Sqrt(3.0 / float64(fanIn)))
+	for i := range w {
+		w[i] = (prng.Float32(g)*2 - 1) * scale
+	}
+}

@@ -1,0 +1,61 @@
+package prng
+
+// MT19937 is the 32-bit Mersenne twister of Matsumoto and Nishimura (1998),
+// the default generator in the Boost library that the paper's baseline
+// unbiased-rounding implementation calls once per model write. It is
+// implemented from the published recurrence; no external code is used.
+type MT19937 struct {
+	state [mtN]uint32
+	index int
+}
+
+const (
+	mtN           = 624
+	mtM           = 397
+	mtMatrixA     = 0x9908B0DF
+	mtUpperMask   = 0x80000000
+	mtLowerMask   = 0x7FFFFFFF
+	mtInitMult    = 1812433253
+	mtDefaultSeed = 5489
+)
+
+// NewMT19937 returns a Mersenne twister seeded with seed using the standard
+// initialization recurrence. A zero seed selects the reference default 5489.
+func NewMT19937(seed uint32) *MT19937 {
+	if seed == 0 {
+		seed = mtDefaultSeed
+	}
+	m := &MT19937{}
+	m.state[0] = seed
+	for i := 1; i < mtN; i++ {
+		m.state[i] = mtInitMult*(m.state[i-1]^(m.state[i-1]>>30)) + uint32(i)
+	}
+	m.index = mtN
+	return m
+}
+
+func (m *MT19937) generate() {
+	for i := 0; i < mtN; i++ {
+		y := (m.state[i] & mtUpperMask) | (m.state[(i+1)%mtN] & mtLowerMask)
+		next := m.state[(i+mtM)%mtN] ^ (y >> 1)
+		if y&1 != 0 {
+			next ^= mtMatrixA
+		}
+		m.state[i] = next
+	}
+	m.index = 0
+}
+
+// Uint32 returns the next tempered output word.
+func (m *MT19937) Uint32() uint32 {
+	if m.index >= mtN {
+		m.generate()
+	}
+	y := m.state[m.index]
+	m.index++
+	y ^= y >> 11
+	y ^= (y << 7) & 0x9D2C5680
+	y ^= (y << 15) & 0xEFC60000
+	y ^= y >> 18
+	return y
+}

@@ -1,0 +1,104 @@
+package prng
+
+import (
+	"math"
+	"testing"
+)
+
+// badLCG is a deliberately weak generator (tiny-modulus LCG) used to show
+// the tests have teeth.
+type badLCG struct{ s uint32 }
+
+func (g *badLCG) Uint32() uint32 {
+	g.s = (g.s*13 + 7) % 64 // period <= 64, top bits nearly constant
+	return g.s << 26
+}
+
+// constSource always returns the same word.
+type constSource struct{}
+
+func (constSource) Uint32() uint32 { return 0xDEADBEEF }
+
+func TestGoodGeneratorsAdequate(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		src  Source
+	}{
+		{"xorshift32", NewXorshift32(7)},
+		{"xorshift128", NewXorshift128(7)},
+		{"mt19937", NewMT19937(7)},
+		{"batch", NewBatch(7)},
+	} {
+		ok, err := Adequate(mk.src, 20000)
+		if err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		if !ok {
+			t.Errorf("%s judged inadequate", mk.name)
+		}
+	}
+}
+
+func TestBadGeneratorsFail(t *testing.T) {
+	if ok, err := Adequate(&badLCG{s: 1}, 20000); err != nil || ok {
+		t.Errorf("tiny LCG should fail (ok=%v, err=%v)", ok, err)
+	}
+	if ok, err := Adequate(constSource{}, 20000); err != nil || ok {
+		t.Errorf("constant source should fail (ok=%v, err=%v)", ok, err)
+	}
+}
+
+func TestMonobitZ(t *testing.T) {
+	z, err := MonobitZ(NewXorshift128(3), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z) > 4 {
+		t.Errorf("xorshift monobit z = %v", z)
+	}
+	z, err = MonobitZ(constSource{}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0xDEADBEEF has 24 one bits out of 32: heavily biased.
+	if math.Abs(z) < 10 {
+		t.Errorf("biased source monobit z = %v, should be huge", z)
+	}
+	if _, err := MonobitZ(constSource{}, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestRunsZ(t *testing.T) {
+	z, err := RunsZ(NewMT19937(5), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z) > 4 {
+		t.Errorf("mt19937 runs z = %v", z)
+	}
+	// A constant top bit gives a degenerate (infinite) statistic.
+	z, err = RunsZ(constSource{}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(z, 1) {
+		t.Errorf("constant-bit runs z = %v, want +Inf", z)
+	}
+	if _, err := RunsZ(constSource{}, 1); err == nil {
+		t.Error("n=1 should fail")
+	}
+}
+
+func TestSerialCorrelation(t *testing.T) {
+	r, err := SerialCorrelation(NewXorshift64(9), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r)*math.Sqrt(10000) > 4 {
+		t.Errorf("xorshift64 serial correlation = %v", r)
+	}
+	if _, err := SerialCorrelation(NewXorshift64(9), 2); err == nil {
+		t.Error("n=2 should fail")
+	}
+}

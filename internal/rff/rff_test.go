@@ -1,0 +1,158 @@
+package rff
+
+import (
+	"math"
+	"testing"
+
+	"buckwild/internal/core"
+	"buckwild/internal/dataset"
+	"buckwild/internal/kernels"
+)
+
+func TestNewTransformErrors(t *testing.T) {
+	if _, err := NewTransform(0, 10, 1, 1); err == nil {
+		t.Error("zero input dim should fail")
+	}
+	if _, err := NewTransform(10, 0, 1, 1); err == nil {
+		t.Error("zero features should fail")
+	}
+	if _, err := NewTransform(10, 10, 0, 1); err == nil {
+		t.Error("zero sigma should fail")
+	}
+}
+
+func TestTransformProperties(t *testing.T) {
+	tr, err := NewTransform(16, 64, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, 16)
+	for i := range x {
+		x[i] = float32(i) / 16
+	}
+	f, err := tr.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 64 {
+		t.Fatalf("feature dim %d", len(f))
+	}
+	bound := float32(math.Sqrt(2.0 / 64))
+	for _, v := range f {
+		if v > bound+1e-6 || v < -bound-1e-6 {
+			t.Fatalf("feature %v outside [-%v, %v]", v, bound, bound)
+		}
+	}
+	if _, err := tr.Apply(x[:5]); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+}
+
+func TestTransformApproximatesGaussianKernel(t *testing.T) {
+	// z(x).z(y) should approximate exp(-|x-y|^2 / (2 sigma^2)).
+	const dim, feats = 8, 4096
+	sigma := 2.0
+	tr, err := NewTransform(dim, feats, sigma, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float32{0.5, -0.2, 0.1, 0.7, -0.5, 0.3, 0, 0.2}
+	y := []float32{0.1, 0.2, -0.3, 0.5, -0.1, 0.4, 0.2, -0.2}
+	fx, _ := tr.Apply(x)
+	fy, _ := tr.Apply(y)
+	var dot, d2 float64
+	for i := range fx {
+		dot += float64(fx[i]) * float64(fy[i])
+	}
+	for i := range x {
+		d := float64(x[i] - y[i])
+		d2 += d * d
+	}
+	want := math.Exp(-d2 / (2 * sigma * sigma))
+	if math.Abs(dot-want) > 0.08 {
+		t.Errorf("kernel estimate %v, want %v", dot, want)
+	}
+}
+
+func svmCfg(d, m kernels.Prec) core.Config {
+	return core.Config{
+		Problem:     core.SVM,
+		D:           d,
+		M:           m,
+		Variant:     kernels.HandOpt,
+		Quant:       kernels.QShared,
+		QuantPeriod: 8,
+		Threads:     2,
+		StepSize:    0.05,
+		Epochs:      4,
+		Sharing:     core.Racy,
+		Seed:        5,
+	}
+}
+
+func TestTrainOVAFullPrecision(t *testing.T) {
+	d, err := dataset.GenDigits(dataset.DigitsConfig{W: 10, H: 10, Classes: 4, Train: 500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := d.Split(0.8)
+	_, res, err := Train(Config{Features: 256, Train: svmCfg(kernels.F32, kernels.F32), Seed: 2}, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainLoss[len(res.TrainLoss)-1] >= res.TrainLoss[0] {
+		t.Errorf("hinge loss did not fall: %v", res.TrainLoss)
+	}
+	if res.TestError > 0.4 { // chance is 0.75
+		t.Errorf("test error %v too high", res.TestError)
+	}
+}
+
+func TestTrainOVALowPrecisionCloseToFull(t *testing.T) {
+	// Figures 7d/7e: D16M16 matches full precision; D8M8 is within a
+	// percent or two.
+	d, err := dataset.GenDigits(dataset.DigitsConfig{W: 10, H: 10, Classes: 4, Train: 500, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := d.Split(0.8)
+	_, full, err := Train(Config{Features: 256, Train: svmCfg(kernels.F32, kernels.F32), Seed: 3}, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, low, err := Train(Config{Features: 256, Train: svmCfg(kernels.I16, kernels.I16), Seed: 3}, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.TestError > full.TestError+0.1 {
+		t.Errorf("16-bit error %v too far above full-precision %v", low.TestError, full.TestError)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	d, _ := dataset.GenDigits(dataset.DigitsConfig{W: 8, H: 8, Classes: 2, Train: 50, Seed: 1})
+	train, test := d.Split(0.8)
+	if _, _, err := Train(Config{Features: 0, Train: svmCfg(kernels.F32, kernels.F32)}, train, test); err == nil {
+		t.Error("zero features should fail")
+	}
+	if _, _, err := Train(Config{Features: 16, Train: svmCfg(kernels.F32, kernels.F32)}, nil, test); err == nil {
+		t.Error("nil training set should fail")
+	}
+}
+
+func TestPredictIsDeterministic(t *testing.T) {
+	d, _ := dataset.GenDigits(dataset.DigitsConfig{W: 8, H: 8, Classes: 3, Train: 200, Seed: 4})
+	train, test := d.Split(0.8)
+	m, _, err := Train(Config{Features: 128, Train: svmCfg(kernels.F32, kernels.F32), Seed: 9}, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Predict(test.Images[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Predict(test.Images[0])
+	if a != b {
+		t.Error("prediction not deterministic")
+	}
+}

@@ -1,0 +1,112 @@
+package scd
+
+import (
+	"testing"
+
+	"buckwild/internal/dataset"
+	"buckwild/internal/kernels"
+)
+
+func regData(t *testing.T) *dataset.DenseSet {
+	t.Helper()
+	ds, err := dataset.GenDense(dataset.DenseConfig{
+		N: 48, M: 400, P: kernels.F32, Regression: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func cdCfg(m kernels.Prec, threads int) Config {
+	return Config{
+		M:           m,
+		Quant:       kernels.QShared,
+		QuantPeriod: 8,
+		Threads:     threads,
+		Lambda:      0.01,
+		Passes:      8,
+		StepScale:   1,
+		Seed:        3,
+	}
+}
+
+func TestSequentialConverges(t *testing.T) {
+	ds := regData(t)
+	res, err := Train(cdCfg(kernels.F32, 1), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Objective[0], res.Objective[len(res.Objective)-1]
+	if last >= first*0.3 {
+		t.Errorf("objective did not fall: %v -> %v", first, last)
+	}
+	// The result must actually minimize: check against the objective of
+	// the returned weights.
+	if got := Objective(0.01, res.W, ds); got != last {
+		t.Errorf("Objective(W) = %v, reported %v", got, last)
+	}
+}
+
+func TestAsyncRacyConverges(t *testing.T) {
+	ds := regData(t)
+	cfg := cdCfg(kernels.F32, 4)
+	cfg.StepScale = 0.8 // damp for staleness
+	res, err := Train(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective[len(res.Objective)-1] >= res.Objective[0]*0.5 {
+		t.Errorf("async SCD did not converge: %v", res.Objective)
+	}
+}
+
+func TestLowPrecisionModel(t *testing.T) {
+	ds := regData(t)
+	full, err := Train(cdCfg(kernels.F32, 1), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := Train(cdCfg(kernels.I16, 1), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf := full.Objective[len(full.Objective)-1]
+	ll := low.Objective[len(low.Objective)-1]
+	if ll > lf*2+0.01 {
+		t.Errorf("16-bit objective %v too far above full-precision %v", ll, lf)
+	}
+}
+
+func TestEightBitImproves(t *testing.T) {
+	ds := regData(t)
+	res, err := Train(cdCfg(kernels.I8, 2), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective[len(res.Objective)-1] >= res.Objective[0]*0.7 {
+		t.Errorf("8-bit SCD did not improve: %v", res.Objective)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ds := regData(t)
+	cfg := cdCfg(kernels.F32, 1)
+	cfg.StepScale = 0
+	if _, err := Train(cfg, ds); err == nil {
+		t.Error("zero step scale should fail")
+	}
+	cfg = cdCfg(kernels.F32, 1)
+	cfg.StepScale = 2
+	if _, err := Train(cfg, ds); err == nil {
+		t.Error("step scale > 1 should fail")
+	}
+	cfg = cdCfg(kernels.F32, 1)
+	cfg.Lambda = -1
+	if _, err := Train(cfg, ds); err == nil {
+		t.Error("negative lambda should fail")
+	}
+	if _, err := Train(cdCfg(kernels.F32, 1), nil); err == nil {
+		t.Error("nil dataset should fail")
+	}
+}

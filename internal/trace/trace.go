@@ -1,0 +1,183 @@
+// Package trace drives the memory-access patterns of SGD steps through the
+// cache simulator. A dense step streams the example vector from the core's
+// private dataset region, reads the shared model for the dot product, and
+// reads+writes the shared model for the AXPY. A sparse step streams the
+// nonzero values and indices and gathers/scatters random model words.
+//
+// The trace works at cache-line granularity: SGD's element loops touch
+// every byte of the regions involved, so one access per line per pass is
+// the correct line-level behaviour.
+package trace
+
+import (
+	"fmt"
+
+	"buckwild/internal/cache"
+	"buckwild/internal/prng"
+)
+
+// Kind classifies an access for the timing model.
+type Kind int
+
+const (
+	// DatasetStream is a sequential read of the (private) dataset
+	// region: independent loads with high memory-level parallelism.
+	DatasetStream Kind = iota
+	// ModelSeq is a sequential read or write of the shared model
+	// region (dense dot/AXPY passes).
+	ModelSeq
+	// ModelRandom is a gather/scatter access to random model words
+	// (sparse kernels): no spatial locality, little overlap.
+	ModelRandom
+)
+
+// Sink receives each access's outcome. latency is the raw hierarchy
+// latency in cycles; coherent marks coherence events (dirty-remote
+// transfers and invalidation broadcasts), which sit on the critical path.
+type Sink interface {
+	Record(core int, kind Kind, write bool, latency int, coherent bool)
+}
+
+// Regions fixes the address layout: a shared model region and per-core
+// dataset regions far away from it.
+type Regions struct {
+	// ModelBase is the byte address of the model.
+	ModelBase uint64
+	// DatasetBase returns the byte address of core c's dataset region.
+	DatasetStride uint64
+}
+
+// DefaultRegions places the model at 0 and gives each core a 1 GiB
+// dataset window starting at 1 TiB.
+func DefaultRegions() Regions {
+	return Regions{ModelBase: 0, DatasetStride: 1 << 30}
+}
+
+func (r Regions) datasetBase(core int) uint64 {
+	return (1 << 40) + uint64(core)*r.DatasetStride
+}
+
+// DenseConfig describes the dense per-step trace.
+type DenseConfig struct {
+	// ModelElems is the model size n in elements.
+	ModelElems int
+	// DatasetBytesPerElem and ModelBytesPerElem are the storage widths
+	// (fractional for packed 4-bit).
+	DatasetBytesPerElem float64
+	ModelBytesPerElem   float64
+	// MiniBatch is the number of examples per model update (B >= 1).
+	MiniBatch int
+	Regions   Regions
+}
+
+// Dense generates the accesses of one dense mini-batch step for core on h,
+// reporting each to sink. exampleOffset positions the batch within the
+// core's dataset region so successive steps stream fresh data.
+func Dense(h *cache.Hierarchy, sink Sink, core int, cfg DenseConfig, exampleOffset uint64) error {
+	if cfg.ModelElems <= 0 {
+		return fmt.Errorf("trace: ModelElems must be positive")
+	}
+	if cfg.MiniBatch < 1 {
+		return fmt.Errorf("trace: MiniBatch must be >= 1")
+	}
+	ls := uint64(h.Config().LineSize)
+	exBytes := ceilU(float64(cfg.ModelElems) * cfg.DatasetBytesPerElem)
+	modelBytes := ceilU(float64(cfg.ModelElems) * cfg.ModelBytesPerElem)
+	dsBase := cfg.Regions.datasetBase(core) + exampleOffset
+	rec := func(kind Kind, addr uint64, write, model bool) {
+		lat, coh := h.AccessInfo(core, addr, write, model)
+		sink.Record(core, kind, write, lat, coh)
+	}
+	// Dot phase: for each example in the batch, stream the example and
+	// read the model.
+	for b := 0; b < cfg.MiniBatch; b++ {
+		base := dsBase + uint64(b)*roundUp(exBytes, ls)
+		for a := uint64(0); a < exBytes; a += ls {
+			rec(DatasetStream, base+a, false, false)
+		}
+		for a := uint64(0); a < modelBytes; a += ls {
+			rec(ModelSeq, cfg.Regions.ModelBase+a, false, true)
+		}
+	}
+	// AXPY phase: one pass re-reading the batch examples (still hot in
+	// cache), then read-modify-write of the model.
+	for b := 0; b < cfg.MiniBatch; b++ {
+		base := dsBase + uint64(b)*roundUp(exBytes, ls)
+		for a := uint64(0); a < exBytes; a += ls {
+			rec(DatasetStream, base+a, false, false)
+		}
+	}
+	for a := uint64(0); a < modelBytes; a += ls {
+		rec(ModelSeq, cfg.Regions.ModelBase+a, false, true)
+		rec(ModelSeq, cfg.Regions.ModelBase+a, true, true)
+	}
+	return nil
+}
+
+// SparseConfig describes the sparse per-step trace.
+type SparseConfig struct {
+	ModelElems int
+	// NNZ is the number of nonzeros per example.
+	NNZ int
+	// ValueBytesPerElem and IndexBytesPerElem describe the streamed
+	// dataset storage; ModelBytesPerElem the model storage.
+	ValueBytesPerElem float64
+	IndexBytesPerElem float64
+	ModelBytesPerElem float64
+	MiniBatch         int
+	Regions           Regions
+}
+
+// Sparse generates one sparse mini-batch step: values and indices stream
+// sequentially; the touched model words are random. rng supplies the
+// coordinate choices (one generator per simulation keeps runs
+// reproducible).
+func Sparse(h *cache.Hierarchy, sink Sink, core int, cfg SparseConfig, exampleOffset uint64, rng *prng.Xorshift64) error {
+	if cfg.ModelElems <= 0 || cfg.NNZ <= 0 {
+		return fmt.Errorf("trace: ModelElems and NNZ must be positive")
+	}
+	if cfg.MiniBatch < 1 {
+		return fmt.Errorf("trace: MiniBatch must be >= 1")
+	}
+	ls := uint64(h.Config().LineSize)
+	streamBytes := ceilU(float64(cfg.NNZ) * (cfg.ValueBytesPerElem + cfg.IndexBytesPerElem))
+	dsBase := cfg.Regions.datasetBase(core) + exampleOffset
+	rec := func(kind Kind, addr uint64, write, model bool) {
+		lat, coh := h.AccessInfo(core, addr, write, model)
+		sink.Record(core, kind, write, lat, coh)
+	}
+	idx := make([]uint64, cfg.NNZ)
+	for b := 0; b < cfg.MiniBatch; b++ {
+		base := dsBase + uint64(b)*roundUp(streamBytes, ls)
+		for a := uint64(0); a < streamBytes; a += ls {
+			rec(DatasetStream, base+a, false, false)
+		}
+		for j := range idx {
+			e := rng.Uint64() % uint64(cfg.ModelElems)
+			idx[j] = cfg.Regions.ModelBase + ceilU(float64(e)*cfg.ModelBytesPerElem)
+			// Dot gather.
+			rec(ModelRandom, idx[j], false, true)
+		}
+		// AXPY scatter over the same coordinates (B=1 semantics; for
+		// mini-batches the update coordinates are the union, which we
+		// approximate by updating per example -- the gather cost
+		// dominates either way).
+		for _, a := range idx {
+			rec(ModelRandom, a, false, true)
+			rec(ModelRandom, a, true, true)
+		}
+	}
+	return nil
+}
+
+func ceilU(x float64) uint64 {
+	u := uint64(x)
+	if float64(u) < x {
+		u++
+	}
+	return u
+}
+
+func roundUp(v, m uint64) uint64 {
+	return (v + m - 1) / m * m
+}

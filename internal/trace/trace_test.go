@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"testing"
+
+	"buckwild/internal/cache"
+	"buckwild/internal/prng"
+)
+
+// recorder collects every recorded access for inspection.
+type recorder struct {
+	kinds   []Kind
+	writes  []bool
+	lats    []int
+	cohs    []bool
+	byCore  map[int]int
+	byWrite int
+}
+
+func newRecorder() *recorder { return &recorder{byCore: map[int]int{}} }
+
+func (r *recorder) Record(core int, kind Kind, write bool, latency int, coherent bool) {
+	r.kinds = append(r.kinds, kind)
+	r.writes = append(r.writes, write)
+	r.lats = append(r.lats, latency)
+	r.cohs = append(r.cohs, coherent)
+	r.byCore[core]++
+	if write {
+		r.byWrite++
+	}
+}
+
+func testHierarchy(t *testing.T, cores int) *cache.Hierarchy {
+	t.Helper()
+	cfg := cache.Config{
+		Cores:    cores,
+		LineSize: 64,
+		L1Size:   1 << 10, L1Assoc: 2, L1Lat: 4,
+		L2Size: 8 << 10, L2Assoc: 4, L2Lat: 12,
+		L3Size: 256 << 10, L3Assoc: 8, L3Lat: 36,
+		DRAMLat: 200,
+	}
+	h, err := cache.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestDenseAccessCounts(t *testing.T) {
+	h := testHierarchy(t, 1)
+	r := newRecorder()
+	cfg := DenseConfig{
+		ModelElems:          1024, // 1 KB dataset, 1 KB model at 1 B/elem
+		DatasetBytesPerElem: 1,
+		ModelBytesPerElem:   1,
+		MiniBatch:           1,
+		Regions:             DefaultRegions(),
+	}
+	if err := Dense(h, r, 0, cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	// 16 lines per KB: dataset read twice (dot + axpy passes), model
+	// read in the dot, then read+write in the AXPY.
+	wantReads := 16*2 + 16 + 16
+	wantWrites := 16
+	if r.byWrite != wantWrites {
+		t.Errorf("writes = %d, want %d", r.byWrite, wantWrites)
+	}
+	if len(r.lats)-r.byWrite != wantReads {
+		t.Errorf("reads = %d, want %d", len(r.lats)-r.byWrite, wantReads)
+	}
+	// Kinds partition correctly.
+	ds, ms := 0, 0
+	for _, k := range r.kinds {
+		switch k {
+		case DatasetStream:
+			ds++
+		case ModelSeq:
+			ms++
+		}
+	}
+	if ds != 32 || ms != 48 {
+		t.Errorf("kind split %d/%d, want 32/48", ds, ms)
+	}
+}
+
+func TestDenseMiniBatch(t *testing.T) {
+	h := testHierarchy(t, 1)
+	r := newRecorder()
+	cfg := DenseConfig{
+		ModelElems:          1024,
+		DatasetBytesPerElem: 1,
+		ModelBytesPerElem:   1,
+		MiniBatch:           4,
+		Regions:             DefaultRegions(),
+	}
+	if err := Dense(h, r, 0, cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Model is written once per batch regardless of B.
+	if r.byWrite != 16 {
+		t.Errorf("writes = %d, want 16", r.byWrite)
+	}
+	// Dataset streamed 2x per example, model read once per example + once for AXPY.
+	ds, ms := 0, 0
+	for _, k := range r.kinds {
+		if k == DatasetStream {
+			ds++
+		} else {
+			ms++
+		}
+	}
+	if ds != 16*4*2 {
+		t.Errorf("dataset accesses = %d, want 128", ds)
+	}
+	if ms != 16*4+32 {
+		t.Errorf("model accesses = %d, want 96", ms)
+	}
+}
+
+func TestDenseErrors(t *testing.T) {
+	h := testHierarchy(t, 1)
+	r := newRecorder()
+	if err := Dense(h, r, 0, DenseConfig{ModelElems: 0, MiniBatch: 1}, 0); err == nil {
+		t.Error("zero elems should fail")
+	}
+	if err := Dense(h, r, 0, DenseConfig{ModelElems: 10, MiniBatch: 0}, 0); err == nil {
+		t.Error("zero batch should fail")
+	}
+}
+
+func TestSparseAccesses(t *testing.T) {
+	h := testHierarchy(t, 1)
+	r := newRecorder()
+	cfg := SparseConfig{
+		ModelElems:        4096,
+		NNZ:               30,
+		ValueBytesPerElem: 1,
+		IndexBytesPerElem: 2,
+		ModelBytesPerElem: 1,
+		MiniBatch:         1,
+		Regions:           DefaultRegions(),
+	}
+	rng := prng.NewXorshift64(7)
+	if err := Sparse(h, r, 0, cfg, 0, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Stream: ceil(30*3/64) = 2 lines; gathers: 30 dot reads + 30
+	// axpy reads + 30 writes.
+	var stream, random int
+	for _, k := range r.kinds {
+		if k == DatasetStream {
+			stream++
+		} else if k == ModelRandom {
+			random++
+		}
+	}
+	if stream != 2 {
+		t.Errorf("stream accesses = %d, want 2", stream)
+	}
+	if random != 90 {
+		t.Errorf("random accesses = %d, want 90", random)
+	}
+	if r.byWrite != 30 {
+		t.Errorf("writes = %d, want 30", r.byWrite)
+	}
+}
+
+func TestSparseErrors(t *testing.T) {
+	h := testHierarchy(t, 1)
+	r := newRecorder()
+	rng := prng.NewXorshift64(1)
+	if err := Sparse(h, r, 0, SparseConfig{ModelElems: 0, NNZ: 1, MiniBatch: 1}, 0, rng); err == nil {
+		t.Error("zero elems should fail")
+	}
+	if err := Sparse(h, r, 0, SparseConfig{ModelElems: 10, NNZ: 0, MiniBatch: 1}, 0, rng); err == nil {
+		t.Error("zero nnz should fail")
+	}
+	if err := Sparse(h, r, 0, SparseConfig{ModelElems: 10, NNZ: 2, MiniBatch: 0}, 0, rng); err == nil {
+		t.Error("zero batch should fail")
+	}
+}
+
+func TestCoresSeparateDatasets(t *testing.T) {
+	h := testHierarchy(t, 2)
+	r := newRecorder()
+	cfg := DenseConfig{
+		ModelElems:          256,
+		DatasetBytesPerElem: 4,
+		ModelBytesPerElem:   4,
+		MiniBatch:           1,
+		Regions:             DefaultRegions(),
+	}
+	if err := Dense(h, r, 0, cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Dense(h, r, 1, cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Core 1's dataset reads must be cold (separate region), so some
+	// of its accesses hit DRAM even after core 0 warmed its own.
+	if r.byCore[0] == 0 || r.byCore[1] == 0 {
+		t.Fatal("both cores should access memory")
+	}
+	sawCold := false
+	for i, lat := range r.lats {
+		if i >= r.byCore[0] && lat >= 200 && r.kinds[i] == DatasetStream {
+			sawCold = true
+		}
+	}
+	if !sawCold {
+		t.Error("core 1's dataset stream should be cold")
+	}
+}
+
+func TestOffsetAdvancesStream(t *testing.T) {
+	h := testHierarchy(t, 1)
+	cfg := DenseConfig{
+		ModelElems:          1024,
+		DatasetBytesPerElem: 1,
+		ModelBytesPerElem:   1,
+		MiniBatch:           1,
+		Regions:             DefaultRegions(),
+	}
+	r1 := newRecorder()
+	if err := Dense(h, r1, 0, cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	r2 := newRecorder()
+	if err := Dense(h, r2, 0, cfg, 4096); err != nil {
+		t.Fatal(err)
+	}
+	// The offset run touches fresh dataset lines: cold misses again.
+	cold := 0
+	for i, lat := range r2.lats {
+		if r2.kinds[i] == DatasetStream && lat >= 200 {
+			cold++
+		}
+	}
+	if cold == 0 {
+		t.Error("offset stream should be cold")
+	}
+}

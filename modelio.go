@@ -1,0 +1,126 @@
+package buckwild
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"buckwild/internal/dataset"
+	"buckwild/internal/fixed"
+)
+
+// SavedModel is the on-disk representation of a trained model: the
+// signature it was trained under and the dequantized weights.
+type SavedModel struct {
+	Signature string
+	Weights   []float32
+}
+
+// SaveModel writes a trained model to w in gob encoding.
+func SaveModel(w io.Writer, sigText string, weights []float32) error {
+	if len(weights) == 0 {
+		return fmt.Errorf("buckwild: refusing to save an empty model")
+	}
+	if sigText != "" {
+		if _, err := ParseSignature(sigText); err != nil {
+			return err
+		}
+	}
+	return gob.NewEncoder(w).Encode(SavedModel{Signature: sigText, Weights: weights})
+}
+
+// LoadModel reads a model previously written by SaveModel.
+func LoadModel(r io.Reader) (*SavedModel, error) {
+	var m SavedModel
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("buckwild: decoding model: %w", err)
+	}
+	if len(m.Weights) == 0 {
+		return nil, fmt.Errorf("buckwild: model has no weights")
+	}
+	if m.Signature != "" {
+		if _, err := ParseSignature(m.Signature); err != nil {
+			return nil, err
+		}
+	}
+	return &m, nil
+}
+
+// SaveModelFile and LoadModelFile are path-based conveniences.
+func SaveModelFile(path, sigText string, weights []float32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveModel(f, sigText, weights); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModelFile loads a model from a file written by SaveModelFile.
+func LoadModelFile(path string) (*SavedModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}
+
+// LoadLibSVM reads a LIBSVM-format file into a sparse dataset stored at the
+// signature's dataset and index precisions, ready for TrainSparse.
+func LoadLibSVM(path, sigText string) (*SparseDataset, error) {
+	sig, err := ParseSignature(orDefault(sigText, "D32fi32M32f"))
+	if err != nil {
+		return nil, err
+	}
+	if !sig.Sparse() {
+		return nil, fmt.Errorf("buckwild: signature %v has no index term", sig)
+	}
+	p, err := precOf(sig.DatasetBits(), sig.D.Float || !sig.D.Present)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadLibSVM(f, dataset.LibSVMConfig{
+		P:        p,
+		IdxBits:  sig.IndexBits(),
+		Rounding: fixed.Unbiased,
+		Seed:     1,
+	})
+}
+
+// Predict applies a saved linear model to one example given as
+// (index, value) pairs, returning the margin w.x.
+func (m *SavedModel) Predict(idx []int32, vals []float32) (float32, error) {
+	if len(idx) != len(vals) {
+		return 0, fmt.Errorf("buckwild: %d indices, %d values", len(idx), len(vals))
+	}
+	var s float32
+	for k, j := range idx {
+		if j < 0 || int(j) >= len(m.Weights) {
+			return 0, fmt.Errorf("buckwild: index %d outside model of size %d", j, len(m.Weights))
+		}
+		s += m.Weights[j] * vals[k]
+	}
+	return s, nil
+}
+
+// PredictDense applies a saved linear model to a dense example.
+func (m *SavedModel) PredictDense(x []float32) (float32, error) {
+	if len(x) != len(m.Weights) {
+		return 0, fmt.Errorf("buckwild: example dim %d, model dim %d", len(x), len(m.Weights))
+	}
+	var s float32
+	for j, v := range x {
+		s += m.Weights[j] * v
+	}
+	return s, nil
+}

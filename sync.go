@@ -1,0 +1,56 @@
+package buckwild
+
+import (
+	"fmt"
+
+	"buckwild/internal/core"
+)
+
+// SyncConfig configures synchronous data-parallel SGD with quantized
+// inter-worker communication — the explicit C term of the DMGC model. With
+// CommBits=1 and ErrorFeedback it reproduces 1-bit SGD (Table 1's C1s).
+type SyncConfig struct {
+	// Problem is "logistic" (default), "linear" or "svm".
+	Problem string
+	// CommBits is the communication precision (1..32).
+	CommBits uint
+	// Workers and BatchPerWorker shape the data-parallel rounds.
+	Workers        int
+	BatchPerWorker int
+	// ErrorFeedback carries the quantization residual forward.
+	ErrorFeedback bool
+	StepSize      float32
+	Epochs        int
+	Seed          uint64
+}
+
+// TrainSync runs the synchronous quantized-communication engine on a dense
+// dataset (which should be stored at full precision; this engine isolates
+// the C term).
+func TrainSync(cfg SyncConfig, ds *DenseDataset) (*Result, error) {
+	var prob core.Problem
+	switch cfg.Problem {
+	case "", "logistic":
+		prob = core.Logistic
+	case "linear":
+		prob = core.Linear
+	case "svm":
+		prob = core.SVM
+	default:
+		return nil, fmt.Errorf("buckwild: unknown problem %q", cfg.Problem)
+	}
+	step := cfg.StepSize
+	if step == 0 {
+		step = 0.1
+	}
+	return core.TrainSyncDense(core.SyncConfig{
+		Problem:        prob,
+		CommBits:       cfg.CommBits,
+		Workers:        cfg.Workers,
+		BatchPerWorker: cfg.BatchPerWorker,
+		ErrorFeedback:  cfg.ErrorFeedback,
+		StepSize:       step,
+		Epochs:         cfg.Epochs,
+		Seed:           cfg.Seed,
+	}, ds)
+}
