@@ -23,25 +23,37 @@ func sizes(quick bool) []int {
 	return out
 }
 
+// fig2Points builds the (18 threads, 1 thread) pair per model size; the
+// fitting pass of fig3 sweeps the identical grid.
+func fig2Points(ns []int) ([]machine.Workload, error) {
+	var points []machine.Workload
+	for _, n := range ns {
+		w, err := sigWorkload(dmgc.MustParse("D8M8"), n, 18, false)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, w)
+		w.Threads = 1
+		points = append(points, w)
+	}
+	return points, nil
+}
+
 func runFig2(quick bool) error {
 	mc := machine.Xeon()
-	sig := dmgc.MustParse("D8M8")
+	ns := sizes(quick)
+	points, err := fig2Points(ns)
+	if err != nil {
+		return err
+	}
+	rs, err := simulateAll(mc, points)
+	if err != nil {
+		return err
+	}
 	header("model size", "GNPS (18t)", "GNPS (1t)", "bound", "regime (model)")
 	pm := dmgc.DefaultPerfModel()
-	for _, n := range sizes(quick) {
-		w, err := sigWorkload(sig, n, 18, false)
-		if err != nil {
-			return err
-		}
-		r18, err := machine.Simulate(mc, w)
-		if err != nil {
-			return err
-		}
-		w.Threads = 1
-		r1, err := machine.Simulate(mc, w)
-		if err != nil {
-			return err
-		}
+	for i, n := range ns {
+		r18, r1 := rs[2*i], rs[2*i+1]
 		row(fmt.Sprintf("2^%d", log2(n)), r18.GNPS, r1.GNPS, r18.Bound, pm.Regime(n).String())
 	}
 	fmt.Println("\ncommunication-bound below the knee, bandwidth-bound plateau above (paper Fig 2)")
@@ -57,24 +69,19 @@ func runFig3(quick bool) error {
 
 	// Fit the performance model's p(n) to the simulated machine at 18
 	// threads, exactly as the paper fits equation (3) to its Xeon.
+	fitPoints, err := fig2Points(ns)
+	if err != nil {
+		return err
+	}
+	fitRs, err := simulateAll(mc, fitPoints)
+	if err != nil {
+		return err
+	}
 	var fitSizes []int
 	var fitSpeedups []float64
-	for _, n := range ns {
-		w, err := sigWorkload(dmgc.MustParse("D8M8"), n, 18, false)
-		if err != nil {
-			return err
-		}
-		r18, err := machine.Simulate(mc, w)
-		if err != nil {
-			return err
-		}
-		w.Threads = 1
-		r1, err := machine.Simulate(mc, w)
-		if err != nil {
-			return err
-		}
+	for i, n := range ns {
 		fitSizes = append(fitSizes, n)
-		fitSpeedups = append(fitSpeedups, r18.GNPS/r1.GNPS)
+		fitSpeedups = append(fitSpeedups, fitRs[2*i].GNPS/fitRs[2*i+1].GNPS)
 	}
 	pb, kappa, err := dmgc.FitP(fitSizes, fitSpeedups, 18)
 	if err != nil {
@@ -87,33 +94,47 @@ func runFig3(quick bool) error {
 		if sparse {
 			kind = "sparse"
 		}
-		fmt.Printf("-- %s --\n", kind)
-		header("signature", "threads", "model size", "simulated", "predicted", "rel.err")
-		var pred, meas []float64
+		// Per signature: the single-thread base point at the largest
+		// size, then the full (threads x sizes) grid, all fanned out
+		// in one sweep.
+		perSig := 1 + len(threads)*len(ns)
+		var points []machine.Workload
 		for _, name := range names {
 			sig := dmgc.MustParse(name)
-			// Base throughput from the simulated machine at the
-			// largest size.
 			wBase, err := sigWorkload(sig, ns[len(ns)-1], 1, sparse)
 			if err != nil {
 				return err
 			}
-			rBase, err := machine.Simulate(mc, wBase)
-			if err != nil {
-				return err
-			}
-			pm := &dmgc.PerfModel{PBandwidth: pb, Kappa: kappa, RegimeKnee: 256 << 10,
-				T1: func(dmgc.Signature) (float64, error) { return rBase.GNPS, nil }}
+			points = append(points, wBase)
 			for _, t := range threads {
 				for _, n := range ns {
 					w, err := sigWorkload(sig, n, t, sparse)
 					if err != nil {
 						return err
 					}
-					r, err := machine.Simulate(mc, w)
-					if err != nil {
-						return err
-					}
+					points = append(points, w)
+				}
+			}
+		}
+		rs, err := simulateAll(mc, points)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- %s --\n", kind)
+		header("signature", "threads", "model size", "simulated", "predicted", "rel.err")
+		var pred, meas []float64
+		for si, name := range names {
+			sig := dmgc.MustParse(name)
+			// Base throughput from the simulated machine at the
+			// largest size.
+			rBase := rs[si*perSig]
+			pm := &dmgc.PerfModel{PBandwidth: pb, Kappa: kappa, RegimeKnee: 256 << 10,
+				T1: func(dmgc.Signature) (float64, error) { return rBase.GNPS, nil }}
+			i := si*perSig + 1
+			for _, t := range threads {
+				for _, n := range ns {
+					r := rs[i]
+					i++
 					p, err := pm.Throughput(sig, n, t)
 					if err != nil {
 						return err

@@ -15,24 +15,17 @@ func init() {
 	register("fig4c", "average hand-optimization speedup per signature", runFig4c)
 }
 
-// variantGNPS simulates a signature at both kernel variants.
-func variantGNPS(sig dmgc.Signature, n, threads int, sparse bool) (generic, handopt float64, err error) {
-	mc := machine.Xeon()
+// variantPoints builds the (generic, hand-optimized) workload pair of a
+// signature; every fig4 sweep is a flat list of such pairs.
+func variantPoints(sig dmgc.Signature, n, threads int, sparse bool) ([]machine.Workload, error) {
 	w, err := sigWorkload(sig, n, threads, sparse)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	w.Variant = kernels.Generic
-	rg, err := machine.Simulate(mc, w)
-	if err != nil {
-		return 0, 0, err
-	}
+	g := w
 	w.Variant = kernels.HandOpt
-	rh, err := machine.Simulate(mc, w)
-	if err != nil {
-		return 0, 0, err
-	}
-	return rg.GNPS, rh.GNPS, nil
+	return []machine.Workload{g, w}, nil
 }
 
 func fig4Signatures() []string {
@@ -44,12 +37,21 @@ func runFig4a(quick bool) error {
 	if quick {
 		n = 1 << 16
 	}
-	header("signature", "generic", "hand-opt", "speedup")
+	var points []machine.Workload
 	for _, name := range fig4Signatures() {
-		g, h, err := variantGNPS(dmgc.MustParse(name), n, 1, false)
+		pair, err := variantPoints(dmgc.MustParse(name), n, 1, false)
 		if err != nil {
 			return err
 		}
+		points = append(points, pair...)
+	}
+	rs, err := simulateAll(machine.Xeon(), points)
+	if err != nil {
+		return err
+	}
+	header("signature", "generic", "hand-opt", "speedup")
+	for i, name := range fig4Signatures() {
+		g, h := rs[2*i].GNPS, rs[2*i+1].GNPS
 		row(name, g, h, h/g)
 	}
 	fmt.Println("\nthe low-precision signatures gain the most; float gains little (paper Fig 4a, up to 11x)")
@@ -61,14 +63,23 @@ func runFig4b(quick bool) error {
 	if quick {
 		ns = ns[:2]
 	}
-	header("model size", "generic", "hand-opt", "handopt/generic")
+	var points []machine.Workload
 	for _, n := range ns {
 		// Single thread isolates the kernel effect: at high thread
 		// counts both variants hit the same coherence floor.
-		g, h, err := variantGNPS(dmgc.MustParse("D8i8M8"), n, 1, true)
+		pair, err := variantPoints(dmgc.MustParse("D8i8M8"), n, 1, true)
 		if err != nil {
 			return err
 		}
+		points = append(points, pair...)
+	}
+	rs, err := simulateAll(machine.Xeon(), points)
+	if err != nil {
+		return err
+	}
+	header("model size", "generic", "hand-opt", "handopt/generic")
+	for i, n := range ns {
+		g, h := rs[2*i].GNPS, rs[2*i+1].GNPS
 		row(fmt.Sprintf("2^%d", log2(n)), g, h, h/g)
 	}
 	fmt.Println("\nratios near or below 1 show vectorized gathers losing for small sparse models (paper Fig 4b)")
@@ -82,26 +93,42 @@ func runFig4c(quick bool) error {
 		ns = []int{1 << 12, 1 << 16}
 		threads = []int{1}
 	}
-	header("signature", "dense speedup", "sparse speedup")
+	// Per signature and (n, t) cell: a dense variant pair then a sparse
+	// one, with the sparse spelling adding the index term at the dataset
+	// width.
+	var points []machine.Workload
 	for _, name := range fig4Signatures() {
 		sig := dmgc.MustParse(name)
-		var dense, sparse []float64
 		for _, n := range ns {
 			for _, t := range threads {
-				g, h, err := variantGNPS(sig, n, t, false)
+				pair, err := variantPoints(sig, n, t, false)
 				if err != nil {
 					return err
 				}
-				dense = append(dense, h/g)
-				// The sparse spelling adds the index term at the
-				// dataset width.
+				points = append(points, pair...)
 				sSig := sig
 				sSig.Idx = dmgc.FixedTerm(sig.DatasetBits())
-				g, h, err = variantGNPS(sSig, n, t, true)
+				pair, err = variantPoints(sSig, n, t, true)
 				if err != nil {
 					return err
 				}
-				sparse = append(sparse, h/g)
+				points = append(points, pair...)
+			}
+		}
+	}
+	rs, err := simulateAll(machine.Xeon(), points)
+	if err != nil {
+		return err
+	}
+	header("signature", "dense speedup", "sparse speedup")
+	i := 0
+	for _, name := range fig4Signatures() {
+		var dense, sparse []float64
+		for range ns {
+			for range threads {
+				dense = append(dense, rs[i+1].GNPS/rs[i].GNPS)
+				sparse = append(sparse, rs[i+3].GNPS/rs[i+2].GNPS)
+				i += 4
 			}
 		}
 		dm, err := metrics.GeoMean(dense)

@@ -9,6 +9,7 @@ import (
 	"buckwild/internal/kernels"
 	"buckwild/internal/machine"
 	"buckwild/internal/simd"
+	"buckwild/internal/sweep"
 )
 
 func init() {
@@ -37,19 +38,23 @@ func runFig5a(quick bool) error {
 		{"xorshift", kernels.QXorshift},
 		{"shared(8)", kernels.QShared},
 	}
-	losses := make([][]float64, len(strategies))
-	for i, s := range strategies {
+	// Sequential-sharing trainings are deterministic, so the strategies
+	// can train on worker goroutines without changing the loss curves.
+	losses, err := sweep.Map(*workers, len(strategies), func(i int) ([]float64, error) {
 		cfg := core.Config{
 			Problem: core.Logistic, D: kernels.I8, M: kernels.I8,
-			Variant: kernels.HandOpt, Quant: s.kind, QuantPeriod: 8,
+			Variant: kernels.HandOpt, Quant: strategies[i].kind, QuantPeriod: 8,
 			Threads: 1, StepSize: 0.02, Epochs: epochs,
 			Sharing: core.Sequential, Seed: 9,
 		}
 		res, err := core.TrainDense(cfg, ds)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		losses[i] = res.TrainLoss
+		return res.TrainLoss, nil
+	})
+	if err != nil {
+		return err
 	}
 	header(append([]string{"epoch"}, names(strategies)...)...)
 	for e := 0; e <= epochs; e++ {
@@ -79,11 +84,8 @@ func runFig5b(quick bool) error {
 	if quick {
 		n = 1 << 16
 	}
-	mc := machine.Xeon()
 	cost := simd.Haswell()
-	header("strategy", "GNPS", "vs biased", "axpy cyc/elem")
-	var base float64
-	for _, s := range []struct {
+	strategies := []struct {
 		name string
 		kind kernels.QuantKind
 	}{
@@ -91,23 +93,30 @@ func runFig5b(quick bool) error {
 		{"mersenne", kernels.QMersenne},
 		{"xorshift", kernels.QXorshift},
 		{"shared(8)", kernels.QShared},
-	} {
+	}
+	var points []machine.Workload
+	for _, s := range strategies {
 		w, err := sigWorkload(dmgc.MustParse("D8M8"), n, 1, false)
 		if err != nil {
 			return err
 		}
 		w.Quant = s.kind
-		r, err := machine.Simulate(mc, w)
-		if err != nil {
-			return err
-		}
+		points = append(points, w)
+	}
+	rs, err := simulateAll(machine.Xeon(), points)
+	if err != nil {
+		return err
+	}
+	header("strategy", "GNPS", "vs biased", "axpy cyc/elem")
+	var base float64
+	for i, s := range strategies {
 		if s.kind == kernels.QBiased {
-			base = r.GNPS
+			base = rs[i].GNPS
 		}
 		q := kernels.MustQuantizer(kernels.I8, s.kind, 8, 1)
 		k := kernels.MustDense(kernels.I8, kernels.I8, kernels.HandOpt, q)
 		cyc := k.AxpyStream(n).Cycles(cost) / float64(n)
-		row(s.name, r.GNPS, r.GNPS/base, cyc)
+		row(s.name, rs[i].GNPS, rs[i].GNPS/base, cyc)
 	}
 	fmt.Println("\nper-write Mersenne collapses throughput; shared randomness nearly matches biased (paper Fig 5b)")
 	return nil
@@ -115,14 +124,9 @@ func runFig5b(quick bool) error {
 
 func runFig5c(quick bool) error {
 	ns := sizes(quick)
-	mc := machine.Xeon()
-	header("model size", "D8M8", "D4M4", "speedup")
+	var points []machine.Workload
 	for _, n := range ns {
 		w8, err := sigWorkload(dmgc.MustParse("D8M8"), n, 18, false)
-		if err != nil {
-			return err
-		}
-		r8, err := machine.Simulate(mc, w8)
 		if err != nil {
 			return err
 		}
@@ -130,10 +134,15 @@ func runFig5c(quick bool) error {
 		if err != nil {
 			return err
 		}
-		r4, err := machine.Simulate(mc, w4)
-		if err != nil {
-			return err
-		}
+		points = append(points, w8, w4)
+	}
+	rs, err := simulateAll(machine.Xeon(), points)
+	if err != nil {
+		return err
+	}
+	header("model size", "D8M8", "D4M4", "speedup")
+	for i, n := range ns {
+		r8, r4 := rs[2*i], rs[2*i+1]
 		row(fmt.Sprintf("2^%d", log2(n)), r8.GNPS, r4.GNPS, r4.GNPS/r8.GNPS)
 	}
 	fmt.Println("\nabout 2x across most settings (paper Fig 5c)")
@@ -145,24 +154,30 @@ func runNewInsn(quick bool) error {
 	if quick {
 		ns = ns[:2]
 	}
-	mc := machine.Xeon()
-	header("model size", "threads", "hand-opt", "new insns", "gain")
+	threads := []int{1, 4}
+	var points []machine.Workload
 	for _, n := range ns {
-		for _, t := range []int{1, 4} {
+		for _, t := range threads {
 			w, err := sigWorkload(dmgc.MustParse("D8M8"), n, t, false)
 			if err != nil {
 				return err
 			}
-			rh, err := machine.Simulate(mc, w)
-			if err != nil {
-				return err
-			}
+			points = append(points, w)
 			w.Variant = kernels.NewInsn
 			w.Quant = kernels.QHardware
-			rp, err := machine.Simulate(mc, w)
-			if err != nil {
-				return err
-			}
+			points = append(points, w)
+		}
+	}
+	rs, err := simulateAll(machine.Xeon(), points)
+	if err != nil {
+		return err
+	}
+	header("model size", "threads", "hand-opt", "new insns", "gain")
+	i := 0
+	for _, n := range ns {
+		for _, t := range threads {
+			rh, rp := rs[i], rs[i+1]
+			i += 2
 			row(fmt.Sprintf("2^%d", log2(n)), t, rh.GNPS, rp.GNPS,
 				fmt.Sprintf("%+.1f%%", (rp.GNPS/rh.GNPS-1)*100))
 		}

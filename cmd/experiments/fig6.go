@@ -8,6 +8,7 @@ import (
 	"buckwild/internal/dmgc"
 	"buckwild/internal/kernels"
 	"buckwild/internal/machine"
+	"buckwild/internal/sweep"
 )
 
 func init() {
@@ -20,27 +21,28 @@ func init() {
 }
 
 func prefetchSweep(sigName string, sparse bool, quick bool) error {
-	mc := machine.Xeon()
 	ns := []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20}
 	if quick {
 		ns = []int{1 << 8, 1 << 12, 1 << 16}
 	}
-	header("model size", "prefetch on", "prefetch off", "off/on speedup")
+	var points []machine.Workload
 	for _, n := range ns {
 		w, err := sigWorkload(dmgc.MustParse(sigName), n, 18, sparse)
 		if err != nil {
 			return err
 		}
 		w.Prefetch = true
-		on, err := machine.Simulate(mc, w)
-		if err != nil {
-			return err
-		}
+		points = append(points, w)
 		w.Prefetch = false
-		off, err := machine.Simulate(mc, w)
-		if err != nil {
-			return err
-		}
+		points = append(points, w)
+	}
+	rs, err := simulateAll(machine.Xeon(), points)
+	if err != nil {
+		return err
+	}
+	header("model size", "prefetch on", "prefetch off", "off/on speedup")
+	for i, n := range ns {
+		on, off := rs[2*i], rs[2*i+1]
 		row(fmt.Sprintf("2^%d", log2(n)), on.GNPS, off.GNPS, off.GNPS/on.GNPS)
 	}
 	fmt.Println("\nspeedups appear for small (communication-bound) models (paper Fig 6a/6b, up to 150%)")
@@ -51,30 +53,35 @@ func runFig6a(quick bool) error { return prefetchSweep("D8M8", false, quick) }
 func runFig6b(quick bool) error { return prefetchSweep("D8i8M8", true, quick) }
 
 func runFig6c(quick bool) error {
-	mc := machine.Xeon()
 	ns := []int{1 << 8, 1 << 10, 1 << 12, 1 << 16, 1 << 20}
 	if quick {
 		ns = []int{1 << 8, 1 << 12, 1 << 16}
 	}
 	qs := []float64{0, 0.25, 0.5, 0.75, 0.95}
-	cols := []string{"model size"}
-	for _, q := range qs {
-		cols = append(cols, fmt.Sprintf("q=%.2f", q))
-	}
-	header(cols...)
+	var points []machine.Workload
 	for _, n := range ns {
-		cells := []interface{}{fmt.Sprintf("2^%d", log2(n))}
 		for _, q := range qs {
 			w, err := sigWorkload(dmgc.MustParse("D8M8"), n, 18, false)
 			if err != nil {
 				return err
 			}
 			w.Obstinacy = q
-			r, err := machine.Simulate(mc, w)
-			if err != nil {
-				return err
-			}
-			cells = append(cells, r.GNPS)
+			points = append(points, w)
+		}
+	}
+	rs, err := simulateAll(machine.Xeon(), points)
+	if err != nil {
+		return err
+	}
+	cols := []string{"model size"}
+	for _, q := range qs {
+		cols = append(cols, fmt.Sprintf("q=%.2f", q))
+	}
+	header(cols...)
+	for i, n := range ns {
+		cells := []interface{}{fmt.Sprintf("2^%d", log2(n))}
+		for j := range qs {
+			cells = append(cells, rs[i*len(qs)+j].GNPS)
 		}
 		row(cells...)
 	}
@@ -83,31 +90,36 @@ func runFig6c(quick bool) error {
 }
 
 func runFig6d(quick bool) error {
-	mc := machine.Xeon()
 	bs := []int{1, 4, 16, 64, 256}
 	ns := []int{1 << 8, 1 << 10, 1 << 12, 1 << 16}
 	if quick {
 		bs = []int{1, 16, 64}
 		ns = []int{1 << 8, 1 << 12}
 	}
-	cols := []string{"model size"}
-	for _, b := range bs {
-		cols = append(cols, fmt.Sprintf("B=%d", b))
-	}
-	header(cols...)
+	var points []machine.Workload
 	for _, n := range ns {
-		cells := []interface{}{fmt.Sprintf("2^%d", log2(n))}
 		for _, b := range bs {
 			w, err := sigWorkload(dmgc.MustParse("D8M8"), n, 18, false)
 			if err != nil {
 				return err
 			}
 			w.MiniBatch = b
-			r, err := machine.Simulate(mc, w)
-			if err != nil {
-				return err
-			}
-			cells = append(cells, r.GNPS)
+			points = append(points, w)
+		}
+	}
+	rs, err := simulateAll(machine.Xeon(), points)
+	if err != nil {
+		return err
+	}
+	cols := []string{"model size"}
+	for _, b := range bs {
+		cols = append(cols, fmt.Sprintf("B=%d", b))
+	}
+	header(cols...)
+	for i, n := range ns {
+		cells := []interface{}{fmt.Sprintf("2^%d", log2(n))}
+		for j := range bs {
+			cells = append(cells, rs[i*len(bs)+j].GNPS)
 		}
 		row(cells...)
 	}
@@ -124,19 +136,28 @@ func runFig6e(quick bool) error {
 	if err != nil {
 		return err
 	}
-	header("mini-batch B", "final training loss")
-	for _, b := range []int{1, 4, 16, 64, 256} {
+	bs := []int{1, 4, 16, 64, 256}
+	// Sequential-sharing trainings are deterministic, so the batch sizes
+	// can train concurrently without changing the losses.
+	finals, err := sweep.Map(*workers, len(bs), func(i int) (float64, error) {
 		cfg := core.Config{
 			Problem: core.Logistic, D: kernels.I8, M: kernels.I8,
 			Variant: kernels.HandOpt, Quant: kernels.QShared, QuantPeriod: 8,
-			Threads: 1, MiniBatch: b, StepSize: 0.1, Epochs: epochs,
+			Threads: 1, MiniBatch: bs[i], StepSize: 0.1, Epochs: epochs,
 			Sharing: core.Sequential, Seed: 5,
 		}
 		res, err := core.TrainDense(cfg, ds)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		row(b, res.TrainLoss[len(res.TrainLoss)-1])
+		return res.TrainLoss[len(res.TrainLoss)-1], nil
+	})
+	if err != nil {
+		return err
+	}
+	header("mini-batch B", "final training loss")
+	for i, b := range bs {
+		row(b, finals[i])
 	}
 	fmt.Println("\naccuracy degrades once B is too large for the epoch budget (paper Fig 6e)")
 	return nil
@@ -151,19 +172,29 @@ func runFig6f(quick bool) error {
 	if err != nil {
 		return err
 	}
-	header("obstinacy q", "final training loss")
-	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95} {
+	qs := []float64{0, 0.25, 0.5, 0.75, 0.95}
+	// Racy-sharing trainings race by design, so their losses vary run to
+	// run regardless of how the sweep is scheduled; each point still
+	// trains its own private model.
+	finals, err := sweep.Map(*workers, len(qs), func(i int) (float64, error) {
 		cfg := core.Config{
 			Problem: core.Logistic, D: kernels.I8, M: kernels.I8,
 			Variant: kernels.HandOpt, Quant: kernels.QShared, QuantPeriod: 8,
 			Threads: 4, StepSize: 0.1, Epochs: epochs,
-			Sharing: core.Racy, ObstinateQ: q, Seed: 6,
+			Sharing: core.Racy, ObstinateQ: qs[i], Seed: 6,
 		}
 		res, err := core.TrainDense(cfg, ds)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		row(fmt.Sprintf("%.2f", q), res.TrainLoss[len(res.TrainLoss)-1])
+		return res.TrainLoss[len(res.TrainLoss)-1], nil
+	})
+	if err != nil {
+		return err
+	}
+	header("obstinacy q", "final training loss")
+	for i, q := range qs {
+		row(fmt.Sprintf("%.2f", q), finals[i])
 	}
 	fmt.Println("\nno detectable statistical-efficiency loss even at q=0.95 (paper Fig 6f)")
 	return nil

@@ -3,25 +3,33 @@
 //
 // Usage:
 //
-//	experiments [-quick] <id> [<id> ...]
+//	experiments [-quick] [-workers n] [-json path] [-cpuprofile path] <id> [<id> ...]
 //	experiments all
 //
 // where <id> is one of: table1 table2 table3 fig2 fig3 fig4a fig4b fig4c
 // fig5a fig5b fig5c fig6a fig6b fig6c fig6d fig6e fig6f fig7a fig7b fig7c
 // fig7d fig7e fig7f newinsn.
 //
-// -quick shrinks sweep sizes for smoke runs. Output is plain text: one
-// labelled series or table per experiment, in the same shape as the
-// paper's figure/table, so results can be compared row by row (see
-// EXPERIMENTS.md).
+// -quick shrinks sweep sizes for smoke runs. -workers bounds the sweep
+// worker pool (0 = all CPUs). -json writes per-experiment wall times and
+// headline GNPS to a file for trajectory tracking; -cpuprofile writes a
+// pprof CPU profile of the whole run. Output is plain text: one labelled
+// series or table per experiment, in the same shape as the paper's
+// figure/table, so results can be compared row by row (see EXPERIMENTS.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
+
+	"buckwild/internal/machine"
+	"buckwild/internal/sweep"
 )
 
 // experiment is one regenerable table or figure.
@@ -37,13 +45,93 @@ func register(id, desc string, run func(quick bool) error) {
 	experiments = append(experiments, experiment{id, desc, run})
 }
 
+// workers is the sweep pool size shared by every experiment (0 = all CPUs).
+var workers = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+
+// benchRecord is one experiment's entry in the -json trajectory file.
+type benchRecord struct {
+	ID string `json:"id"`
+	// WallSeconds is the experiment's wall-clock time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// HeadlineGNPS is the best simulated throughput the experiment
+	// produced, when it runs the machine simulator at all; it tracks
+	// simulator-output drift across PRs alongside the timing.
+	HeadlineGNPS float64 `json:"headline_gnps,omitempty"`
+}
+
+// benchFile is the top-level -json document.
+type benchFile struct {
+	Date         string        `json:"date"`
+	GoVersion    string        `json:"go_version"`
+	NumCPU       int           `json:"num_cpu"`
+	Workers      int           `json:"workers"`
+	Quick        bool          `json:"quick"`
+	TotalSeconds float64       `json:"total_seconds"`
+	Experiments  []benchRecord `json:"experiments"`
+}
+
+// current points at the running experiment's bench record so simulateAll
+// can fold headline GNPS numbers into it.
+var current *benchRecord
+
+// recordGNPS folds simulated throughputs into the running experiment's
+// headline (keeping the maximum).
+func recordGNPS(rs []*machine.Result) {
+	if current == nil {
+		return
+	}
+	for _, r := range rs {
+		if r != nil && r.GNPS > current.HeadlineGNPS {
+			current.HeadlineGNPS = r.GNPS
+		}
+	}
+}
+
+// simulateAll fans a slice of workload points over the sweep pool and
+// returns results in input order. Every experiment sweep goes through
+// here, so each also contributes its headline GNPS to the -json record.
+func simulateAll(mc machine.Config, points []machine.Workload) ([]*machine.Result, error) {
+	rs, err := sweep.Simulate(mc, points, *workers)
+	if err != nil {
+		return nil, err
+	}
+	recordGNPS(rs)
+	return rs, nil
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	jsonPath := flag.String("json", "", "write per-experiment wall time + headline GNPS to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		// Validate writability up front: a bad path should fail before
+		// the sweeps run, not after minutes of work. O_CREATE without
+		// O_TRUNC leaves any existing trajectory file intact until the
+		// run completes and rewrites it.
+		f, err := os.OpenFile(*jsonPath, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	sort.SliceStable(experiments, func(i, j int) bool { return experiments[i].id < experiments[j].id })
 	ids := args
@@ -53,6 +141,14 @@ func main() {
 			ids = append(ids, e.id)
 		}
 	}
+	bench := benchFile{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workers:   *workers,
+		Quick:     *quick,
+	}
+	total := time.Now()
 	for _, id := range ids {
 		e := lookup(id)
 		if e == nil {
@@ -61,13 +157,33 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("==== %s: %s ====\n", e.id, e.desc)
+		bench.Experiments = append(bench.Experiments, benchRecord{ID: e.id})
+		current = &bench.Experiments[len(bench.Experiments)-1]
 		start := time.Now()
 		if err := e.run(*quick); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("---- %s done in %v ----\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		current.WallSeconds = elapsed.Seconds()
+		current = nil
+		fmt.Printf("---- %s done in %v ----\n\n", e.id, elapsed.Round(time.Millisecond))
 	}
+	bench.TotalSeconds = time.Since(total).Seconds()
+	if *jsonPath != "" {
+		if err := writeBench(*jsonPath, bench); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeBench(path string, bench benchFile) error {
+	buf, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func lookup(id string) *experiment {
@@ -80,7 +196,7 @@ func lookup(id string) *experiment {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments [-quick] <id> [<id> ...] | all")
+	fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-workers n] [-json path] [-cpuprofile path] <id> [<id> ...] | all")
 	fmt.Fprintln(os.Stderr, "experiments:")
 	sort.SliceStable(experiments, func(i, j int) bool { return experiments[i].id < experiments[j].id })
 	for _, e := range experiments {

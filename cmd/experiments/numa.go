@@ -15,28 +15,29 @@ func init() {
 }
 
 func runNUMA(quick bool) error {
-	mc := machine.Xeon()
 	ns := []int{1 << 9, 1 << 12, 1 << 16, 1 << 20, 1 << 21}
 	if quick {
 		ns = []int{1 << 9, 1 << 20}
 	}
 	// 24 threads: enough that socket bandwidth, not the per-core
 	// streaming limit, binds for large models.
-	header("model size", "1 socket", "2 sockets", "2s/1s")
+	var points []machine.Workload
 	for _, n := range ns {
 		w, err := sigWorkload(dmgc.MustParse("D8M8"), n, 24, false)
 		if err != nil {
 			return err
 		}
-		r1, err := machine.Simulate(mc, w)
-		if err != nil {
-			return err
-		}
+		points = append(points, w)
 		w.Sockets = 2
-		r2, err := machine.Simulate(mc, w)
-		if err != nil {
-			return err
-		}
+		points = append(points, w)
+	}
+	rs, err := simulateAll(machine.Xeon(), points)
+	if err != nil {
+		return err
+	}
+	header("model size", "1 socket", "2 sockets", "2s/1s")
+	for i, n := range ns {
+		r1, r2 := rs[2*i], rs[2*i+1]
 		row(fmt.Sprintf("2^%d", log2(n)), r1.GNPS, r2.GNPS, r2.GNPS/r1.GNPS)
 	}
 	fmt.Println("\nspreading across sockets doubles bandwidth for large models but makes")
@@ -46,24 +47,28 @@ func runNUMA(quick bool) error {
 }
 
 func runAblations(quick bool) error {
-	mc := machine.Xeon()
 	n := 1 << 18
 	if quick {
 		n = 1 << 14
 	}
 
-	fmt.Println("-- sparse index precision (Section 3) --")
-	header("signature", "GNPS (1t)")
-	for _, name := range []string{"D8i8M8", "D8i16M8", "D8i32M8"} {
+	idxNames := []string{"D8i8M8", "D8i16M8", "D8i32M8"}
+	var points []machine.Workload
+	for _, name := range idxNames {
 		w, err := sigWorkload(dmgc.MustParse(name), n, 1, true)
 		if err != nil {
 			return err
 		}
-		r, err := machine.Simulate(mc, w)
-		if err != nil {
-			return err
-		}
-		row(name, r.GNPS)
+		points = append(points, w)
+	}
+	rs, err := simulateAll(machine.Xeon(), points)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- sparse index precision (Section 3) --")
+	header("signature", "GNPS (1t)")
+	for i, name := range idxNames {
+		row(name, rs[i].GNPS)
 	}
 
 	fmt.Println("\n-- randomness sharing period (Section 5.2, compute cycles per element) --")

@@ -72,16 +72,11 @@ func runTable2(quick bool) error {
 	if quick {
 		n = 1 << 16
 	}
-	mc := machine.Xeon()
 	denseSigs := dmgc.Table2Signatures(false)
 	sparseSigs := dmgc.Table2Signatures(true)
-	header("signature", "dense T1", "paper", "sparse T1", "paper")
+	var points []machine.Workload
 	for i := range denseSigs {
 		wd, err := sigWorkload(denseSigs[i], n, 1, false)
-		if err != nil {
-			return err
-		}
-		rd, err := machine.Simulate(mc, wd)
 		if err != nil {
 			return err
 		}
@@ -89,13 +84,17 @@ func runTable2(quick bool) error {
 		if err != nil {
 			return err
 		}
-		rs, err := machine.Simulate(mc, ws)
-		if err != nil {
-			return err
-		}
+		points = append(points, wd, ws)
+	}
+	rs, err := simulateAll(machine.Xeon(), points)
+	if err != nil {
+		return err
+	}
+	header("signature", "dense T1", "paper", "sparse T1", "paper")
+	for i := range denseSigs {
 		pd, _ := dmgc.Table2Base(denseSigs[i])
 		ps, _ := dmgc.Table2Base(sparseSigs[i])
-		row(denseSigs[i].String(), rd.GNPS, pd, rs.GNPS, ps)
+		row(denseSigs[i].String(), rs[2*i].GNPS, pd, rs[2*i+1].GNPS, ps)
 	}
 	fmt.Println("\n(dense signatures shown; sparse column uses the matching D..i..M.. spelling)")
 	return nil

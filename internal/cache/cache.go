@@ -19,7 +19,10 @@
 // reproduce the small-model slowdown of Figure 6c.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // State is a MESI coherence state.
 type State uint8
@@ -141,30 +144,33 @@ type Stats struct {
 	Cycles uint64
 }
 
+// invalidTag marks an empty way. No reachable address maps to it (it would
+// require a byte address beyond 2^64), so lookup needs only one tag compare
+// per way instead of a state check plus a tag check.
+const invalidTag = ^uint64(0)
+
+// line is one cache way, packed into 16 bytes so a 4-way L1 set is exactly
+// one host cache line and the 45 MB simulated L3 array stays half the size
+// it would be with naturally-padded fields.
 type line struct {
-	tag   uint64
+	tag uint64
+	// lru is a per-level use counter (see level.renormalize for wrap).
+	lru   uint32
 	state State
-	// lru is a per-set use counter.
-	lru uint64
 	// model marks lines belonging to the model region (obstinacy
-	// applies only to these).
-	model bool
-	// stale marks a line retained by an ignored invalidate.
-	stale bool
-	// prefetched marks lines brought in by the prefetcher and not yet
-	// demanded.
-	prefetched bool
+	// applies only to these); stale marks a line retained by an ignored
+	// invalidate; prefetched marks lines brought in by the prefetcher
+	// and not yet demanded.
+	model, stale, prefetched bool
 }
 
 // level is one set-associative cache array.
 type level struct {
-	sets   int
-	assoc  int
-	shift  uint // line-offset shift
-	lines  []line
-	clock  uint64
-	lat    int
-	sizeOK bool
+	setMask int
+	assoc   int
+	lines   []line
+	clock   uint32
+	lat     int
 }
 
 func newLevel(size, assoc, lineSize, lat int) (*level, error) {
@@ -180,22 +186,21 @@ func newLevel(size, assoc, lineSize, lat int) (*level, error) {
 	for sets&(sets-1) != 0 {
 		sets--
 	}
-	shift := uint(0)
-	for (1 << shift) < lineSize {
-		shift++
+	l := &level{
+		setMask: sets - 1,
+		assoc:   assoc,
+		lines:   make([]line, sets*assoc),
+		lat:     lat,
 	}
-	return &level{
-		sets:  sets,
-		assoc: assoc,
-		shift: shift,
-		lines: make([]line, sets*assoc),
-		lat:   lat,
-	}, nil
+	for i := range l.lines {
+		l.lines[i].tag = invalidTag
+	}
+	return l, nil
 }
 
 // setOf returns the slice of ways for the address's set.
 func (l *level) setOf(lineAddr uint64) []line {
-	s := int(lineAddr) & (l.sets - 1)
+	s := int(lineAddr) & l.setMask
 	return l.lines[s*l.assoc : (s+1)*l.assoc]
 }
 
@@ -203,16 +208,17 @@ func (l *level) setOf(lineAddr uint64) []line {
 func (l *level) lookup(lineAddr uint64) *line {
 	set := l.setOf(lineAddr)
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == lineAddr {
+		if set[i].tag == lineAddr {
 			return &set[i]
 		}
 	}
 	return nil
 }
 
-// insert fills lineAddr, evicting the LRU way. It returns the evicted line
-// (by value) and whether an eviction of a valid line occurred.
-func (l *level) insert(lineAddr uint64, st State, model bool) (evicted line, hadVictim bool) {
+// insert fills lineAddr, evicting the LRU way. It returns a pointer to the
+// filled way, the evicted line (by value) and whether an eviction of a
+// valid line occurred.
+func (l *level) insert(lineAddr uint64, st State, model bool) (filled *line, evicted line, hadVictim bool) {
 	set := l.setOf(lineAddr)
 	victim := 0
 	for i := range set {
@@ -228,15 +234,49 @@ func (l *level) insert(lineAddr uint64, st State, model bool) (evicted line, had
 	evicted = set[victim]
 	hadVictim = true
 fill:
-	l.clock++
-	set[victim] = line{tag: lineAddr, state: st, lru: l.clock, model: model}
-	return evicted, hadVictim
+	set[victim] = line{tag: lineAddr, state: st, lru: l.tick(), model: model}
+	return &set[victim], evicted, hadVictim
 }
 
 // touch refreshes LRU for a hit way.
 func (l *level) touch(ln *line) {
+	ln.lru = l.tick()
+}
+
+// tick advances the LRU clock, renormalizing before the uint32 wraps.
+func (l *level) tick() uint32 {
 	l.clock++
-	ln.lru = l.clock
+	if l.clock == ^uint32(0) {
+		l.renormalize()
+	}
+	return l.clock
+}
+
+// renormalize compresses the LRU counters while preserving their exact
+// relative order (every live value came from a unique clock tick, so the
+// rank mapping is a bijection and no victim choice ever changes). It runs
+// once per ~4 billion touches of a level, which no single simulation
+// approaches; the guard exists so the packed uint32 counter is safe even
+// for pathological workloads.
+func (l *level) renormalize() {
+	ranks := make([]uint32, 0, len(l.lines))
+	for i := range l.lines {
+		ranks = append(ranks, l.lines[i].lru)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	for i := range l.lines {
+		lo, hi := 0, len(ranks)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ranks[mid] < l.lines[i].lru {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		l.lines[i].lru = uint32(lo) + 1
+	}
+	l.clock = uint32(len(ranks)) + 1
 }
 
 // invalidate removes lineAddr if present, returning the prior state.
@@ -244,6 +284,7 @@ func (l *level) invalidate(lineAddr uint64) State {
 	if ln := l.lookup(lineAddr); ln != nil {
 		st := ln.state
 		ln.state = Invalid
+		ln.tag = invalidTag
 		return st
 	}
 	return Invalid

@@ -20,21 +20,20 @@ type Hierarchy struct {
 	l1  []*level
 	l2  []*level
 	l3  *level
-	// dir tracks which cores may hold each line (bit per core). Bits can
-	// be stale after silent evictions; writers verify actual presence
-	// before paying for invalidations.
-	dir map[uint64]uint32
-	// dirty records the core holding each line in Modified state, for
-	// dirty-remote transfer detection. Entries are cleared when the
-	// line is transferred or invalidated.
-	dirty map[uint64]int
-	// contention counts coherence transactions per model line in the
-	// current measurement window. Transactions on one line serialize
-	// (line ping-pong), so the hottest line bounds a parallel run from
-	// below; see MaxLineContention.
-	contention map[uint64]uint32
-	rng        *prng.Xorshift64
-	stats      Stats
+	// table holds the per-line coherence record (sharer directory, dirty
+	// owner, contention window) in a paged store; see lineState.
+	table lineTable
+	// epoch tags the current measurement window: contention fields
+	// stamped with an older epoch are logically zero (lazy ResetStats).
+	epoch uint32
+	// maxContention is the running maximum of any line's accumulated
+	// coherence latency in the current window; see MaxLineContention.
+	maxContention uint32
+	// lineShift converts byte addresses to line addresses when LineSize
+	// is a power of two (the common case); negative selects division.
+	lineShift int
+	rng       *prng.Xorshift64
+	stats     Stats
 }
 
 // New builds a hierarchy from the configuration.
@@ -55,13 +54,19 @@ func New(cfg Config) (*Hierarchy, error) {
 		cfg.RemoteCoherenceLat = cfg.CoherenceLat * 5 / 2
 	}
 	h := &Hierarchy{
-		cfg:        cfg,
-		l1:         make([]*level, cfg.Cores),
-		l2:         make([]*level, cfg.Cores),
-		dir:        make(map[uint64]uint32),
-		dirty:      make(map[uint64]int),
-		contention: make(map[uint64]uint32),
-		rng:        prng.NewXorshift64(cfg.Seed ^ 0x0B57A1),
+		cfg:       cfg,
+		l1:        make([]*level, cfg.Cores),
+		l2:        make([]*level, cfg.Cores),
+		lineShift: -1,
+		rng:       prng.NewXorshift64(cfg.Seed ^ 0x0B57A1),
+	}
+	if ls := cfg.LineSize; ls > 0 && ls&(ls-1) == 0 {
+		for s := 0; ; s++ {
+			if 1<<s == ls {
+				h.lineShift = s
+				break
+			}
+		}
 	}
 	var err error
 	for c := 0; c < cfg.Cores; c++ {
@@ -88,7 +93,8 @@ func (h *Hierarchy) Stats() Stats { return h.stats }
 // without disturbing cache contents, allowing measurement after warmup.
 func (h *Hierarchy) ResetStats() {
 	h.stats = Stats{}
-	clear(h.contention)
+	h.epoch++
+	h.maxContention = 0
 }
 
 // MaxLineContention returns the largest accumulated coherence-transaction
@@ -96,23 +102,27 @@ func (h *Hierarchy) ResetStats() {
 // ResetStats. Same-line transactions serialize in hardware, so this bounds
 // the window's wall time from below; cross-socket transactions weigh more.
 func (h *Hierarchy) MaxLineContention() uint32 {
-	var m uint32
-	for _, c := range h.contention {
-		if c > m {
-			m = c
-		}
-	}
-	return m
+	return h.maxContention
 }
 
 // contend records one coherence transaction of the given latency on a
 // model line.
-func (h *Hierarchy) contend(la uint64, lat int) {
-	h.contention[la] += uint32(lat)
+func (h *Hierarchy) contend(ls *lineState, lat int) {
+	if ls.epoch != h.epoch {
+		ls.epoch = h.epoch
+		ls.contention = 0
+	}
+	ls.contention += uint32(lat)
+	if ls.contention > h.maxContention {
+		h.maxContention = ls.contention
+	}
 }
 
 // lineOf converts a byte address to a line address.
 func (h *Hierarchy) lineOf(addr uint64) uint64 {
+	if h.lineShift >= 0 {
+		return addr >> uint(h.lineShift)
+	}
 	return addr / uint64(h.cfg.LineSize)
 }
 
@@ -177,24 +187,25 @@ func (h *Hierarchy) read(core int, la uint64, model bool) (int, bool) {
 		return h.cfg.L2Lat, false
 	}
 	// Private miss: consult the shared level.
-	lat, coh := h.fetchShared(core, la, model, false)
+	lat, coh := h.fetchShared(core, la, h.table.get(la), model, false)
 	h.maybePrefetch(core, la, model)
 	return lat, coh
 }
 
 func (h *Hierarchy) write(core int, la uint64, model bool) (int, bool) {
 	l1 := h.l1[core]
+	ls := h.table.get(la)
 	if ln := l1.lookup(la); ln != nil && (ln.state == Modified || ln.state == Exclusive) {
 		l1.touch(ln)
 		ln.state = Modified
 		ln.stale = false
 		h.stats.L1Hits++
-		h.dirty[la] = core
+		ls.owner = uint8(core + 1)
 		return h.cfg.L1Lat, false
 	}
 	// Shared or absent: an upgrade or fetch-for-ownership must go
 	// through the shared level and invalidate remote copies.
-	dropped, invLat := h.invalidateOthers(core, la, model)
+	dropped, invLat := h.invalidateOthers(core, la, ls, model)
 	lat, coh := 0, dropped > 0
 	if ln := l1.lookup(la); ln != nil { // held in S: upgrade
 		ln.state = Modified
@@ -215,7 +226,7 @@ func (h *Hierarchy) write(core int, la uint64, model bool) (int, bool) {
 		lat = h.cfg.L3Lat
 	} else {
 		var fcoh bool
-		lat, fcoh = h.fetchShared(core, la, model, true)
+		lat, fcoh = h.fetchShared(core, la, ls, model, true)
 		coh = coh || fcoh
 	}
 	if coh {
@@ -223,55 +234,55 @@ func (h *Hierarchy) write(core int, la uint64, model bool) (int, bool) {
 			lat = invLat
 		}
 		if model {
-			h.contend(la, lat)
+			h.contend(ls, lat)
 		}
 	}
-	h.dir[la] = 1 << uint(core)
-	h.dirty[la] = core
+	ls.sharers = 1 << uint(core)
+	ls.owner = uint8(core + 1)
 	return lat, coh
 }
 
 // fetchShared services a private-cache miss from L3 or memory and fills
 // the private levels. forOwnership fills in Modified state. A dirty-remote
 // line triggers a cross-core transfer at CoherenceLat.
-func (h *Hierarchy) fetchShared(core int, la uint64, model, forOwnership bool) (int, bool) {
+func (h *Hierarchy) fetchShared(core int, la uint64, ls *lineState, model, forOwnership bool) (int, bool) {
 	lat := h.cfg.L3Lat
 	coh := false
-	if o, ok := h.dirty[la]; ok && o != core && h.holdsModified(o, la) {
+	if o := int(ls.owner) - 1; o >= 0 && o != core && h.holdsModified(o, la) {
 		// Dirty-remote transfer: the owner's copy is downgraded (or
 		// invalidated below, for ownership) and forwarded. Crossing a
 		// socket boundary pays the QPI round trip.
 		lat = h.cohLat(core, o)
 		coh = true
 		h.downgradeCore(o, la)
-		delete(h.dirty, la)
+		ls.owner = 0
 		h.stats.DirtyTransfers++
 		h.stats.L3Hits++
 		if model {
-			h.contend(la, lat)
+			h.contend(ls, lat)
 		}
-	} else if h.l3.lookup(la) == nil {
+	} else if ln := h.l3.lookup(la); ln == nil {
 		lat = h.cfg.DRAMLat
 		h.stats.DRAMFills++
 		h.stats.DRAMBytes += uint64(h.cfg.LineSize)
 		h.insertL3(la, model)
 	} else {
-		h.l3.touch(h.l3.lookup(la))
+		h.l3.touch(ln)
 		h.stats.L3Hits++
 	}
 	st := Shared
 	if forOwnership {
 		st = Modified
-	} else if h.othersHolding(core, la) == 0 {
+	} else if h.othersHolding(core, la, ls) == 0 {
 		st = Exclusive
 	} else {
 		// MESI: a read while another core holds the line in E or M
 		// downgrades the remote copies to S.
-		h.downgradeOthers(core, la)
+		h.downgradeOthers(core, la, ls)
 	}
 	h.fillL2(core, la, st, model)
 	h.fillL1(core, la, st, model, false)
-	h.dir[la] |= 1 << uint(core)
+	ls.sharers |= 1 << uint(core)
 	return lat, coh
 }
 
@@ -288,8 +299,8 @@ func (h *Hierarchy) holdsModified(c int, la uint64) bool {
 
 // othersHolding returns a mask of other cores that actually hold la,
 // scrubbing stale directory bits as a side effect.
-func (h *Hierarchy) othersHolding(core int, la uint64) uint32 {
-	sharers := h.dir[la]
+func (h *Hierarchy) othersHolding(core int, la uint64, ls *lineState) uint32 {
+	sharers := ls.sharers
 	var actual uint32
 	for c := 0; c < h.cfg.Cores; c++ {
 		if c == core || sharers&(1<<uint(c)) == 0 {
@@ -299,7 +310,7 @@ func (h *Hierarchy) othersHolding(core int, la uint64) uint32 {
 			actual |= 1 << uint(c)
 		}
 	}
-	h.dir[la] = actual | (sharers & (1 << uint(core)))
+	ls.sharers = actual | (sharers & (1 << uint(core)))
 	return actual
 }
 
@@ -308,8 +319,8 @@ func (h *Hierarchy) othersHolding(core int, la uint64) uint32 {
 // round-trip latency among them (cross-socket invalidations are slower).
 // With probability q an invalidate for a model line is ignored and the
 // remote copy retained (stale) in Shared state — the obstinate cache.
-func (h *Hierarchy) invalidateOthers(writer int, la uint64, model bool) (dropped, lat int) {
-	actual := h.othersHolding(writer, la)
+func (h *Hierarchy) invalidateOthers(writer int, la uint64, ls *lineState, model bool) (dropped, lat int) {
+	actual := h.othersHolding(writer, la, ls)
 	if actual == 0 {
 		return 0, 0
 	}
@@ -332,25 +343,25 @@ func (h *Hierarchy) invalidateOthers(writer int, la uint64, model bool) (dropped
 			lat = l
 		}
 	}
-	h.dir[la] &= 1 << uint(writer)
-	if o, ok := h.dirty[la]; ok && o != writer {
-		delete(h.dirty, la)
+	ls.sharers &= 1 << uint(writer)
+	if o := int(ls.owner) - 1; o >= 0 && o != writer {
+		ls.owner = 0
 	}
 	return dropped, lat
 }
 
 // downgradeOthers moves every other core's E/M copy of la to S (dirty data
 // is considered written back to the shared level).
-func (h *Hierarchy) downgradeOthers(reader int, la uint64) {
-	sharers := h.dir[la]
+func (h *Hierarchy) downgradeOthers(reader int, la uint64, ls *lineState) {
+	sharers := ls.sharers
 	for c := 0; c < h.cfg.Cores; c++ {
 		if c == reader || sharers&(1<<uint(c)) == 0 {
 			continue
 		}
 		h.downgradeCore(c, la)
 	}
-	if o, ok := h.dirty[la]; ok && o != reader {
-		delete(h.dirty, la)
+	if o := int(ls.owner) - 1; o >= 0 && o != reader {
+		ls.owner = 0
 	}
 }
 
@@ -400,7 +411,8 @@ func (h *Hierarchy) maybePrefetch(core int, la uint64, model bool) {
 		if model {
 			h.stats.PrefetchIssuedModel++
 		}
-		if o, ok := h.dirty[pa]; ok && o != core && h.holdsModified(o, pa) {
+		ps := h.table.get(pa)
+		if o := int(ps.owner) - 1; o >= 0 && o != core && h.holdsModified(o, pa) {
 			// The line is being actively written by another core:
 			// any prefetched copy is invalidated before use, so
 			// the prefetch achieves nothing but snoop traffic on
@@ -408,7 +420,7 @@ func (h *Hierarchy) maybePrefetch(core int, la uint64, model bool) {
 			h.stats.PrefetchFutile++
 			h.stats.PrefetchInvalidated++
 			if model {
-				h.contend(pa, h.cfg.CoherenceLat)
+				h.contend(ps, h.cfg.CoherenceLat)
 			}
 			continue
 		}
@@ -416,29 +428,25 @@ func (h *Hierarchy) maybePrefetch(core int, la uint64, model bool) {
 			h.stats.DRAMBytes += uint64(h.cfg.LineSize)
 			h.insertL3(pa, model)
 		}
-		ev, had := l2.insert(pa, Shared, model)
+		ln, ev, had := l2.insert(pa, Shared, model)
 		if had {
 			h.handleL2Eviction(core, ev)
 		}
-		if ln := l2.lookup(pa); ln != nil {
-			ln.prefetched = true
-		}
-		h.dir[pa] |= 1 << uint(core)
+		ln.prefetched = true
+		ps.sharers |= 1 << uint(core)
 	}
 }
 
 // fillL1 inserts la into core's L1, handling the eviction.
 func (h *Hierarchy) fillL1(core int, la uint64, st State, model, stale bool) {
-	ev, had := h.l1[core].insert(la, st, model)
-	if ln := h.l1[core].lookup(la); ln != nil {
-		ln.stale = stale
-	}
+	ln, ev, had := h.l1[core].insert(la, st, model)
+	ln.stale = stale
 	if had && ev.state == Modified {
 		// Dirty L1 victim falls back to L2.
 		if ln := h.l2[core].lookup(ev.tag); ln != nil {
 			ln.state = Modified
 		} else {
-			ev2, had2 := h.l2[core].insert(ev.tag, Modified, ev.model)
+			_, ev2, had2 := h.l2[core].insert(ev.tag, Modified, ev.model)
 			if had2 {
 				h.handleL2Eviction(core, ev2)
 			}
@@ -448,7 +456,7 @@ func (h *Hierarchy) fillL1(core int, la uint64, st State, model, stale bool) {
 
 // fillL2 inserts la into core's L2, handling the eviction.
 func (h *Hierarchy) fillL2(core int, la uint64, st State, model bool) {
-	ev, had := h.l2[core].insert(la, st, model)
+	_, ev, had := h.l2[core].insert(la, st, model)
 	if had {
 		h.handleL2Eviction(core, ev)
 	}
@@ -466,14 +474,17 @@ func (h *Hierarchy) handleL2Eviction(core int, ev line) {
 // insertL3 fills la into the shared level, writing back dirty victims to
 // memory.
 func (h *Hierarchy) insertL3(la uint64, model bool) {
-	ev, had := h.l3.insert(la, Shared, model)
+	_, ev, had := h.l3.insert(la, Shared, model)
 	if had {
 		if ev.state == Modified {
 			h.stats.Writebacks++
 			h.stats.DRAMBytes += uint64(h.cfg.LineSize)
 		}
-		delete(h.dir, ev.tag)
-		delete(h.dirty, ev.tag)
+		// The line left the shared level: forget its directory and
+		// dirty-owner state (contention history survives the window).
+		es := h.table.get(ev.tag)
+		es.sharers = 0
+		es.owner = 0
 	}
 }
 

@@ -1,0 +1,80 @@
+package cache
+
+import "testing"
+
+// BenchmarkHierarchyAccess exercises the per-access hot path with the mix
+// the dense SGD trace produces: every core streams its private dataset
+// region, reads the shared model sequentially, then read-modify-writes the
+// model. This is the loop the experiments driver spends nearly all of its
+// time in, so the per-access cost here bounds every sweep.
+func BenchmarkHierarchyAccess(b *testing.B) {
+	cfg := XeonConfig()
+	cfg.Cores = 4
+	h, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		modelBytes = 1 << 16 // 64 KiB shared model
+		dataBytes  = 1 << 16 // 64 KiB dataset slice per core per pass
+		dataBase   = 1 << 40
+	)
+	ls := uint64(cfg.LineSize)
+	var offset uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < cfg.Cores; c++ {
+			base := dataBase + uint64(c)<<30 + offset
+			for a := uint64(0); a < dataBytes; a += ls {
+				h.Access(c, base+a, false, false)
+			}
+			for a := uint64(0); a < modelBytes; a += ls {
+				h.Access(c, a, false, true)
+			}
+			for a := uint64(0); a < modelBytes; a += ls {
+				h.Access(c, a, false, true)
+				h.Access(c, a, true, true)
+			}
+		}
+		offset += dataBytes
+	}
+}
+
+// BenchmarkHierarchyAccessSparse exercises the random-gather pattern of the
+// sparse kernels: streamed index/value loads plus scattered model updates.
+func BenchmarkHierarchyAccessSparse(b *testing.B) {
+	cfg := XeonConfig()
+	cfg.Cores = 4
+	h, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		modelLines = 1 << 12
+		dataBytes  = 1 << 12
+		dataBase   = 1 << 40
+	)
+	ls := uint64(cfg.LineSize)
+	rng := uint64(0x9E3779B97F4A7C15)
+	var offset uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < cfg.Cores; c++ {
+			base := dataBase + uint64(c)<<30 + offset
+			for a := uint64(0); a < dataBytes; a += ls {
+				h.Access(c, base+a, false, false)
+			}
+			for j := 0; j < 64; j++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				la := (rng % modelLines) * ls
+				h.Access(c, la, false, true)
+				h.Access(c, la, true, true)
+			}
+		}
+		offset += dataBytes
+	}
+}

@@ -1,0 +1,77 @@
+package cache
+
+// lineState folds the per-line coherence metadata that used to live in
+// three separate map[uint64] tables (sharer directory, dirty owner and the
+// contention window) into one 16-byte record, so the per-access hot path
+// touches a single memory location instead of paying three hash lookups.
+type lineState struct {
+	// sharers is the directory: a bit per core that may hold the line.
+	// Bits can be stale after silent evictions; writers verify actual
+	// presence before paying for invalidations.
+	sharers uint32
+	// contention accumulates coherence-transaction latency on a model
+	// line within the current measurement window. epoch implements the
+	// ResetStats window reset lazily: a record whose epoch differs from
+	// the hierarchy's has logically-zero contention.
+	contention uint32
+	epoch      uint32
+	// owner is 1+core of the core holding the line in Modified state, or
+	// 0 when none, so the zero value is an empty record.
+	owner uint8
+}
+
+const (
+	// pageBits sizes a page at 4096 line records (64 KiB).
+	pageBits  = 12
+	pageLines = 1 << pageBits
+	pageMask  = pageLines - 1
+	// lowLines covers line addresses below 2^22 (the model region, which
+	// trace places at address 0) with a flat page-pointer array; higher
+	// addresses (the per-core dataset windows at 1 TiB) fall back to a
+	// paged map behind a last-page cache, which the sequential dataset
+	// streams hit almost always.
+	lowLines = 1 << 22
+)
+
+type linePage [pageLines]lineState
+
+// lineTable is a paged line-state store. Page pointers are stable once
+// allocated, so *lineState references stay valid across later inserts. A
+// small direct-mapped cache in front of the high map absorbs the streaming
+// dataset accesses and the L3-eviction scrubs of recently-dead pages.
+type lineTable struct {
+	low   [lowLines >> pageBits]*linePage
+	high  map[uint64]*linePage
+	cache [16]struct {
+		key  uint64
+		page *linePage
+	}
+}
+
+// get returns the record for line address la, allocating its page on first
+// touch.
+func (t *lineTable) get(la uint64) *lineState {
+	if la < lowLines {
+		p := t.low[la>>pageBits]
+		if p == nil {
+			p = new(linePage)
+			t.low[la>>pageBits] = p
+		}
+		return &p[la&pageMask]
+	}
+	k := la >> pageBits
+	c := &t.cache[k&uint64(len(t.cache)-1)]
+	if c.page != nil && c.key == k {
+		return &c.page[la&pageMask]
+	}
+	if t.high == nil {
+		t.high = make(map[uint64]*linePage)
+	}
+	p := t.high[k]
+	if p == nil {
+		p = new(linePage)
+		t.high[k] = p
+	}
+	c.key, c.page = k, p
+	return &p[la&pageMask]
+}

@@ -122,9 +122,14 @@ type Result struct {
 	Bound string
 	// Stats carries the cache counters of the measurement window.
 	Stats cache.Stats
-	// MeasuredSteps is the number of per-core steps in the window.
+	// MeasuredSteps is the total number of per-core steps in the
+	// measurement window: one step per core per measured round.
 	MeasuredSteps int
 }
+
+// warmRounds and measRounds are the cache-warmup and measurement windows
+// of Simulate, in rounds (one step per core per round).
+const warmRounds, measRounds = 2, 3
 
 // sink accumulates adjusted memory stall cycles per core.
 type sink struct {
@@ -217,7 +222,6 @@ func Simulate(mc Config, w Workload) (*Result, error) {
 	}
 	rng := prng.NewXorshift64(w.Seed ^ 0x5EED)
 
-	const warmRounds, measRounds = 2, 3
 	var offset uint64
 	runRound := func() error {
 		for c := 0; c < w.Threads; c++ {
@@ -307,7 +311,7 @@ func Simulate(mc Config, w Workload) (*Result, error) {
 		CoherenceCyclesPerStep:  cohPerStep * scale,
 		Bound:                   bound,
 		Stats:                   h.Stats(),
-		MeasuredSteps:           measRounds,
+		MeasuredSteps:           measRounds * w.Threads,
 	}, nil
 }
 
@@ -320,9 +324,9 @@ func overlap(compute, mem float64) float64 {
 	return hi + 0.2*lo
 }
 
-// computeCycles returns the dataset elements processed per step and the
-// compute cycles of one mini-batch step.
-func computeCycles(mc Config, w Workload, simN int) (elems int, cycles float64, err error) {
+// buildStreamCost constructs and costs the kernel instruction streams of
+// one mini-batch step; computeCycles (streamcache.go) memoizes it.
+func buildStreamCost(mc Config, w Workload, simN int) (elems int, cycles float64, err error) {
 	var q *kernels.Quantizer
 	if w.M != kernels.F32 {
 		q, err = kernels.NewQuantizer(w.M, w.Quant, w.QuantPeriod, w.Seed|1)
@@ -336,10 +340,7 @@ func computeCycles(mc Config, w Workload, simN int) (elems int, cycles float64, 
 		if err != nil {
 			return 0, 0, err
 		}
-		nnz := int(w.Density * float64(simN))
-		if nnz < 1 {
-			nnz = 1
-		}
+		nnz := workloadNNZ(w, simN)
 		s = k.DotStream(nnz)
 		s.Scale(int64(w.MiniBatch))
 		ax := k.AxpyStream(nnz)
@@ -360,10 +361,7 @@ func computeCycles(mc Config, w Workload, simN int) (elems int, cycles float64, 
 // runStep drives one mini-batch step's memory trace for one core.
 func runStep(h *cache.Hierarchy, snk *sink, core int, w Workload, simN int, offset uint64, rng *prng.Xorshift64) error {
 	if w.Sparse {
-		nnz := int(w.Density * float64(simN))
-		if nnz < 1 {
-			nnz = 1
-		}
+		nnz := workloadNNZ(w, simN)
 		return trace.Sparse(h, snk, core, trace.SparseConfig{
 			ModelElems:        simN,
 			NNZ:               nnz,
@@ -387,28 +385,34 @@ func runStep(h *cache.Hierarchy, snk *sink, core int, w Workload, simN int, offs
 // streams from DRAM.
 func freshBytesPerStep(w Workload, simN int) float64 {
 	if w.Sparse {
-		nnz := int(w.Density * float64(simN))
-		if nnz < 1 {
-			nnz = 1
-		}
+		nnz := workloadNNZ(w, simN)
 		return float64(nnz) * (w.D.Bytes() + float64(w.IdxBits)/8) * float64(w.MiniBatch)
 	}
 	return float64(simN) * w.D.Bytes() * float64(w.MiniBatch)
 }
 
 // stepStreamBytes returns how far the dataset stream advances per round,
-// so successive rounds touch fresh data.
+// so successive rounds touch fresh data. The per-example byte count is
+// ceiled to whole bytes before rounding up to a full line, so fractional
+// storage widths (packed 4-bit) never under-count the final line.
 func stepStreamBytes(w Workload, simN int) uint64 {
+	var per float64
 	if w.Sparse {
-		nnz := int(w.Density * float64(simN))
-		if nnz < 1 {
-			nnz = 1
-		}
-		per := float64(nnz) * (w.D.Bytes() + float64(w.IdxBits)/8)
-		return uint64(per+63) / 64 * 64 * uint64(w.MiniBatch+1)
+		nnz := workloadNNZ(w, simN)
+		per = float64(nnz) * (w.D.Bytes() + float64(w.IdxBits)/8)
+	} else {
+		per = float64(simN) * w.D.Bytes()
 	}
-	per := float64(simN) * w.D.Bytes()
-	return (uint64(per) + 63) / 64 * 64 * uint64(w.MiniBatch+1)
+	return (ceilBytes(per) + 63) / 64 * 64 * uint64(w.MiniBatch+1)
+}
+
+// ceilBytes rounds a fractional byte count up to whole bytes.
+func ceilBytes(x float64) uint64 {
+	u := uint64(x)
+	if float64(u) < x {
+		u++
+	}
+	return u
 }
 
 func validate(mc Config, w Workload) error {

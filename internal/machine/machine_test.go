@@ -285,6 +285,75 @@ func TestSparseMiniBatch(t *testing.T) {
 	}
 }
 
+func TestMeasuredStepsCountsAllCores(t *testing.T) {
+	// MeasuredSteps is the total number of per-core steps in the window:
+	// one step per core per measured round.
+	const threads = 4
+	r, err := Simulate(Xeon(), denseW(kernels.I8, kernels.I8, 1<<12, threads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := measRounds * threads; r.MeasuredSteps != want {
+		t.Errorf("MeasuredSteps = %d, want %d (%d rounds x %d cores)", r.MeasuredSteps, want, measRounds, threads)
+	}
+}
+
+func TestStepStreamBytesCeilsFractionalWidths(t *testing.T) {
+	// Integral per-step byte counts round to lines exactly as before.
+	d := Workload{D: kernels.I8, ModelSize: 1000, MiniBatch: 1}
+	if got := stepStreamBytes(d, 1000); got != 2048 { // 1000 B -> 16 lines, x(B+1)
+		t.Errorf("dense integral stream bytes = %d, want 2048", got)
+	}
+	// A packed 4-bit dense stream of 129 elements is 64.5 bytes: the
+	// partial second line must still be streamed (two lines), where the
+	// old truncate-then-round computed one.
+	d4 := Workload{D: kernels.I4, ModelSize: 129, MiniBatch: 1}
+	if got := stepStreamBytes(d4, 129); got != 256 {
+		t.Errorf("dense fractional stream bytes = %d, want 256", got)
+	}
+	// Sparse path: 43 nonzeros at 1.5 bytes each (4-bit values, 8-bit
+	// indexes) is 64.5 bytes -> two lines, same ceil rule.
+	s := Workload{Sparse: true, D: kernels.I4, IdxBits: 8, Density: 0.043, ModelSize: 1000, MiniBatch: 1}
+	if got := stepStreamBytes(s, 1000); got != 256 {
+		t.Errorf("sparse fractional stream bytes = %d, want 256", got)
+	}
+}
+
+func TestComputeCyclesMemoized(t *testing.T) {
+	mc := Xeon()
+	w := denseW(kernels.I8, kernels.I8, 1<<14, 1)
+	elems, cycles, err := computeCycles(mc, w, w.ModelSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, bc, err := buildStreamCost(mc, w, w.ModelSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elems != be || cycles != bc {
+		t.Errorf("memoized (%d, %v) != built (%d, %v)", elems, cycles, be, bc)
+	}
+	// A fresh but equal cost model must share the cache entry (keys are
+	// by value), and repeated lookups must be stable.
+	mc2 := Xeon()
+	e2, c2, err := computeCycles(mc2, w, w.ModelSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 != elems || c2 != cycles {
+		t.Errorf("cache lookup drifted: (%d, %v) vs (%d, %v)", e2, c2, elems, cycles)
+	}
+	// Points that differ in a stream-relevant axis must not collide.
+	w16 := denseW(kernels.I16, kernels.I16, 1<<14, 1)
+	_, c16, err := computeCycles(mc, w16, w16.ModelSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c16 == cycles {
+		t.Error("distinct precisions should cost differently")
+	}
+}
+
 func TestFreshBytesPerStep(t *testing.T) {
 	d := Workload{D: kernels.I8, ModelSize: 1000, MiniBatch: 2}
 	if got := freshBytesPerStep(d, 1000); got != 2000 {

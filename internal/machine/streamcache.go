@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"sync"
+
+	"buckwild/internal/kernels"
+	"buckwild/internal/simd"
+)
+
+// streamKey identifies one kernel instruction-stream costing: every input
+// computeCycles depends on. Sweep points that differ only in threads,
+// prefetch, obstinacy or sockets map to the same key, so a sweep over
+// those axes builds and costs each stream once.
+type streamKey struct {
+	// cost is the cost model by value (CostModel is a comparable struct),
+	// so two machines with equal models share entries regardless of
+	// pointer identity.
+	cost        simd.CostModel
+	sparse      bool
+	d, m        kernels.Prec
+	idxBits     uint
+	variant     kernels.Variant
+	quant       kernels.QuantKind
+	quantPeriod int
+	simN        int
+	nnz         int
+	miniBatch   int
+	seed        uint64
+}
+
+type streamVal struct {
+	elems  int
+	cycles float64
+}
+
+// streamCache memoizes computeCycles across Simulate calls. A sync.Map
+// fits the access pattern (each key written once, read many times) and
+// keeps the cache safe under the sweep worker pool. Growth is bounded by
+// the number of distinct kernel configurations a process sweeps, which is
+// small compared to the sweep grid itself.
+var streamCache sync.Map
+
+// computeCycles returns the dataset elements processed per step and the
+// compute cycles of one mini-batch step, memoizing the underlying stream
+// construction.
+func computeCycles(mc Config, w Workload, simN int) (elems int, cycles float64, err error) {
+	key := streamKey{
+		cost:        *mc.Cost,
+		sparse:      w.Sparse,
+		d:           w.D,
+		m:           w.M,
+		idxBits:     w.IdxBits,
+		variant:     w.Variant,
+		quant:       w.Quant,
+		quantPeriod: w.QuantPeriod,
+		simN:        simN,
+		nnz:         workloadNNZ(w, simN),
+		miniBatch:   w.MiniBatch,
+		seed:        w.Seed,
+	}
+	if v, ok := streamCache.Load(key); ok {
+		sv := v.(streamVal)
+		return sv.elems, sv.cycles, nil
+	}
+	elems, cycles, err = buildStreamCost(mc, w, simN)
+	if err != nil {
+		return 0, 0, err
+	}
+	streamCache.Store(key, streamVal{elems: elems, cycles: cycles})
+	return elems, cycles, nil
+}
+
+// workloadNNZ returns the per-example nonzero count of a sparse workload
+// (0 for dense ones).
+func workloadNNZ(w Workload, simN int) int {
+	if !w.Sparse {
+		return 0
+	}
+	nnz := int(w.Density * float64(simN))
+	if nnz < 1 {
+		nnz = 1
+	}
+	return nnz
+}

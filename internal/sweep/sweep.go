@@ -1,0 +1,100 @@
+// Package sweep fans independent simulation points out over a worker
+// pool. The paper's evaluation is a grid of embarrassingly-parallel
+// machine.Simulate points (each owns its own cache.Hierarchy and PRNG
+// seed), yet the experiments driver used to walk them strictly
+// sequentially; this package gives every sweep the machine's cores while
+// keeping results in deterministic input order.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+
+	"buckwild/internal/machine"
+)
+
+// Map runs fn(i) for every i in [0, n) on a pool of workers goroutines
+// and returns the results in input order. workers <= 0 selects
+// runtime.GOMAXPROCS(0); the pool never exceeds n. If any calls fail, Map
+// returns the error of the lowest-indexed failure — the same error a
+// sequential loop would surface first — regardless of worker count or
+// scheduling, so parallel and serial runs are interchangeable.
+func Map[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]R, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	var (
+		mu     sync.Mutex
+		next   int
+		errIdx = n
+		first  error
+		wg     sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		// Indexes past the lowest failure cannot change the outcome;
+		// skip them so errors cancel the remaining work.
+		if next >= n || next >= errIdx {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if i < errIdx {
+			errIdx, first = i, err
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				r, err := fn(i)
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return results, nil
+}
+
+// Simulate runs every workload point on the machine configuration through
+// the worker pool and returns the results in input order.
+func Simulate(mc machine.Config, points []machine.Workload, workers int) ([]*machine.Result, error) {
+	return Map(workers, len(points), func(i int) (*machine.Result, error) {
+		return machine.Simulate(mc, points[i])
+	})
+}

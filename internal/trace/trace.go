@@ -84,19 +84,18 @@ func Dense(h *cache.Hierarchy, sink Sink, core int, cfg DenseConfig, exampleOffs
 	exBytes := ceilU(float64(cfg.ModelElems) * cfg.DatasetBytesPerElem)
 	modelBytes := ceilU(float64(cfg.ModelElems) * cfg.ModelBytesPerElem)
 	dsBase := cfg.Regions.datasetBase(core) + exampleOffset
-	rec := func(kind Kind, addr uint64, write, model bool) {
-		lat, coh := h.AccessInfo(core, addr, write, model)
-		sink.Record(core, kind, write, lat, coh)
-	}
 	// Dot phase: for each example in the batch, stream the example and
-	// read the model.
+	// read the model. The hierarchy and sink are called directly — this
+	// loop is the simulator's innermost hot path.
 	for b := 0; b < cfg.MiniBatch; b++ {
 		base := dsBase + uint64(b)*roundUp(exBytes, ls)
 		for a := uint64(0); a < exBytes; a += ls {
-			rec(DatasetStream, base+a, false, false)
+			lat, coh := h.AccessInfo(core, base+a, false, false)
+			sink.Record(core, DatasetStream, false, lat, coh)
 		}
 		for a := uint64(0); a < modelBytes; a += ls {
-			rec(ModelSeq, cfg.Regions.ModelBase+a, false, true)
+			lat, coh := h.AccessInfo(core, cfg.Regions.ModelBase+a, false, true)
+			sink.Record(core, ModelSeq, false, lat, coh)
 		}
 	}
 	// AXPY phase: one pass re-reading the batch examples (still hot in
@@ -104,12 +103,15 @@ func Dense(h *cache.Hierarchy, sink Sink, core int, cfg DenseConfig, exampleOffs
 	for b := 0; b < cfg.MiniBatch; b++ {
 		base := dsBase + uint64(b)*roundUp(exBytes, ls)
 		for a := uint64(0); a < exBytes; a += ls {
-			rec(DatasetStream, base+a, false, false)
+			lat, coh := h.AccessInfo(core, base+a, false, false)
+			sink.Record(core, DatasetStream, false, lat, coh)
 		}
 	}
 	for a := uint64(0); a < modelBytes; a += ls {
-		rec(ModelSeq, cfg.Regions.ModelBase+a, false, true)
-		rec(ModelSeq, cfg.Regions.ModelBase+a, true, true)
+		lat, coh := h.AccessInfo(core, cfg.Regions.ModelBase+a, false, true)
+		sink.Record(core, ModelSeq, false, lat, coh)
+		lat, coh = h.AccessInfo(core, cfg.Regions.ModelBase+a, true, true)
+		sink.Record(core, ModelSeq, true, lat, coh)
 	}
 	return nil
 }
@@ -142,29 +144,29 @@ func Sparse(h *cache.Hierarchy, sink Sink, core int, cfg SparseConfig, exampleOf
 	ls := uint64(h.Config().LineSize)
 	streamBytes := ceilU(float64(cfg.NNZ) * (cfg.ValueBytesPerElem + cfg.IndexBytesPerElem))
 	dsBase := cfg.Regions.datasetBase(core) + exampleOffset
-	rec := func(kind Kind, addr uint64, write, model bool) {
-		lat, coh := h.AccessInfo(core, addr, write, model)
-		sink.Record(core, kind, write, lat, coh)
-	}
 	idx := make([]uint64, cfg.NNZ)
 	for b := 0; b < cfg.MiniBatch; b++ {
 		base := dsBase + uint64(b)*roundUp(streamBytes, ls)
 		for a := uint64(0); a < streamBytes; a += ls {
-			rec(DatasetStream, base+a, false, false)
+			lat, coh := h.AccessInfo(core, base+a, false, false)
+			sink.Record(core, DatasetStream, false, lat, coh)
 		}
 		for j := range idx {
 			e := rng.Uint64() % uint64(cfg.ModelElems)
 			idx[j] = cfg.Regions.ModelBase + ceilU(float64(e)*cfg.ModelBytesPerElem)
 			// Dot gather.
-			rec(ModelRandom, idx[j], false, true)
+			lat, coh := h.AccessInfo(core, idx[j], false, true)
+			sink.Record(core, ModelRandom, false, lat, coh)
 		}
 		// AXPY scatter over the same coordinates (B=1 semantics; for
 		// mini-batches the update coordinates are the union, which we
 		// approximate by updating per example -- the gather cost
 		// dominates either way).
 		for _, a := range idx {
-			rec(ModelRandom, a, false, true)
-			rec(ModelRandom, a, true, true)
+			lat, coh := h.AccessInfo(core, a, false, true)
+			sink.Record(core, ModelRandom, false, lat, coh)
+			lat, coh = h.AccessInfo(core, a, true, true)
+			sink.Record(core, ModelRandom, true, lat, coh)
 		}
 	}
 	return nil
