@@ -15,7 +15,13 @@
 //   - an FPGA design model reproducing the Section 8 study;
 //   - synchronous quantized-gradient training with error feedback
 //     (TrainSync), LIBSVM input (LoadLibSVM) and model persistence
-//     (SaveModelFile / LoadModelFile).
+//     (SaveModelFile / LoadModelFile);
+//   - run-level observability: training hooks, per-run counters and a
+//     sampled write–read staleness histogram (Hooks, RunStats), collected
+//     only when requested and free otherwise.
+//
+// All configuration errors carry the "buckwild:" prefix and are reported
+// by Config.Validate before any work starts.
 //
 // The top-level package is a thin facade over the internal packages; see
 // the examples directory for runnable end-to-end programs and DESIGN.md
@@ -24,6 +30,7 @@ package buckwild
 
 import (
 	"fmt"
+	"strings"
 
 	"buckwild/internal/core"
 	"buckwild/internal/dataset"
@@ -31,6 +38,7 @@ import (
 	"buckwild/internal/fixed"
 	"buckwild/internal/kernels"
 	"buckwild/internal/machine"
+	"buckwild/internal/obs"
 )
 
 // Signature is a DMGC signature (e.g. "D8M8", "D32fi32M32f"); see
@@ -49,6 +57,51 @@ func PredictThroughput(sig Signature, modelSize, threads int) (float64, error) {
 	return dmgc.DefaultPerfModel().Throughput(sig, modelSize, threads)
 }
 
+// Problem selects the objective being optimized. The zero value means
+// Logistic. Untyped string literals ("logistic") still assign to it, so
+// code written against the old string-typed field keeps compiling.
+type Problem string
+
+// The supported objectives.
+const (
+	// Logistic is binary logistic regression (the paper's main task).
+	Logistic Problem = "logistic"
+	// Linear is least-squares linear regression.
+	Linear Problem = "linear"
+	// SVM is a hinge-loss support vector machine.
+	SVM Problem = "svm"
+)
+
+// String names the problem, resolving the zero value to its default.
+func (p Problem) String() string {
+	if p == "" {
+		return string(Logistic)
+	}
+	return string(p)
+}
+
+// Valid reports whether p names a supported objective.
+func (p Problem) Valid() bool {
+	switch p {
+	case "", Logistic, Linear, SVM:
+		return true
+	}
+	return false
+}
+
+// core maps the facade problem onto the engine's enum.
+func (p Problem) core() (core.Problem, error) {
+	switch p {
+	case "", Logistic:
+		return core.Logistic, nil
+	case Linear:
+		return core.Linear, nil
+	case SVM:
+		return core.SVM, nil
+	}
+	return 0, fmt.Errorf("buckwild: unknown problem %q", string(p))
+}
+
 // Rounding selects the model-write rounding strategy (Section 5.2).
 type Rounding string
 
@@ -65,7 +118,17 @@ const (
 	// UnbiasedShared reuses each XORSHIFT draw across several writes —
 	// the paper's recommended strategy.
 	UnbiasedShared Rounding = "unbiased-shared"
+	// UnbiasedHardware models the Section 6.1 QAXPY instructions rounding
+	// in hardware: statistically like UnbiasedXorshift, but the rounding
+	// costs no instructions. Only the simulated machine distinguishes it.
+	UnbiasedHardware Rounding = "unbiased-hardware"
 )
+
+// Valid reports whether r names a supported strategy.
+func (r Rounding) Valid() bool {
+	_, err := r.kind()
+	return err == nil
+}
 
 func (r Rounding) kind() (kernels.QuantKind, error) {
 	switch r {
@@ -77,9 +140,29 @@ func (r Rounding) kind() (kernels.QuantKind, error) {
 		return kernels.QMersenne, nil
 	case UnbiasedXorshift:
 		return kernels.QXorshift, nil
+	case UnbiasedHardware:
+		return kernels.QHardware, nil
 	}
 	return 0, fmt.Errorf("buckwild: unknown rounding %q", r)
 }
+
+// Observability re-exports: installing Hooks in a Config (or setting
+// CollectStats) makes the engine report progress and fill Result.Stats.
+type (
+	// Hooks receives run-level callbacks; see the obs package for the
+	// concurrency contract. Embed NopHooks to implement a subset.
+	Hooks = obs.Hooks
+	// NopHooks is a Hooks implementation that ignores every callback.
+	NopHooks = obs.NopHooks
+	// EpochInfo, StepInfo and WorkerInfo are the callback payloads.
+	EpochInfo  = obs.EpochInfo
+	StepInfo   = obs.StepInfo
+	WorkerInfo = obs.WorkerInfo
+	// RunStats is the counter snapshot in Result.Stats: steps, model
+	// writes by rounding kind, mutex waits, mini-batch flushes, and the
+	// sampled write–read staleness histogram.
+	RunStats = obs.RunStats
+)
 
 // Config configures a training run. The zero value of optional fields
 // selects the paper's recommended defaults (hand-optimized kernels,
@@ -88,8 +171,9 @@ type Config struct {
 	// Signature sets the precisions, e.g. "D8M8"; the index term must
 	// match the dataset for sparse problems. Empty means full precision.
 	Signature string
-	// Problem is "logistic" (default), "linear" or "svm".
-	Problem string
+	// Problem selects the objective (Logistic, Linear, SVM); the zero
+	// value is Logistic.
+	Problem Problem
 	// Rounding selects the quantization strategy for model writes.
 	Rounding Rounding
 	// GenericKernels disables the hand-optimized kernel semantics
@@ -105,6 +189,62 @@ type Config struct {
 	StepDecay float32
 	Epochs    int
 	Seed      uint64
+
+	// Hooks, when non-nil, receives per-epoch, sampled per-step and
+	// per-worker callbacks during training. CollectStats requests
+	// Result.Stats without hooks. When both are unset the engine runs the
+	// bare algorithm — the only residual cost is one nil check per step.
+	Hooks        Hooks
+	CollectStats bool
+	// StepSample is the per-step sampling period for hooks and the
+	// staleness histogram; 0 means the default (see obs.DefaultStepSample),
+	// 1 samples every step.
+	StepSample int
+}
+
+// Validate checks the configuration without running anything. Every
+// training entry point calls it first, so all bad inputs fail fast with
+// a "buckwild:"-prefixed error; callers building configs from user input
+// can call it directly for early feedback.
+func (c Config) Validate() error {
+	if c.Signature != "" {
+		if _, err := dmgc.Parse(c.Signature); err != nil {
+			return wrapErr(err)
+		}
+	}
+	if !c.Problem.Valid() {
+		return fmt.Errorf("buckwild: unknown problem %q", string(c.Problem))
+	}
+	if _, err := c.Rounding.kind(); err != nil {
+		return err
+	}
+	if c.Threads < 0 {
+		return fmt.Errorf("buckwild: negative thread count %d", c.Threads)
+	}
+	if c.MiniBatch < 0 {
+		return fmt.Errorf("buckwild: negative mini-batch size %d", c.MiniBatch)
+	}
+	if c.Epochs < 0 {
+		return fmt.Errorf("buckwild: negative epoch count %d", c.Epochs)
+	}
+	if c.StepSize < 0 {
+		return fmt.Errorf("buckwild: negative step size %v", c.StepSize)
+	}
+	if c.StepDecay < 0 {
+		return fmt.Errorf("buckwild: negative step decay %v", c.StepDecay)
+	}
+	if c.StepSample < 0 {
+		return fmt.Errorf("buckwild: negative step-sample period %d", c.StepSample)
+	}
+	return nil
+}
+
+// wrapErr gives internal-package errors the facade's uniform prefix.
+func wrapErr(err error) error {
+	if err == nil || strings.HasPrefix(err.Error(), "buckwild:") {
+		return err
+	}
+	return fmt.Errorf("buckwild: %w", err)
 }
 
 // Result re-exports the engine's training result.
@@ -116,7 +256,17 @@ type DenseDataset = dataset.DenseSet
 // SparseDataset is a coordinate-form sparse dataset.
 type SparseDataset = dataset.SparseSet
 
+func (c Config) observer() *obs.Observer {
+	if c.Hooks == nil && !c.CollectStats {
+		return nil
+	}
+	return &obs.Observer{Hooks: c.Hooks, StepSample: c.StepSample}
+}
+
 func (c Config) coreConfig(sparse bool, idxBits uint) (core.Config, error) {
+	if err := c.Validate(); err != nil {
+		return core.Config{}, err
+	}
 	sigText := c.Signature
 	if sigText == "" {
 		if sparse {
@@ -127,7 +277,7 @@ func (c Config) coreConfig(sparse bool, idxBits uint) (core.Config, error) {
 	}
 	sig, err := dmgc.Parse(sigText)
 	if err != nil {
-		return core.Config{}, err
+		return core.Config{}, wrapErr(err)
 	}
 	if sparse != sig.Sparse() {
 		return core.Config{}, fmt.Errorf("buckwild: signature %v sparsity does not match the dataset", sig)
@@ -143,16 +293,9 @@ func (c Config) coreConfig(sparse bool, idxBits uint) (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
-	var prob core.Problem
-	switch c.Problem {
-	case "", "logistic":
-		prob = core.Logistic
-	case "linear":
-		prob = core.Linear
-	case "svm":
-		prob = core.SVM
-	default:
-		return core.Config{}, fmt.Errorf("buckwild: unknown problem %q", c.Problem)
+	prob, err := c.Problem.core()
+	if err != nil {
+		return core.Config{}, err
 	}
 	kind, err := c.Rounding.kind()
 	if err != nil {
@@ -192,6 +335,7 @@ func (c Config) coreConfig(sparse bool, idxBits uint) (core.Config, error) {
 		Epochs:      c.Epochs,
 		Sharing:     sharing,
 		Seed:        c.Seed,
+		Observer:    c.observer(),
 	}, nil
 }
 
@@ -223,14 +367,26 @@ func TrainDense(cfg Config, ds *DenseDataset) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("buckwild: empty dataset")
+	}
+	if ds.X[0].P != cc.D {
+		return nil, fmt.Errorf("buckwild: dataset stored at %v but signature wants %v", ds.X[0].P, cc.D)
+	}
 	return core.TrainDense(cc, ds)
 }
 
 // TrainSparse runs Buckwild! SGD on a sparse dataset.
 func TrainSparse(cfg Config, ds *SparseDataset) (*Result, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("buckwild: empty dataset")
+	}
 	cc, err := cfg.coreConfig(true, ds.IdxBits)
 	if err != nil {
 		return nil, err
+	}
+	if ds.Val[0].P != cc.D {
+		return nil, fmt.Errorf("buckwild: dataset stored at %v but signature wants %v", ds.Val[0].P, cc.D)
 	}
 	return core.TrainSparse(cc, ds)
 }
@@ -239,9 +395,12 @@ func TrainSparse(cfg Config, ds *SparseDataset) (*Result, error) {
 // paper's generative model, quantized at the signature's dataset
 // precision.
 func GenerateDense(sigText string, n, m int, seed uint64) (*DenseDataset, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("buckwild: dataset dimensions must be positive (n=%d, m=%d)", n, m)
+	}
 	sig, err := dmgc.Parse(orDefault(sigText, "D32fM32f"))
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	p, err := precOf(sig.DatasetBits(), sig.D.Float || !sig.D.Present)
 	if err != nil {
@@ -255,9 +414,15 @@ func GenerateDense(sigText string, n, m int, seed uint64) (*DenseDataset, error)
 // GenerateSparse samples a sparse dataset at the signature's dataset and
 // index precisions with the given density (the paper uses 0.03).
 func GenerateSparse(sigText string, n, m int, density float64, seed uint64) (*SparseDataset, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("buckwild: dataset dimensions must be positive (n=%d, m=%d)", n, m)
+	}
+	if density <= 0 || density > 1 {
+		return nil, fmt.Errorf("buckwild: density %v out of (0, 1]", density)
+	}
 	sig, err := dmgc.Parse(orDefault(sigText, "D32fi32M32f"))
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	if !sig.Sparse() {
 		return nil, fmt.Errorf("buckwild: signature %v has no index term", sig)
@@ -282,14 +447,89 @@ func orDefault(s, def string) string {
 // MachineResult re-exports the simulated-machine result.
 type MachineResult = machine.Result
 
-// SimulateThroughput runs the simulated Xeon on a dense SGD workload with
-// the given signature and returns its predicted hardware efficiency. It is
+// Toggle is a three-state boolean whose zero value means "use the
+// default", so SimOptions' zero value changes nothing.
+type Toggle int
+
+// Toggle states.
+const (
+	// DefaultToggle keeps the option's documented default.
+	DefaultToggle Toggle = iota
+	// On and Off force the option.
+	On
+	Off
+)
+
+// enabled resolves the toggle against its default.
+func (t Toggle) enabled(def bool) bool {
+	switch t {
+	case On:
+		return true
+	case Off:
+		return false
+	}
+	return def
+}
+
+// SimOptions customizes SimulateThroughput's workload. The zero value
+// reproduces the historical hard-coded behaviour exactly:
+//
+//	Variant  ""  → hand-optimized kernels; the Section 6.1 proposed
+//	               instructions when either precision is 4-bit
+//	Rounding ""  → UnbiasedShared with the paper's reuse period of 8
+//	Density  0   → 0.03 (sparse workloads only)
+//	Prefetch 0   → on (DefaultToggle)
+//	Seed     0   → 1
+type SimOptions struct {
+	// Variant is "handopt", "generic" or "newinsn"; empty selects the
+	// precision-appropriate default above.
+	Variant string
+	// Rounding selects the simulated rounding strategy; UnbiasedHardware
+	// models the proposed QAXPY instructions.
+	Rounding Rounding
+	// Density is the sparse nonzero fraction.
+	Density float64
+	// Prefetch toggles the hardware prefetcher (Section 5.3).
+	Prefetch Toggle
+	// Seed seeds the simulated cache and trace randomness.
+	Seed uint64
+}
+
+func (o SimOptions) variant(d, m kernels.Prec) (kernels.Variant, error) {
+	switch o.Variant {
+	case "":
+		if d == kernels.I4 || m == kernels.I4 {
+			return kernels.NewInsn, nil
+		}
+		return kernels.HandOpt, nil
+	case "handopt":
+		return kernels.HandOpt, nil
+	case "generic":
+		return kernels.Generic, nil
+	case "newinsn":
+		return kernels.NewInsn, nil
+	}
+	return 0, fmt.Errorf("buckwild: unknown kernel variant %q (use handopt, generic or newinsn)", o.Variant)
+}
+
+// SimulateThroughput runs the simulated Xeon on an SGD workload with the
+// given signature and returns its predicted hardware efficiency. It is
 // the programmatic interface to the Table 2 / Figure 2 experiments;
-// cmd/experiments exposes the full sweeps.
-func SimulateThroughput(sigText string, modelSize, threads int) (*MachineResult, error) {
+// cmd/experiments exposes the full sweeps. At most one SimOptions may be
+// given; omitting it (or passing its zero value) keeps the historical
+// workload documented on SimOptions.
+func SimulateThroughput(sigText string, modelSize, threads int, opts ...SimOptions) (*MachineResult, error) {
+	var o SimOptions
+	switch len(opts) {
+	case 0:
+	case 1:
+		o = opts[0]
+	default:
+		return nil, fmt.Errorf("buckwild: at most one SimOptions, got %d", len(opts))
+	}
 	sig, err := dmgc.Parse(sigText)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	d, err := precOf(sig.DatasetBits(), sig.D.Float || !sig.D.Present)
 	if err != nil {
@@ -299,22 +539,38 @@ func SimulateThroughput(sigText string, modelSize, threads int) (*MachineResult,
 	if err != nil {
 		return nil, err
 	}
+	variant, err := o.variant(d, m)
+	if err != nil {
+		return nil, err
+	}
+	quant, err := o.Rounding.kind()
+	if err != nil {
+		return nil, err
+	}
+	density := o.Density
+	if density == 0 {
+		density = 0.03
+	}
+	if density < 0 || density > 1 {
+		return nil, fmt.Errorf("buckwild: density %v out of (0, 1]", density)
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
 	w := machine.Workload{
 		Sparse:      sig.Sparse(),
 		D:           d,
 		M:           m,
 		IdxBits:     sig.IndexBits(),
-		Variant:     kernels.HandOpt,
-		Quant:       kernels.QShared,
+		Variant:     variant,
+		Quant:       quant,
 		QuantPeriod: 8,
 		ModelSize:   modelSize,
-		Density:     0.03,
+		Density:     density,
 		Threads:     threads,
-		Prefetch:    true,
-		Seed:        1,
-	}
-	if w.D == kernels.I4 || w.M == kernels.I4 {
-		w.Variant = kernels.NewInsn
+		Prefetch:    o.Prefetch.enabled(true),
+		Seed:        seed,
 	}
 	return machine.Simulate(machine.Xeon(), w)
 }

@@ -2,6 +2,8 @@ package buckwild
 
 import (
 	"os"
+	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -269,5 +271,190 @@ func TestTrainSyncFacade(t *testing.T) {
 	}
 	if _, err := TrainSync(SyncConfig{CommBits: 0}, ds); err == nil {
 		t.Error("zero CommBits should fail")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Signature: "bogus"},
+		{Problem: "ridge"},
+		{Rounding: "unbiased-quantum"},
+		{Threads: -1},
+		{MiniBatch: -2},
+		{Epochs: -1},
+		{StepSize: -0.5},
+		{StepDecay: -1},
+		{StepSample: -3},
+	}
+	for i, cfg := range bad {
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("case %d (%+v): Validate accepted a bad config", i, cfg)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "buckwild:") {
+			t.Errorf("case %d: error %q lacks the buckwild: prefix", i, err)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config should validate: %v", err)
+	}
+	if err := (Config{Signature: "D8M8", Problem: SVM, Rounding: Biased, Threads: 4}).Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestValidateRoutedThroughEntryPoints(t *testing.T) {
+	bad := Config{Problem: "ridge", Epochs: 1}
+	ds, err := GenerateDense("", 16, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainDense(bad, ds); err == nil || !strings.HasPrefix(err.Error(), "buckwild:") {
+		t.Errorf("TrainDense: %v", err)
+	}
+	sds, err := GenerateSparse("D8i16M8", 64, 128, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badSparse := Config{Signature: "D8i16M8", Rounding: "nope", Epochs: 1}
+	if _, err := TrainSparse(badSparse, sds); err == nil || !strings.HasPrefix(err.Error(), "buckwild:") {
+		t.Errorf("TrainSparse: %v", err)
+	}
+	if _, err := TrainDense(Config{Epochs: 1}, nil); err == nil || !strings.HasPrefix(err.Error(), "buckwild:") {
+		t.Errorf("nil dataset: %v", err)
+	}
+	if _, err := TrainSparse(Config{Epochs: 1}, &SparseDataset{}); err == nil || !strings.HasPrefix(err.Error(), "buckwild:") {
+		t.Errorf("empty sparse dataset: %v", err)
+	}
+	if _, err := GenerateDense("bogus", 8, 8, 1); err == nil || !strings.HasPrefix(err.Error(), "buckwild:") {
+		t.Errorf("GenerateDense bad signature: %v", err)
+	}
+	if _, err := GenerateDense("", 0, 8, 1); err == nil || !strings.HasPrefix(err.Error(), "buckwild:") {
+		t.Errorf("GenerateDense zero n: %v", err)
+	}
+	if _, err := GenerateSparse("D8i16M8", 8, 8, 0, 1); err == nil || !strings.HasPrefix(err.Error(), "buckwild:") {
+		t.Errorf("GenerateSparse zero density: %v", err)
+	}
+	// Precision mismatches are caught at the facade with its prefix.
+	if _, err := TrainDense(Config{Signature: "D16M16", Epochs: 1}, ds); err == nil || !strings.HasPrefix(err.Error(), "buckwild:") {
+		t.Errorf("precision mismatch: %v", err)
+	}
+}
+
+func TestTypedProblemCompat(t *testing.T) {
+	// Untyped string literals must still assign to the typed field.
+	cfg := Config{Problem: "svm"}
+	if cfg.Problem != SVM {
+		t.Errorf("literal %q != SVM", cfg.Problem)
+	}
+	if Problem("").String() != "logistic" {
+		t.Errorf("zero problem = %q", Problem("").String())
+	}
+	for _, p := range []Problem{"", Logistic, Linear, SVM} {
+		if !p.Valid() {
+			t.Errorf("%q should be valid", p)
+		}
+	}
+	if Problem("ridge").Valid() {
+		t.Error("ridge should be invalid")
+	}
+	// SyncConfig shares the typed problem.
+	if _, err := TrainSync(SyncConfig{Problem: "ridge"}, &DenseDataset{}); err == nil {
+		t.Error("bad sync problem accepted")
+	}
+}
+
+func TestSimOptionsZeroValueIdentity(t *testing.T) {
+	for _, sig := range []string{"D8M8", "D4M4", "D8i16M8"} {
+		base, err := SimulateThroughput(sig, 1<<12, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := SimulateThroughput(sig, 1<<12, 4, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.GNPS != opt.GNPS || base.CyclesPerRound != opt.CyclesPerRound {
+			t.Errorf("%s: zero SimOptions changed the result: %v vs %v", sig, base.GNPS, opt.GNPS)
+		}
+	}
+}
+
+func TestSimOptionsVariants(t *testing.T) {
+	gen, err := SimulateThroughput("D8M8", 1<<14, 1, SimOptions{Variant: "generic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, err := SimulateThroughput("D8M8", 1<<14, 1, SimOptions{Variant: "handopt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hand.GNPS <= gen.GNPS {
+		t.Errorf("handopt (%.3f) should beat generic (%.3f)", hand.GNPS, gen.GNPS)
+	}
+	npf, err := SimulateThroughput("D8M8", 1<<18, 1, SimOptions{Prefetch: Off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if npf.GNPS >= hand.GNPS*4 {
+		t.Errorf("prefetch-off result implausible: %.3f", npf.GNPS)
+	}
+	if _, err := SimulateThroughput("D8M8", 1<<12, 1, SimOptions{Variant: "jit"}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if _, err := SimulateThroughput("D8M8", 1<<12, 1, SimOptions{Density: 2}); err == nil {
+		t.Error("bad density accepted")
+	}
+	if _, err := SimulateThroughput("D8M8", 1<<12, 1, SimOptions{}, SimOptions{}); err == nil {
+		t.Error("two SimOptions accepted")
+	}
+	if _, err := SimulateThroughput("D8M8", 1<<12, 1, SimOptions{Rounding: UnbiasedHardware}); err != nil {
+		t.Errorf("hardware rounding: %v", err)
+	}
+}
+
+// facadeHooks counts callbacks through the re-exported aliases.
+type facadeHooks struct {
+	NopHooks
+	epochs atomic.Uint64
+}
+
+func (h *facadeHooks) OnEpoch(EpochInfo) { h.epochs.Add(1) }
+
+func TestFacadeObservability(t *testing.T) {
+	ds, err := GenerateDense("D8M8", 64, 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &facadeHooks{}
+	res, err := TrainDense(Config{
+		Signature: "D8M8", Threads: 2, Epochs: 2, Seed: 3,
+		Hooks: h, StepSample: 1,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.epochs.Load() != 2 {
+		t.Errorf("OnEpoch fired %d times, want 2", h.epochs.Load())
+	}
+	if res.Stats == nil || res.Stats.Steps != 2*256 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	// CollectStats without hooks still fills Result.Stats.
+	res, err = TrainDense(Config{Signature: "D8M8", Epochs: 1, CollectStats: true}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.Steps != 256 {
+		t.Errorf("CollectStats stats = %+v", res.Stats)
+	}
+	// And without either, training is uninstrumented.
+	res, err = TrainDense(Config{Signature: "D8M8", Epochs: 1}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != nil {
+		t.Error("Stats should be nil without hooks or CollectStats")
 	}
 }

@@ -12,9 +12,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"buckwild"
+	"buckwild/internal/obs"
 )
+
+// fatal logs err and exits. Facade errors already carry a "buckwild: "
+// prefix, which would stutter with the log prefix; trim it.
+func fatal(err error) {
+	log.Fatal(strings.TrimPrefix(err.Error(), "buckwild: "))
+}
 
 func main() {
 	log.SetFlags(0)
@@ -38,6 +46,9 @@ func main() {
 		predict  = flag.Bool("predict", true, "also print the Section 4 performance-model prediction")
 		data     = flag.String("data", "", "LIBSVM-format training file (implies -sparse; overrides -n/-m)")
 		save     = flag.String("save", "", "write the trained model to this file")
+		stats    = flag.Bool("stats", false, "collect and print run counters (steps, writes, staleness)")
+		report   = flag.String("report", "", "write a JSON run report to this file (implies -stats)")
+		httpAddr = flag.String("http", "", "serve /debug/obs and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 
@@ -51,7 +62,7 @@ func main() {
 
 	cfg := buckwild.Config{
 		Signature:      *sig,
-		Problem:        *problem,
+		Problem:        buckwild.Problem(*problem),
 		Rounding:       buckwild.Rounding(*rounding),
 		GenericKernels: *generic,
 		Locked:         *locked,
@@ -61,13 +72,26 @@ func main() {
 		StepDecay:      float32(*decay),
 		Epochs:         *epochs,
 		Seed:           *seed,
+		CollectStats:   *stats || *report != "",
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoints on http://%s/debug/obs and /debug/pprof\n", srv.Addr)
 	}
 
 	var res *buckwild.Result
 	if *data != "" {
 		ds, err := buckwild.LoadLibSVM(*data, *sig)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("loaded %d examples, %d features from %s\n", ds.Len(), ds.N, *data)
 		if *step == 0 {
@@ -76,25 +100,25 @@ func main() {
 		}
 		res, err = buckwild.TrainSparse(cfg, ds)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	} else if *sparse {
 		ds, err := buckwild.GenerateSparse(*sig, *n, *m, *density, *seed)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		res, err = buckwild.TrainSparse(cfg, ds)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	} else {
 		ds, err := buckwild.GenerateDense(*sig, *n, *m, *seed)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		res, err = buckwild.TrainDense(cfg, ds)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
@@ -107,9 +131,36 @@ func main() {
 	fmt.Printf("\n%d updates in %v (%.1f M numbers/s on this host)\n",
 		res.Steps, res.Elapsed.Round(1e6), res.NumbersPerSec/1e6)
 
+	if res.Stats != nil {
+		s := res.Stats
+		fmt.Printf("run counters: %d steps, %d mutex waits, %d batch flushes\n",
+			s.Steps, s.MutexWaits, s.BatchFlushes)
+		for kind, n := range s.ModelWrites {
+			fmt.Printf("  model writes (%s): %d\n", kind, n)
+		}
+		fmt.Printf("  staleness over %d sampled steps: mean %.2f, max %d writes\n",
+			s.Staleness.Count, s.Staleness.Mean(), s.Staleness.Max)
+	}
+	if *report != "" {
+		out := struct {
+			Signature string             `json:"signature"`
+			Problem   string             `json:"problem"`
+			Rounding  string             `json:"rounding"`
+			Threads   int                `json:"threads"`
+			MiniBatch int                `json:"mini_batch"`
+			Epochs    int                `json:"epochs"`
+			TrainLoss []float64          `json:"train_loss"`
+			Stats     *buckwild.RunStats `json:"stats"`
+		}{*sig, cfg.Problem.String(), *rounding, *threads, *batch, *epochs, res.TrainLoss, res.Stats}
+		if err := obs.WriteJSON(*report, out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run report written to %s\n", *report)
+	}
+
 	if *save != "" {
 		if err := buckwild.SaveModelFile(*save, *sig, res.W); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("model saved to %s\n", *save)
 	}

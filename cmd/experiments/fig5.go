@@ -8,6 +8,7 @@ import (
 	"buckwild/internal/dmgc"
 	"buckwild/internal/kernels"
 	"buckwild/internal/machine"
+	"buckwild/internal/obs"
 	"buckwild/internal/simd"
 	"buckwild/internal/sweep"
 )
@@ -40,22 +41,28 @@ func runFig5a(quick bool) error {
 	}
 	// Sequential-sharing trainings are deterministic, so the strategies
 	// can train on worker goroutines without changing the loss curves.
+	// Each closure writes only its own tstats slot; reportTrain reads
+	// them after the sweep completes.
+	tstats := make([]*obs.RunStats, len(strategies))
 	losses, err := sweep.Map(*workers, len(strategies), func(i int) ([]float64, error) {
 		cfg := core.Config{
 			Problem: core.Logistic, D: kernels.I8, M: kernels.I8,
 			Variant: kernels.HandOpt, Quant: strategies[i].kind, QuantPeriod: 8,
 			Threads: 1, StepSize: 0.02, Epochs: epochs,
 			Sharing: core.Sequential, Seed: 9,
+			Observer: trainObserver(),
 		}
 		res, err := core.TrainDense(cfg, ds)
 		if err != nil {
 			return nil, err
 		}
+		tstats[i] = res.Stats
 		return res.TrainLoss, nil
 	})
 	if err != nil {
 		return err
 	}
+	reportTrain(tstats...)
 	header(append([]string{"epoch"}, names(strategies)...)...)
 	for e := 0; e <= epochs; e++ {
 		cells := []interface{}{e}

@@ -8,6 +8,7 @@ import (
 	"buckwild/internal/dmgc"
 	"buckwild/internal/kernels"
 	"buckwild/internal/machine"
+	"buckwild/internal/obs"
 	"buckwild/internal/sweep"
 )
 
@@ -138,23 +139,29 @@ func runFig6e(quick bool) error {
 	}
 	bs := []int{1, 4, 16, 64, 256}
 	// Sequential-sharing trainings are deterministic, so the batch sizes
-	// can train concurrently without changing the losses.
+	// can train concurrently without changing the losses. Each closure
+	// writes only its own tstats slot; reportTrain reads them after the
+	// sweep completes.
+	tstats := make([]*obs.RunStats, len(bs))
 	finals, err := sweep.Map(*workers, len(bs), func(i int) (float64, error) {
 		cfg := core.Config{
 			Problem: core.Logistic, D: kernels.I8, M: kernels.I8,
 			Variant: kernels.HandOpt, Quant: kernels.QShared, QuantPeriod: 8,
 			Threads: 1, MiniBatch: bs[i], StepSize: 0.1, Epochs: epochs,
 			Sharing: core.Sequential, Seed: 5,
+			Observer: trainObserver(),
 		}
 		res, err := core.TrainDense(cfg, ds)
 		if err != nil {
 			return 0, err
 		}
+		tstats[i] = res.Stats
 		return res.TrainLoss[len(res.TrainLoss)-1], nil
 	})
 	if err != nil {
 		return err
 	}
+	reportTrain(tstats...)
 	header("mini-batch B", "final training loss")
 	for i, b := range bs {
 		row(b, finals[i])
@@ -175,23 +182,29 @@ func runFig6f(quick bool) error {
 	qs := []float64{0, 0.25, 0.5, 0.75, 0.95}
 	// Racy-sharing trainings race by design, so their losses vary run to
 	// run regardless of how the sweep is scheduled; each point still
-	// trains its own private model.
+	// trains its own private model (and its own counter shards, which
+	// stay exact — only the model races). Each closure writes only its
+	// own tstats slot; reportTrain reads them after the sweep completes.
+	tstats := make([]*obs.RunStats, len(qs))
 	finals, err := sweep.Map(*workers, len(qs), func(i int) (float64, error) {
 		cfg := core.Config{
 			Problem: core.Logistic, D: kernels.I8, M: kernels.I8,
 			Variant: kernels.HandOpt, Quant: kernels.QShared, QuantPeriod: 8,
 			Threads: 4, StepSize: 0.1, Epochs: epochs,
 			Sharing: core.Racy, ObstinateQ: qs[i], Seed: 6,
+			Observer: trainObserver(),
 		}
 		res, err := core.TrainDense(cfg, ds)
 		if err != nil {
 			return 0, err
 		}
+		tstats[i] = res.Stats
 		return res.TrainLoss[len(res.TrainLoss)-1], nil
 	})
 	if err != nil {
 		return err
 	}
+	reportTrain(tstats...)
 	header("obstinacy q", "final training loss")
 	for i, q := range qs {
 		row(fmt.Sprintf("%.2f", q), finals[i])

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-workers n] [-json path] [-cpuprofile path] <id> [<id> ...]
+//	experiments [-quick] [-workers n] [-json path] [-report path] [-cpuprofile path] <id> [<id> ...]
 //	experiments all
 //
 // where <id> is one of: table1 table2 table3 fig2 fig3 fig4a fig4b fig4c
@@ -12,8 +12,11 @@
 //
 // -quick shrinks sweep sizes for smoke runs. -workers bounds the sweep
 // worker pool (0 = all CPUs). -json writes per-experiment wall times and
-// headline GNPS to a file for trajectory tracking; -cpuprofile writes a
-// pprof CPU profile of the whole run. Output is plain text: one labelled
+// headline GNPS to a file for trajectory tracking; -report writes a
+// JSON observability report with per-experiment simulator statistics
+// (steps, coherence events, access latencies) and training counters
+// (model writes, staleness histogram); -cpuprofile writes a pprof CPU
+// profile of the whole run. Output is plain text: one labelled
 // series or table per experiment, in the same shape as the paper's
 // figure/table, so results can be compared row by row (see EXPERIMENTS.md).
 package main
@@ -89,9 +92,10 @@ func recordGNPS(rs []*machine.Result) {
 
 // simulateAll fans a slice of workload points over the sweep pool and
 // returns results in input order. Every experiment sweep goes through
-// here, so each also contributes its headline GNPS to the -json record.
+// here, so each also contributes its headline GNPS to the -json record
+// and its per-point machine statistics to the -report document.
 func simulateAll(mc machine.Config, points []machine.Workload) ([]*machine.Result, error) {
-	rs, err := sweep.Simulate(mc, points, *workers)
+	rs, err := sweep.SimulateEach(mc, points, *workers, reportSim)
 	if err != nil {
 		return nil, err
 	}
@@ -109,17 +113,23 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if *jsonPath != "" {
-		// Validate writability up front: a bad path should fail before
-		// the sweeps run, not after minutes of work. O_CREATE without
-		// O_TRUNC leaves any existing trajectory file intact until the
-		// run completes and rewrites it.
-		f, err := os.OpenFile(*jsonPath, os.O_CREATE|os.O_WRONLY, 0o644)
+	// Validate output writability up front: a bad path should fail before
+	// the sweeps run, not after minutes of work. O_CREATE without O_TRUNC
+	// leaves any existing file intact until the run completes and
+	// rewrites it.
+	for name, path := range map[string]string{"json": *jsonPath, "report": *reportPath} {
+		if path == "" {
+			continue
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
 		f.Close()
+	}
+	if *reportPath != "" {
+		reportInit(*workers, *quick)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -159,6 +169,7 @@ func main() {
 		fmt.Printf("==== %s: %s ====\n", e.id, e.desc)
 		bench.Experiments = append(bench.Experiments, benchRecord{ID: e.id})
 		current = &bench.Experiments[len(bench.Experiments)-1]
+		reportStart(e.id)
 		start := time.Now()
 		if err := e.run(*quick); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
@@ -166,6 +177,7 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		current.WallSeconds = elapsed.Seconds()
+		reportFinish(elapsed.Seconds(), current.HeadlineGNPS)
 		current = nil
 		fmt.Printf("---- %s done in %v ----\n\n", e.id, elapsed.Round(time.Millisecond))
 	}
@@ -175,6 +187,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "json: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if err := reportWrite(time.Since(total).Seconds()); err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -196,7 +212,7 @@ func lookup(id string) *experiment {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-workers n] [-json path] [-cpuprofile path] <id> [<id> ...] | all")
+	fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-workers n] [-json path] [-report path] [-cpuprofile path] <id> [<id> ...] | all")
 	fmt.Fprintln(os.Stderr, "experiments:")
 	sort.SliceStable(experiments, func(i, j int) bool { return experiments[i].id < experiments[j].id })
 	for _, e := range experiments {

@@ -1,0 +1,142 @@
+package main
+
+// This file is the experiments driver's side of the observability layer:
+// -report collects per-experiment counters from both halves of the
+// reproduction — simulated-machine sweeps (cache/coherence/access
+// statistics via sweep.SimulateEach) and real trainings (engine RunStats
+// via core's Observer) — and writes one JSON document at the end of the
+// run. Without -report nothing is collected and the trainings run
+// uninstrumented.
+
+import (
+	"flag"
+	"runtime"
+	"time"
+
+	"buckwild/internal/machine"
+	"buckwild/internal/obs"
+	"buckwild/internal/trace"
+)
+
+var reportPath = flag.String("report", "", "write a JSON observability report (per-experiment sim and training counters) to this file")
+
+// reportExperiment is one experiment's entry in the -report document.
+type reportExperiment struct {
+	ID           string  `json:"id"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	HeadlineGNPS float64 `json:"headline_gnps,omitempty"`
+	// SimPoints and SimSteps total the experiment's simulator work:
+	// sweep points run and per-core steps measured.
+	SimPoints int `json:"sim_points,omitempty"`
+	SimSteps  int `json:"sim_steps,omitempty"`
+	// CoherenceEvents and ObstinateRejects total the simulated cache
+	// hierarchy's coherence traffic across the experiment's sweeps.
+	CoherenceEvents  uint64 `json:"coherence_events"`
+	ObstinateRejects uint64 `json:"obstinate_rejects"`
+	// Access breaks the simulated accesses down by trace kind.
+	Access trace.AccessStats `json:"access"`
+	// Train aggregates the engine counters of the experiment's real
+	// trainings (step counts, model writes, staleness histogram); absent
+	// for pure-simulation experiments.
+	Train *obs.RunStats `json:"train,omitempty"`
+}
+
+// runReport is the top-level -report document.
+type runReport struct {
+	Date         string             `json:"date"`
+	GoVersion    string             `json:"go_version"`
+	NumCPU       int                `json:"num_cpu"`
+	Workers      int                `json:"workers"`
+	Quick        bool               `json:"quick"`
+	TotalSeconds float64            `json:"total_seconds"`
+	Experiments  []reportExperiment `json:"experiments"`
+}
+
+// report is nil unless -report is set; currentRpt points at the running
+// experiment's entry.
+var (
+	report     *runReport
+	currentRpt *reportExperiment
+)
+
+// reportInit turns reporting on.
+func reportInit(workers int, quick bool) {
+	report = &runReport{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workers:   workers,
+		Quick:     quick,
+	}
+}
+
+// reportStart opens the running experiment's entry.
+func reportStart(id string) {
+	if report == nil {
+		return
+	}
+	report.Experiments = append(report.Experiments, reportExperiment{ID: id})
+	currentRpt = &report.Experiments[len(report.Experiments)-1]
+}
+
+// reportFinish closes the entry with its timing and headline.
+func reportFinish(wallSeconds, headlineGNPS float64) {
+	if currentRpt == nil {
+		return
+	}
+	currentRpt.WallSeconds = wallSeconds
+	currentRpt.HeadlineGNPS = headlineGNPS
+	currentRpt = nil
+}
+
+// reportSim folds one sweep point's machine statistics into the running
+// entry. sweep.SimulateEach invokes it sequentially on the driver
+// goroutine after the sweep completes, so no locking is needed.
+func reportSim(_ int, r *machine.Result) {
+	if currentRpt == nil || r == nil {
+		return
+	}
+	currentRpt.SimPoints++
+	currentRpt.SimSteps += r.MeasuredSteps
+	currentRpt.CoherenceEvents += r.CoherenceEvents
+	currentRpt.ObstinateRejects += r.ObstinateRejects
+	currentRpt.Access.Merge(r.Access)
+}
+
+// trainObserver returns the Observer that training experiments should
+// install: nil without -report (the zero-cost path), otherwise a
+// default-sampling observer collecting counters and the staleness
+// histogram.
+func trainObserver() *obs.Observer {
+	if report == nil {
+		return nil
+	}
+	return &obs.Observer{}
+}
+
+// reportTrain merges training RunStats (one per sweep point; nil entries
+// are skipped) into the running entry. Call it after sweep.Map returns —
+// not from inside worker closures.
+func reportTrain(stats ...*obs.RunStats) {
+	if currentRpt == nil {
+		return
+	}
+	for _, s := range stats {
+		if s == nil {
+			continue
+		}
+		if currentRpt.Train == nil {
+			currentRpt.Train = &obs.RunStats{}
+		}
+		currentRpt.Train.Merge(s)
+	}
+}
+
+// reportWrite finalizes and writes the document.
+func reportWrite(totalSeconds float64) error {
+	if report == nil {
+		return nil
+	}
+	report.TotalSeconds = totalSeconds
+	return obs.WriteJSON(*reportPath, report)
+}

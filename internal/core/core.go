@@ -20,6 +20,7 @@ import (
 	"buckwild/internal/fixed"
 	"buckwild/internal/kernels"
 	"buckwild/internal/metrics"
+	"buckwild/internal/obs"
 	"buckwild/internal/prng"
 )
 
@@ -115,6 +116,11 @@ type Config struct {
 	// disables the emulation (fully coherent reads).
 	ObstinateQ float64
 	Seed       uint64
+	// Observer installs the run-level observability layer: sharded
+	// counters, the sampled staleness histogram, and optional hooks
+	// (see internal/obs). Nil runs the bare algorithm — the engine's
+	// hot paths then pay only a nil check per step.
+	Observer *obs.Observer
 }
 
 func (c *Config) fill() error {
@@ -141,6 +147,9 @@ func (c *Config) fill() error {
 	}
 	if c.GradBits != 0 && (c.GradBits < 6 || c.GradBits > 32) {
 		return fmt.Errorf("core: GradBits must be 0 (full) or in [6, 32]")
+	}
+	if c.Observer != nil && c.Observer.StepSample < 0 {
+		return fmt.Errorf("core: Observer.StepSample must be non-negative")
 	}
 	return nil
 }
@@ -170,6 +179,9 @@ type Result struct {
 	// (meaningful for relative comparisons only; absolute hardware
 	// efficiency comes from package machine).
 	NumbersPerSec float64
+	// Stats holds the run's observability counters; nil unless the
+	// config installed an Observer.
+	Stats *obs.RunStats
 }
 
 // TrainDense runs Buckwild! SGD on a dense dataset.
@@ -192,10 +204,11 @@ func TrainDense(cfg Config, ds *dataset.DenseSet) (*Result, error) {
 	res.TrainLoss = append(res.TrainLoss, loss)
 
 	eta := cfg.StepSize
+	ro := newRunObs(&cfg)
 	start := time.Now()
 	var numbers float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		if err := runDenseEpoch(cfg, ds, w, eta, epoch); err != nil {
+		if err := runDenseEpoch(cfg, ds, w, eta, epoch, ro); err != nil {
 			return nil, err
 		}
 		numbers += float64(ds.Len()) * float64(ds.N)
@@ -205,6 +218,7 @@ func TrainDense(cfg Config, ds *dataset.DenseSet) (*Result, error) {
 			return nil, err
 		}
 		res.TrainLoss = append(res.TrainLoss, loss)
+		ro.epochDone(epoch+1, loss)
 	}
 	res.Elapsed = time.Since(start)
 	res.W = w.Floats()
@@ -212,11 +226,12 @@ func TrainDense(cfg Config, ds *dataset.DenseSet) (*Result, error) {
 	if res.Elapsed > 0 {
 		res.NumbersPerSec = numbers / res.Elapsed.Seconds()
 	}
+	res.Stats = ro.snapshot()
 	return res, nil
 }
 
 // runDenseEpoch processes every example once, spread over the workers.
-func runDenseEpoch(cfg Config, ds *dataset.DenseSet, w kernels.Vec, eta float32, epoch int) error {
+func runDenseEpoch(cfg Config, ds *dataset.DenseSet, w kernels.Vec, eta float32, epoch int, ro *runObs) error {
 	threads := cfg.Threads
 	if cfg.Sharing == Sequential {
 		threads = 1
@@ -229,6 +244,7 @@ func runDenseEpoch(cfg Config, ds *dataset.DenseSet, w kernels.Vec, eta float32,
 		if err != nil {
 			return err
 		}
+		worker.ro = ro
 		lo := t * ds.Len() / threads
 		hi := (t + 1) * ds.Len() / threads
 		run := func(t, lo, hi int, wk *denseWorker) {
@@ -257,6 +273,11 @@ type denseWorker struct {
 	kernel  *kernels.Dense
 	scratch []float32
 	order   *prng.Xorshift64
+	// id and epoch locate the worker for observability; ro is the run's
+	// shared observability state (nil when no Observer is installed).
+	id    int
+	epoch int
+	ro    *runObs
 	// snapshot is the worker's stale view of the model when the
 	// obstinate-cache emulation is active (ObstinateQ > 0).
 	snapshot kernels.Vec
@@ -286,20 +307,28 @@ func newDenseWorker(cfg Config, id, epoch int) (*denseWorker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &denseWorker{cfg: cfg, kernel: k, gradFmt: cfg.gradFormat(),
+	return &denseWorker{cfg: cfg, kernel: k, gradFmt: cfg.gradFormat(), id: id, epoch: epoch,
 		order: prng.NewXorshift64(cfg.Seed ^ (uint64(id)+1)*0x51ED2701 ^ uint64(epoch))}, nil
 }
 
 // run processes examples [lo, hi) in mini-batches.
 func (dw *denseWorker) run(ds *dataset.DenseSet, w kernels.Vec, eta float32, lo, hi int, locked bool, mu *sync.Mutex) error {
 	b := dw.cfg.MiniBatch
+	var stepsBefore uint64
+	if dw.ro != nil {
+		stepsBefore = dw.ro.shards[dw.id].steps
+	}
 	for i := lo; i < hi; i += b {
 		end := i + b
 		if end > hi {
 			end = hi
 		}
 		if locked {
-			mu.Lock()
+			if dw.ro != nil {
+				dw.ro.lock(dw.id, mu)
+			} else {
+				mu.Lock()
+			}
 		}
 		if b == 1 {
 			dw.step(ds, w, eta, i)
@@ -310,11 +339,19 @@ func (dw *denseWorker) run(ds *dataset.DenseSet, w kernels.Vec, eta float32, lo,
 			mu.Unlock()
 		}
 	}
+	if dw.ro != nil {
+		dw.ro.workerDone(dw.id, dw.epoch, stepsBefore)
+	}
 	return nil
 }
 
 // step performs one single-example update: dot, scalar glue, AXPY.
 func (dw *denseWorker) step(ds *dataset.DenseSet, w kernels.Vec, eta float32, i int) {
+	var readClock uint64
+	var sampled bool
+	if dw.ro != nil {
+		readClock, sampled = dw.ro.stepBegin(dw.id)
+	}
 	x := ds.X[i]
 	view := w
 	if dw.cfg.ObstinateQ > 0 {
@@ -322,12 +359,16 @@ func (dw *denseWorker) step(ds *dataset.DenseSet, w kernels.Vec, eta float32, i 
 	}
 	d := dw.quantGrad(dw.kernel.Dot(x, view))
 	a := dw.quantGrad(gradScale(dw.cfg.Problem, d, ds.Y[i], eta))
-	if a != 0 {
+	wrote := a != 0
+	if wrote {
 		dw.kernel.Axpy(a, x, w)
 		if dw.cfg.ObstinateQ > 0 && !sameVec(view, w) {
 			// The worker's own writes land in its cached copy.
 			dw.kernel.Axpy(a, x, view)
 		}
+	}
+	if dw.ro != nil {
+		dw.ro.stepEnd(dw.id, dw.epoch, readClock, sampled, wrote)
 	}
 }
 
@@ -377,6 +418,11 @@ func copyVec(dst, src kernels.Vec) {
 // once (Section 5.4: the model is written less frequently, so cache lines
 // are invalidated correspondingly less frequently).
 func (dw *denseWorker) batchStep(ds *dataset.DenseSet, w kernels.Vec, eta float32, lo, hi int) {
+	var readClock uint64
+	var sampled bool
+	if dw.ro != nil {
+		readClock, sampled = dw.ro.stepBegin(dw.id)
+	}
 	if dw.scratch == nil {
 		dw.scratch = make([]float32, w.Len())
 	}
@@ -397,14 +443,19 @@ func (dw *denseWorker) batchStep(ds *dataset.DenseSet, w kernels.Vec, eta float3
 			g[j] += a * x.At(j)
 		}
 	}
-	if !any {
-		return
-	}
-	q := dw.kernel.Q
-	for j := range g {
-		if g[j] != 0 || w.P == kernels.F32 {
-			w.Set(j, w.At(j)+g[j], q)
+	if any {
+		q := dw.kernel.Q
+		for j := range g {
+			if g[j] != 0 || w.P == kernels.F32 {
+				w.Set(j, w.At(j)+g[j], q)
+			}
 		}
+	}
+	if dw.ro != nil {
+		if any {
+			dw.ro.shards[dw.id].batchFlushes++
+		}
+		dw.ro.stepEnd(dw.id, dw.epoch, readClock, sampled, any)
 	}
 }
 

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"buckwild/internal/kernels"
+	"buckwild/internal/obs"
+)
+
+// This file holds the engine side of the observability layer: lock-free
+// sharded counters that the workers bump without synchronization, plus
+// the sampled write–read staleness measurement.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when off. Every instrumentation site is guarded by a
+//     single nil check on the worker's *runObs; with no Observer in the
+//     Config the engine executes the bare algorithm (bench_test.go's
+//     training benchmarks verify no regression).
+//   - No contention when on. Each worker owns one cache-line-padded
+//     shard and writes it with plain stores; the epoch WaitGroup gives
+//     the coordinator a happens-before edge to read them, so neither
+//     locks nor atomics appear on the per-step path. The only shared
+//     atomic is the model-write clock, which the staleness measurement
+//     fundamentally needs (it is what "time" means for staleness).
+//   - Racy-safe. Shards are indexed by worker id, so even Racy-sharing
+//     runs keep their counters exact while the model itself races.
+
+// obsShardSize pads each worker's counters to two cache lines so shards
+// of adjacent workers never false-share.
+const obsShardSize = 128
+
+// obsShard is one worker's private counter block. Fields are written
+// only by the owning worker; the coordinator reads them after wg.Wait.
+type obsShard struct {
+	steps        uint64
+	modelWrites  uint64
+	mutexWaits   uint64
+	batchFlushes uint64
+	sampled      uint64
+	_            [obsShardSize - 5*8]byte
+}
+
+// runObs carries one run's observability state across epochs.
+type runObs struct {
+	hooks  obs.Hooks
+	sample uint64
+	// writeKind labels the model-write counter with the run's rounding
+	// strategy.
+	writeKind string
+	// writes is the global model-write clock: every model write by any
+	// worker advances it, and the staleness of a sampled step is the
+	// clock distance between its model read and its own write, less the
+	// write itself.
+	writes atomic.Uint64
+	shards []obsShard
+	stale  obs.Histogram
+}
+
+// newRunObs builds the run's observability state, or nil when the config
+// installs no Observer (the zero-cost path).
+func newRunObs(cfg *Config) *runObs {
+	if cfg.Observer == nil {
+		return nil
+	}
+	threads := cfg.Threads
+	if cfg.Sharing == Sequential || threads < 1 {
+		threads = 1
+	}
+	kind := "full-precision"
+	if cfg.M != kernels.F32 {
+		kind = cfg.Quant.String()
+	}
+	return &runObs{
+		hooks:     cfg.Observer.Hooks,
+		sample:    cfg.Observer.SamplePeriod(),
+		writeKind: kind,
+		shards:    make([]obsShard, threads),
+	}
+}
+
+// stepBegin opens one step for worker w: it bumps the step counter and,
+// on sampling steps, records the model-write clock at read time. It
+// returns the clock and whether this step is sampled.
+func (ro *runObs) stepBegin(w int) (readClock uint64, sampled bool) {
+	sh := &ro.shards[w]
+	sh.steps++
+	if sh.steps%ro.sample != 0 {
+		return 0, false
+	}
+	return ro.writes.Load(), true
+}
+
+// stepEnd closes one step: wrote reports whether the step updated the
+// model (advancing the write clock), and on sampling steps the staleness
+// is measured and reported.
+func (ro *runObs) stepEnd(w, epoch int, readClock uint64, sampled, wrote bool) {
+	sh := &ro.shards[w]
+	if wrote {
+		sh.modelWrites++
+		ro.writes.Add(1)
+	}
+	if !sampled {
+		return
+	}
+	sh.sampled++
+	d := ro.writes.Load() - readClock
+	if wrote {
+		d-- // exclude this step's own write
+	}
+	ro.stale.Observe(d)
+	if ro.hooks != nil {
+		ro.hooks.OnStep(obs.StepInfo{Worker: w, Epoch: epoch, Step: sh.steps, Staleness: d})
+	}
+}
+
+// lock acquires mu for worker w, counting acquisitions that had to wait.
+func (ro *runObs) lock(w int, mu *sync.Mutex) {
+	if !mu.TryLock() {
+		ro.shards[w].mutexWaits++
+		mu.Lock()
+	}
+}
+
+// workerDone reports a worker finishing its epoch range; stepsBefore is
+// the worker's cumulative step count when the epoch began.
+func (ro *runObs) workerDone(w, epoch int, stepsBefore uint64) {
+	if ro.hooks != nil {
+		ro.hooks.OnWorker(obs.WorkerInfo{
+			Worker: w, Epoch: epoch, Steps: ro.shards[w].steps - stepsBefore,
+		})
+	}
+}
+
+// epochDone reports a finished epoch (1-based) and its loss.
+func (ro *runObs) epochDone(epoch int, loss float64) {
+	if ro == nil || ro.hooks == nil {
+		return
+	}
+	var steps uint64
+	for i := range ro.shards {
+		steps += ro.shards[i].steps
+	}
+	ro.hooks.OnEpoch(obs.EpochInfo{Epoch: epoch, Loss: loss, Steps: steps})
+}
+
+// snapshot folds the shards into the exportable run statistics.
+func (ro *runObs) snapshot() *obs.RunStats {
+	if ro == nil {
+		return nil
+	}
+	s := &obs.RunStats{Staleness: ro.stale.Snapshot()}
+	var writes uint64
+	for i := range ro.shards {
+		sh := &ro.shards[i]
+		s.Steps += sh.steps
+		writes += sh.modelWrites
+		s.MutexWaits += sh.mutexWaits
+		s.BatchFlushes += sh.batchFlushes
+		s.SampledSteps += sh.sampled
+	}
+	s.ModelWrites = map[string]uint64{ro.writeKind: writes}
+	return s
+}

@@ -36,10 +36,11 @@ func TrainSparse(cfg Config, ds *dataset.SparseSet) (*Result, error) {
 	res.TrainLoss = append(res.TrainLoss, loss)
 
 	eta := cfg.StepSize
+	ro := newRunObs(&cfg)
 	start := time.Now()
 	var numbers float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		if err := runSparseEpoch(cfg, ds, w, eta, epoch); err != nil {
+		if err := runSparseEpoch(cfg, ds, w, eta, epoch, ro); err != nil {
 			return nil, err
 		}
 		numbers += float64(ds.NNZ())
@@ -49,6 +50,7 @@ func TrainSparse(cfg Config, ds *dataset.SparseSet) (*Result, error) {
 			return nil, err
 		}
 		res.TrainLoss = append(res.TrainLoss, loss)
+		ro.epochDone(epoch+1, loss)
 	}
 	res.Elapsed = time.Since(start)
 	res.W = w.Floats()
@@ -56,10 +58,11 @@ func TrainSparse(cfg Config, ds *dataset.SparseSet) (*Result, error) {
 	if res.Elapsed > 0 {
 		res.NumbersPerSec = numbers / res.Elapsed.Seconds()
 	}
+	res.Stats = ro.snapshot()
 	return res, nil
 }
 
-func runSparseEpoch(cfg Config, ds *dataset.SparseSet, w kernels.Vec, eta float32, epoch int) error {
+func runSparseEpoch(cfg Config, ds *dataset.SparseSet, w kernels.Vec, eta float32, epoch int, ro *runObs) error {
 	threads := cfg.Threads
 	if cfg.Sharing == Sequential {
 		threads = 1
@@ -92,18 +95,38 @@ func runSparseEpoch(cfg Config, ds *dataset.SparseSet, w kernels.Vec, eta float3
 		}
 		run := func(t, lo, hi int, k *kernels.Sparse) {
 			defer wg.Done()
+			var stepsBefore uint64
+			if ro != nil {
+				stepsBefore = ro.shards[t].steps
+			}
 			for i := lo; i < hi; i++ {
 				if cfg.Sharing == Locked {
-					mu.Lock()
+					if ro != nil {
+						ro.lock(t, &mu)
+					} else {
+						mu.Lock()
+					}
+				}
+				var readClock uint64
+				var sampled bool
+				if ro != nil {
+					readClock, sampled = ro.stepBegin(t)
 				}
 				d := quant(k.Dot(ds.Idx[i], ds.Val[i], w))
 				a := quant(gradScale(cfg.Problem, d, ds.Y[i], eta))
-				if a != 0 {
+				wrote := a != 0
+				if wrote {
 					k.Axpy(a, ds.Idx[i], ds.Val[i], w)
+				}
+				if ro != nil {
+					ro.stepEnd(t, epoch, readClock, sampled, wrote)
 				}
 				if cfg.Sharing == Locked {
 					mu.Unlock()
 				}
+			}
+			if ro != nil {
+				ro.workerDone(t, epoch, stepsBefore)
 			}
 			errs[t] = nil
 		}

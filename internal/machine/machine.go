@@ -122,6 +122,16 @@ type Result struct {
 	Bound string
 	// Stats carries the cache counters of the measurement window.
 	Stats cache.Stats
+	// Access breaks the measurement window's accesses down by trace kind
+	// (dataset stream, sequential model, random model), with raw
+	// latencies and coherence-event counts per kind.
+	Access trace.AccessStats
+	// CoherenceEvents totals the window's coherence traffic: dirty-remote
+	// transfers plus invalidation messages delivered to private caches.
+	CoherenceEvents uint64
+	// ObstinateRejects counts invalidations the obstinate cache ignored
+	// (zero unless Workload.Obstinacy > 0).
+	ObstinateRejects uint64
 	// MeasuredSteps is the total number of per-core steps in the
 	// measurement window: one step per core per measured round.
 	MeasuredSteps int
@@ -139,6 +149,9 @@ type sink struct {
 	// coh tracks the coherence share of each core's stalls, used to
 	// label the communication-bound regime.
 	coh []float64
+	// access taps every access for the observability layer; the tap is
+	// three array-indexed adds, cheap enough to leave unconditional.
+	access trace.AccessStats
 }
 
 // Record implements trace.Sink. The stall policy:
@@ -155,6 +168,7 @@ type sink struct {
 //     loads are independent, so an out-of-order core overlaps them.
 //     Random sparse gathers overlap poorly and pay half latency.
 func (s *sink) Record(core int, kind trace.Kind, write bool, latency int, coherent bool) {
+	s.access.Record(kind, write, latency, coherent)
 	if write {
 		return
 	}
@@ -238,6 +252,7 @@ func Simulate(mc Config, w Workload) (*Result, error) {
 		}
 	}
 	h.ResetStats()
+	snk.access.Reset()
 	for i := range snk.cycles {
 		snk.cycles[i] = 0
 		snk.coh[i] = 0
@@ -310,7 +325,10 @@ func Simulate(mc Config, w Workload) (*Result, error) {
 		BandwidthCyclesPerRound: bwCycles * scale,
 		CoherenceCyclesPerStep:  cohPerStep * scale,
 		Bound:                   bound,
-		Stats:                   h.Stats(),
+		Stats:                   st,
+		Access:                  snk.access,
+		CoherenceEvents:         st.DirtyTransfers + st.Invalidates,
+		ObstinateRejects:        st.InvalidatesIgnored,
 		MeasuredSteps:           measRounds * w.Threads,
 	}, nil
 }

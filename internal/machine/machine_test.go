@@ -364,3 +364,57 @@ func TestFreshBytesPerStep(t *testing.T) {
 		t.Errorf("sparse fresh bytes = %v, want 90", got)
 	}
 }
+
+func TestAccessStatsTapped(t *testing.T) {
+	// Small shared model, several threads: the measurement window must see
+	// model traffic of both phases and real coherence events.
+	r, err := Simulate(Xeon(), denseW(kernels.I8, kernels.I8, 1<<10, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Access.DatasetStream.Accesses == 0 || r.Access.ModelSeq.Accesses == 0 {
+		t.Errorf("access stats empty: %+v", r.Access)
+	}
+	if r.Access.ModelSeq.Writes == 0 {
+		t.Error("AXPY writes not recorded")
+	}
+	if r.Access.ModelRandom.Accesses != 0 {
+		t.Errorf("dense trace recorded random model accesses: %+v", r.Access.ModelRandom)
+	}
+	if r.Access.Total().LatencyCycles == 0 {
+		t.Error("no latency accumulated")
+	}
+	if r.CoherenceEvents != r.Stats.DirtyTransfers+r.Stats.Invalidates {
+		t.Errorf("CoherenceEvents = %d, stats say %d+%d",
+			r.CoherenceEvents, r.Stats.DirtyTransfers, r.Stats.Invalidates)
+	}
+	if r.CoherenceEvents == 0 {
+		t.Error("4 threads sharing a 1K model produced no coherence events")
+	}
+	if r.ObstinateRejects != 0 {
+		t.Errorf("ObstinateRejects = %d without obstinacy", r.ObstinateRejects)
+	}
+
+	sp, err := Simulate(Xeon(), sparseW(kernels.I8, kernels.I8, 16, 1<<14, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Access.ModelRandom.Accesses == 0 {
+		t.Errorf("sparse trace recorded no random model accesses: %+v", sp.Access)
+	}
+}
+
+func TestObstinateRejectsSurfaced(t *testing.T) {
+	w := denseW(kernels.I8, kernels.I8, 1<<10, 4)
+	w.Obstinacy = 0.9
+	r, err := Simulate(Xeon(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ObstinateRejects == 0 {
+		t.Error("q=0.9 obstinate cache rejected no invalidations")
+	}
+	if r.ObstinateRejects != r.Stats.InvalidatesIgnored {
+		t.Errorf("ObstinateRejects = %d, stats say %d", r.ObstinateRejects, r.Stats.InvalidatesIgnored)
+	}
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two histogram buckets: bucket 0
+// holds exact zeros, bucket i (1 <= i < histBuckets-1) holds values in
+// [2^(i-1), 2^i), and the last bucket holds everything larger.
+const histBuckets = 32
+
+// Histogram is a lock-free power-of-two histogram. Observe may be called
+// concurrently from any goroutine; Snapshot may race with writers and
+// returns a consistent-enough view (each counter is read atomically).
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	b := bits.Len64(v) // v in [2^(b-1), 2^b)
+	if b >= histBuckets-1 {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketLo returns the inclusive lower bound of bucket i.
+func bucketLo(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return 1 << uint(i-1)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the histogram's current contents.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Lo: bucketLo(i), N: n})
+		}
+	}
+	return s
+}
+
+// HistBucket is one non-empty histogram bucket: N observations with
+// values in [Lo, 2*Lo) (Lo = 0 collects exact zeros; the top bucket is
+// open-ended).
+type HistBucket struct {
+	Lo uint64 `json:"lo"`
+	N  uint64 `json:"n"`
+}
+
+// HistSnapshot is the exportable form of a Histogram. Only non-empty
+// buckets are listed.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Max     uint64       `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observed value (0 for an empty histogram).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Merge folds other into s, combining buckets by lower bound.
+func (s *HistSnapshot) Merge(other HistSnapshot) {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	if len(other.Buckets) == 0 {
+		return
+	}
+	byLo := make(map[uint64]int, len(s.Buckets))
+	for i, b := range s.Buckets {
+		byLo[b.Lo] = i
+	}
+	for _, b := range other.Buckets {
+		if i, ok := byLo[b.Lo]; ok {
+			s.Buckets[i].N += b.N
+		} else {
+			byLo[b.Lo] = len(s.Buckets)
+			s.Buckets = append(s.Buckets, b)
+		}
+	}
+	// Keep buckets ordered by bound for stable JSON output.
+	for i := 1; i < len(s.Buckets); i++ {
+		for j := i; j > 0 && s.Buckets[j-1].Lo > s.Buckets[j].Lo; j-- {
+			s.Buckets[j-1], s.Buckets[j] = s.Buckets[j], s.Buckets[j-1]
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 0, 1, 2, 3, 4, 7, 8, 1 << 40} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 9 {
+		t.Errorf("count = %d, want 9", s.Count)
+	}
+	if s.Max != 1<<40 {
+		t.Errorf("max = %d", s.Max)
+	}
+	want := map[uint64]uint64{0: 2, 1: 1, 2: 2, 4: 2, 8: 1, 1 << 40: 1}
+	// 1<<40 lands in the open-ended top bucket.
+	wantTop := bucketLo(histBuckets - 1)
+	delete(want, 1<<40)
+	want[wantTop] = 1
+	got := map[uint64]uint64{}
+	for _, b := range s.Buckets {
+		got[b.Lo] = b.N
+	}
+	for lo, n := range want {
+		if got[lo] != n {
+			t.Errorf("bucket lo=%d: got %d, want %d (all: %v)", lo, got[lo], n, got)
+		}
+	}
+	if mean := s.Mean(); mean <= 0 {
+		t.Errorf("mean = %v", mean)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(uint64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 4000 {
+		t.Errorf("count = %d, want 4000", s.Count)
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(0)
+	a.Observe(5)
+	b.Observe(5)
+	b.Observe(100)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 4 || sa.Sum != 110 || sa.Max != 100 {
+		t.Errorf("merged = %+v", sa)
+	}
+	for i := 1; i < len(sa.Buckets); i++ {
+		if sa.Buckets[i-1].Lo >= sa.Buckets[i].Lo {
+			t.Errorf("buckets out of order: %+v", sa.Buckets)
+		}
+	}
+}
+
+func TestRunStatsMerge(t *testing.T) {
+	a := &RunStats{Steps: 10, MutexWaits: 1, ModelWrites: map[string]uint64{"biased": 10}}
+	b := &RunStats{Steps: 5, BatchFlushes: 2, ModelWrites: map[string]uint64{"biased": 4, "unbiased-shared": 1}}
+	a.Merge(b)
+	if a.Steps != 15 || a.MutexWaits != 1 || a.BatchFlushes != 2 {
+		t.Errorf("merged = %+v", a)
+	}
+	if a.ModelWrites["biased"] != 14 || a.ModelWrites["unbiased-shared"] != 1 {
+		t.Errorf("writes = %v", a.ModelWrites)
+	}
+	// Merging into a stats with a nil map allocates one.
+	c := &RunStats{}
+	c.Merge(b)
+	if c.ModelWrites["biased"] != 4 {
+		t.Errorf("nil-map merge = %v", c.ModelWrites)
+	}
+}
+
+func TestObserverSamplePeriod(t *testing.T) {
+	var o *Observer
+	if o.SamplePeriod() != DefaultStepSample {
+		t.Error("nil observer should use the default period")
+	}
+	if (&Observer{StepSample: 7}).SamplePeriod() != 7 {
+		t.Error("explicit period ignored")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	path := t.TempDir() + "/report.json"
+	if err := WriteJSON(path, map[string]int{"steps": 3}); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]int
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["steps"] != 3 {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestVarsSnapshotAndHandler(t *testing.T) {
+	var v Vars
+	v.Publish("answer", func() any { return 42 })
+	v.Publish("hist", func() any { return HistSnapshot{Count: 1} })
+	snap := v.Snapshot()
+	if snap["answer"] != 42 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	rec := httptest.NewRecorder()
+	v.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs", nil))
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("handler output not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if _, ok := got["hist"]; !ok {
+		t.Errorf("missing key: %s", rec.Body.String())
+	}
+}
+
+func TestServe(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer s.Close()
+	Publish("test-var", func() any { return "ok" })
+	resp, err := http.Get("http://" + s.Addr + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if !strings.Contains(sb.String(), "test-var") {
+		t.Errorf("endpoint output: %s", sb.String())
+	}
+}

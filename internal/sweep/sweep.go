@@ -98,3 +98,21 @@ func Simulate(mc machine.Config, points []machine.Workload, workers int) ([]*mac
 		return machine.Simulate(mc, points[i])
 	})
 }
+
+// SimulateEach is Simulate plus a per-point observer: after all points
+// complete, each is invoked in strict input order on the calling
+// goroutine, so observers may aggregate without synchronization (the
+// experiments driver folds per-point cache and access statistics into
+// its run report this way). each may be nil.
+func SimulateEach(mc machine.Config, points []machine.Workload, workers int, each func(i int, r *machine.Result)) ([]*machine.Result, error) {
+	res, err := Simulate(mc, points, workers)
+	if err != nil {
+		return nil, err
+	}
+	if each != nil {
+		for i, r := range res {
+			each(i, r)
+		}
+	}
+	return res, nil
+}

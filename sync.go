@@ -10,8 +10,8 @@ import (
 // inter-worker communication — the explicit C term of the DMGC model. With
 // CommBits=1 and ErrorFeedback it reproduces 1-bit SGD (Table 1's C1s).
 type SyncConfig struct {
-	// Problem is "logistic" (default), "linear" or "svm".
-	Problem string
+	// Problem selects the objective; the zero value is Logistic.
+	Problem Problem
 	// CommBits is the communication precision (1..32).
 	CommBits uint
 	// Workers and BatchPerWorker shape the data-parallel rounds.
@@ -28,16 +28,12 @@ type SyncConfig struct {
 // dataset (which should be stored at full precision; this engine isolates
 // the C term).
 func TrainSync(cfg SyncConfig, ds *DenseDataset) (*Result, error) {
-	var prob core.Problem
-	switch cfg.Problem {
-	case "", "logistic":
-		prob = core.Logistic
-	case "linear":
-		prob = core.Linear
-	case "svm":
-		prob = core.SVM
-	default:
-		return nil, fmt.Errorf("buckwild: unknown problem %q", cfg.Problem)
+	prob, err := cfg.Problem.core()
+	if err != nil {
+		return nil, err
+	}
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("buckwild: empty dataset")
 	}
 	step := cfg.StepSize
 	if step == 0 {
