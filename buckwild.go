@@ -29,6 +29,7 @@
 package buckwild
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -200,6 +201,14 @@ type Config struct {
 	// staleness histogram; 0 means the default (see obs.DefaultStepSample),
 	// 1 samples every step.
 	StepSample int
+
+	// Context, when non-nil, bounds the run: cancellation or deadline
+	// expiry stops training well within one epoch and the entry point
+	// returns the context's cause (context.Canceled,
+	// context.DeadlineExceeded, or a custom cause) wrapped with the
+	// facade's "buckwild:" prefix — errors.Is still matches. Nil means
+	// the run is unbounded, at no per-step cost.
+	Context context.Context
 }
 
 // Validate checks the configuration without running anything. Every
@@ -239,13 +248,39 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// wrapErr gives internal-package errors the facade's uniform prefix.
+// internalPrefixes are the error prefixes of the internal packages; the
+// facade rewrites them to its own uniform prefix.
+var internalPrefixes = []string{
+	"core: ", "dataset: ", "run: ", "dmgc: ", "machine: ",
+	"kernels: ", "fixed: ", "obs: ", "sweep: ",
+}
+
+// wrapErr gives every error that crosses the facade the uniform
+// "buckwild:" prefix. Internal-package prefixes are rewritten rather
+// than stacked, and the original error stays in the chain, so
+// errors.Is(err, context.Canceled) and friends keep working.
 func wrapErr(err error) error {
 	if err == nil || strings.HasPrefix(err.Error(), "buckwild:") {
 		return err
 	}
+	msg := err.Error()
+	for _, p := range internalPrefixes {
+		if strings.HasPrefix(msg, p) {
+			return &facadeError{msg: "buckwild: " + strings.TrimPrefix(msg, p), err: err}
+		}
+	}
 	return fmt.Errorf("buckwild: %w", err)
 }
+
+// facadeError rewrites an internal error's prefix while keeping the
+// original in the Unwrap chain.
+type facadeError struct {
+	msg string
+	err error
+}
+
+func (e *facadeError) Error() string { return e.msg }
+func (e *facadeError) Unwrap() error { return e.err }
 
 // Result re-exports the engine's training result.
 type Result = core.Result
@@ -336,6 +371,7 @@ func (c Config) coreConfig(sparse bool, idxBits uint) (core.Config, error) {
 		Sharing:     sharing,
 		Seed:        c.Seed,
 		Observer:    c.observer(),
+		Ctx:         c.Context,
 	}, nil
 }
 
@@ -373,7 +409,8 @@ func TrainDense(cfg Config, ds *DenseDataset) (*Result, error) {
 	if ds.X[0].P != cc.D {
 		return nil, fmt.Errorf("buckwild: dataset stored at %v but signature wants %v", ds.X[0].P, cc.D)
 	}
-	return core.TrainDense(cc, ds)
+	res, err := core.TrainDense(cc, ds)
+	return res, wrapErr(err)
 }
 
 // TrainSparse runs Buckwild! SGD on a sparse dataset.
@@ -388,7 +425,8 @@ func TrainSparse(cfg Config, ds *SparseDataset) (*Result, error) {
 	if ds.Val[0].P != cc.D {
 		return nil, fmt.Errorf("buckwild: dataset stored at %v but signature wants %v", ds.Val[0].P, cc.D)
 	}
-	return core.TrainSparse(cc, ds)
+	res, err := core.TrainSparse(cc, ds)
+	return res, wrapErr(err)
 }
 
 // GenerateDense samples a dense logistic-regression dataset from the
@@ -406,9 +444,10 @@ func GenerateDense(sigText string, n, m int, seed uint64) (*DenseDataset, error)
 	if err != nil {
 		return nil, err
 	}
-	return dataset.GenDense(dataset.DenseConfig{
+	ds, err := dataset.GenDense(dataset.DenseConfig{
 		N: n, M: m, P: p, Rounding: fixed.Unbiased, Seed: seed,
 	})
+	return ds, wrapErr(err)
 }
 
 // GenerateSparse samples a sparse dataset at the signature's dataset and
@@ -431,10 +470,11 @@ func GenerateSparse(sigText string, n, m int, density float64, seed uint64) (*Sp
 	if err != nil {
 		return nil, err
 	}
-	return dataset.GenSparse(dataset.SparseConfig{
+	ds, err := dataset.GenSparse(dataset.SparseConfig{
 		N: n, M: m, Density: density, P: p, IdxBits: sig.IndexBits(),
 		Rounding: fixed.Unbiased, Seed: seed,
 	})
+	return ds, wrapErr(err)
 }
 
 func orDefault(s, def string) string {
@@ -493,6 +533,10 @@ type SimOptions struct {
 	Prefetch Toggle
 	// Seed seeds the simulated cache and trace randomness.
 	Seed uint64
+	// Context, when non-nil, bounds the simulation: it is checked between
+	// simulated rounds, and cancellation returns the context's cause with
+	// the "buckwild:" prefix.
+	Context context.Context
 }
 
 func (o SimOptions) variant(d, m kernels.Prec) (kernels.Variant, error) {
@@ -572,5 +616,6 @@ func SimulateThroughput(sigText string, modelSize, threads int, opts ...SimOptio
 		Prefetch:    o.Prefetch.enabled(true),
 		Seed:        seed,
 	}
-	return machine.Simulate(machine.Xeon(), w)
+	res, err := machine.SimulateCtx(o.Context, machine.Xeon(), w)
+	return res, wrapErr(err)
 }

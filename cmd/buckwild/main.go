@@ -6,21 +6,46 @@
 //	buckwild -sig D8i16M8 -sparse -density 0.03 -rounding biased
 //
 // Sparse signatures (with an "i" index term) require -sparse.
+//
+// With -checkpoint-dir the run is supervised: it checkpoints
+// periodically, resumes from the newest valid checkpoint after a crash
+// or a detected stall (including across process restarts — rerun the
+// same command to continue an interrupted run), and retries with
+// exponential backoff. -fault injects a deterministic failure schedule
+// for exercising those paths:
+//
+//	buckwild -sig D8M8 -epochs 20 -checkpoint-dir ckpt \
+//	    -fault crash@step=50000,corrupt@ckpt=2
+//
+// SIGINT/SIGTERM cancel the run cleanly: training stops within an
+// epoch, the newest checkpoint stays on disk, and a supervised run can
+// be resumed later.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"buckwild"
 	"buckwild/internal/obs"
 )
 
 // fatal logs err and exits. Facade errors already carry a "buckwild: "
-// prefix, which would stutter with the log prefix; trim it.
+// prefix, which would stutter with the log prefix; trim it. An
+// interrupt (SIGINT/SIGTERM) is not a failure: it exits 130, the
+// conventional signal-exit status.
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		log.Println("interrupted")
+		os.Exit(130)
+	}
 	log.Fatal(strings.TrimPrefix(err.Error(), "buckwild: "))
 }
 
@@ -49,8 +74,17 @@ func main() {
 		stats    = flag.Bool("stats", false, "collect and print run counters (steps, writes, staleness)")
 		report   = flag.String("report", "", "write a JSON run report to this file (implies -stats)")
 		httpAddr = flag.String("http", "", "serve /debug/obs and /debug/pprof on this address during the run")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "supervise the run: checkpoint here, resume and retry on failure")
+		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint period in epochs (with -checkpoint-dir)")
+		retries   = flag.Int("retries", 3, "max retries after crashes or detected stalls (with -checkpoint-dir)")
+		faultSpec = flag.String("fault", "", "deterministic fault schedule, e.g. crash@step=1500,stall@step=900,corrupt@ckpt=1 (with -checkpoint-dir)")
+		stallTO   = flag.Duration("stall-timeout", 0, "cancel and retry an attempt with no progress for this long, e.g. 30s (with -checkpoint-dir)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	eta := *step
 	if eta == 0 {
@@ -73,9 +107,56 @@ func main() {
 		Epochs:         *epochs,
 		Seed:           *seed,
 		CollectStats:   *stats || *report != "",
+		Context:        ctx,
 	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
+	}
+
+	supervised := *ckptDir != ""
+	var plan *buckwild.FaultPlan
+	if *faultSpec != "" {
+		if !supervised {
+			fatal(fmt.Errorf("-fault requires -checkpoint-dir (faults are injected into supervised runs)"))
+		}
+		var err error
+		plan, err = buckwild.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	rc := buckwild.RunConfig{
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		MaxRetries:      *retries,
+		StallTimeout:    *stallTO,
+		Faults:          plan,
+	}
+
+	// The supervised and bare paths return the same Result; the
+	// supervised one also yields the supervisor's report.
+	var supRep *buckwild.RunReport
+	trainDense := func(ds *buckwild.DenseDataset) (*buckwild.Result, error) {
+		if !supervised {
+			return buckwild.TrainDense(cfg, ds)
+		}
+		rep, err := buckwild.RunDense(cfg, rc, ds)
+		if err != nil {
+			return nil, err
+		}
+		supRep = rep
+		return rep.Result, nil
+	}
+	trainSparse := func(ds *buckwild.SparseDataset) (*buckwild.Result, error) {
+		if !supervised {
+			return buckwild.TrainSparse(cfg, ds)
+		}
+		rep, err := buckwild.RunSparse(cfg, rc, ds)
+		if err != nil {
+			return nil, err
+		}
+		supRep = rep
+		return rep.Result, nil
 	}
 
 	if *httpAddr != "" {
@@ -98,7 +179,7 @@ func main() {
 			avgNNZ := float64(ds.NNZ()) / float64(ds.Len())
 			cfg.StepSize = float32(6 / avgNNZ)
 		}
-		res, err = buckwild.TrainSparse(cfg, ds)
+		res, err = trainSparse(ds)
 		if err != nil {
 			fatal(err)
 		}
@@ -107,7 +188,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err = buckwild.TrainSparse(cfg, ds)
+		res, err = trainSparse(ds)
 		if err != nil {
 			fatal(err)
 		}
@@ -116,7 +197,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err = buckwild.TrainDense(cfg, ds)
+		res, err = trainDense(ds)
 		if err != nil {
 			fatal(err)
 		}
@@ -141,17 +222,40 @@ func main() {
 		fmt.Printf("  staleness over %d sampled steps: mean %.2f, max %d writes\n",
 			s.Staleness.Count, s.Staleness.Mean(), s.Staleness.Max)
 	}
+	if supRep != nil {
+		s := supRep.Stats
+		fmt.Printf("supervisor: %d attempts (%d retries), %d checkpoints (%d bytes), %d resumes\n",
+			s.Attempts, s.Retries, s.Checkpoints, s.CheckpointBytes, s.Resumes)
+		if s.InjectedCrashes+s.InjectedStalls+s.CorruptedCheckpoints > 0 {
+			fmt.Printf("  injected faults: %d crashes, %d stalls, %d corrupted checkpoint writes\n",
+				s.InjectedCrashes, s.InjectedStalls, s.CorruptedCheckpoints)
+		}
+		if s.CheckpointFallbacks > 0 {
+			fmt.Printf("  checkpoint fallbacks past corrupt files: %d\n", s.CheckpointFallbacks)
+		}
+		if s.StallsDetected > 0 {
+			fmt.Printf("  stalls detected: %d, degradations: %d (final threads %d)\n",
+				s.StallsDetected, s.Degradations, s.FinalThreads)
+		}
+		fmt.Printf("  newest checkpoint: %s\n", supRep.Checkpoint)
+	}
 	if *report != "" {
 		out := struct {
-			Signature string             `json:"signature"`
-			Problem   string             `json:"problem"`
-			Rounding  string             `json:"rounding"`
-			Threads   int                `json:"threads"`
-			MiniBatch int                `json:"mini_batch"`
-			Epochs    int                `json:"epochs"`
-			TrainLoss []float64          `json:"train_loss"`
-			Stats     *buckwild.RunStats `json:"stats"`
-		}{*sig, cfg.Problem.String(), *rounding, *threads, *batch, *epochs, res.TrainLoss, res.Stats}
+			Signature  string                    `json:"signature"`
+			Problem    string                    `json:"problem"`
+			Rounding   string                    `json:"rounding"`
+			Threads    int                       `json:"threads"`
+			MiniBatch  int                       `json:"mini_batch"`
+			Epochs     int                       `json:"epochs"`
+			TrainLoss  []float64                 `json:"train_loss"`
+			Stats      *buckwild.RunStats        `json:"stats"`
+			Supervisor *buckwild.SupervisorStats `json:"supervisor,omitempty"`
+			Checkpoint string                    `json:"checkpoint,omitempty"`
+		}{*sig, cfg.Problem.String(), *rounding, *threads, *batch, *epochs, res.TrainLoss, res.Stats, nil, ""}
+		if supRep != nil {
+			out.Supervisor = &supRep.Stats
+			out.Checkpoint = supRep.Checkpoint
+		}
 		if err := obs.WriteJSON(*report, out); err != nil {
 			fatal(err)
 		}

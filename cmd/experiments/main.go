@@ -22,13 +22,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"syscall"
 	"time"
 
 	"buckwild/internal/machine"
@@ -90,12 +94,18 @@ func recordGNPS(rs []*machine.Result) {
 	}
 }
 
+// runCtx bounds every sweep: it is cancelled by SIGINT/SIGTERM, so ^C
+// stops an hours-long "all" run at the next simulation round instead of
+// requiring a kill.
+var runCtx = context.Background()
+
 // simulateAll fans a slice of workload points over the sweep pool and
 // returns results in input order. Every experiment sweep goes through
 // here, so each also contributes its headline GNPS to the -json record
-// and its per-point machine statistics to the -report document.
+// and its per-point machine statistics to the -report document, and
+// each is interruptible through runCtx.
 func simulateAll(mc machine.Config, points []machine.Workload) ([]*machine.Result, error) {
-	rs, err := sweep.SimulateEach(mc, points, *workers, reportSim)
+	rs, err := sweep.SimulateEachCtx(runCtx, mc, points, *workers, reportSim)
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +123,9 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runCtx = ctx
 	// Validate output writability up front: a bad path should fail before
 	// the sweeps run, not after minutes of work. O_CREATE without O_TRUNC
 	// leaves any existing file intact until the run completes and
@@ -172,6 +185,10 @@ func main() {
 		reportStart(e.id)
 		start := time.Now()
 		if err := e.run(*quick); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "%s interrupted\n", e.id)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
 			os.Exit(1)
 		}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -121,6 +122,63 @@ type Config struct {
 	// (see internal/obs). Nil runs the bare algorithm — the engine's
 	// hot paths then pay only a nil check per step.
 	Observer *obs.Observer
+
+	// Ctx, when non-nil, bounds the run: it is checked at every epoch
+	// boundary and every ctxCheckMask+1 steps inside the worker loops, so
+	// cancellation or deadline expiry stops the run well within one epoch.
+	// The run then returns context.Cause(Ctx) — context.Canceled,
+	// context.DeadlineExceeded, or whatever cause the canceller supplied
+	// (the run supervisor uses causes to tell injected faults apart).
+	// Nil means the run is unbounded; the workers then pay only a nil
+	// check per ctxCheckMask steps.
+	Ctx context.Context
+	// StartEpoch is the number of epochs a previous (checkpointed) run of
+	// the same configuration already completed: training covers epochs
+	// [StartEpoch, Epochs) and the step-size decay schedule continues
+	// from where it stopped. Because every worker PRNG is derived from
+	// (Seed, worker, epoch), resuming at an epoch boundary replays
+	// exactly the updates an uninterrupted run would have performed.
+	StartEpoch int
+	// InitWeights, when non-nil, seeds the model with these dequantized
+	// values instead of zeros — the resume path. The values are
+	// re-quantized with nearest rounding, which round-trips exactly for
+	// weights that came out of a model at the same precision.
+	InitWeights []float32
+	// EpochEnd, when non-nil, is invoked on the coordinating goroutine
+	// after each epoch's loss evaluation, while the workers are joined —
+	// the natural checkpoint boundary. Returning an error aborts the run
+	// with that error. The callback must not retain W past its return.
+	EpochEnd func(EpochState) error
+}
+
+// EpochState is the snapshot EpochEnd receives at an epoch boundary.
+type EpochState struct {
+	// Epoch is the cumulative number of completed epochs, counting the
+	// StartEpoch epochs completed by previous runs.
+	Epoch int
+	// Loss is the full-precision training loss after the epoch.
+	Loss float64
+	// W is the live model vector; callers that retain weights must copy
+	// (e.g. W.Floats()).
+	W kernels.Vec
+	// TrainLoss is the loss trajectory of this run so far (index 0 is
+	// the loss before this run's first epoch — the resume-point loss
+	// when StartEpoch > 0).
+	TrainLoss []float64
+}
+
+// ctxCheckMask throttles the worker-loop context checks: the context is
+// polled every 64 steps, keeping the bare-algorithm hot path free of
+// per-step synchronization while bounding cancellation latency.
+const ctxCheckMask = 63
+
+// ctxErr returns the context's cause if ctx is cancelled, nil otherwise
+// (including for a nil context).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil || ctx.Err() == nil {
+		return nil
+	}
+	return context.Cause(ctx)
 }
 
 func (c *Config) fill() error {
@@ -150,6 +208,9 @@ func (c *Config) fill() error {
 	}
 	if c.Observer != nil && c.Observer.StepSample < 0 {
 		return fmt.Errorf("core: Observer.StepSample must be non-negative")
+	}
+	if c.StartEpoch < 0 || c.StartEpoch > c.Epochs {
+		return fmt.Errorf("core: StartEpoch %d outside [0, Epochs=%d]", c.StartEpoch, c.Epochs)
 	}
 	return nil
 }
@@ -195,7 +256,10 @@ func TrainDense(cfg Config, ds *dataset.DenseSet) (*Result, error) {
 	if ds.X[0].P != cfg.D {
 		return nil, fmt.Errorf("core: dataset stored at %v but config says %v", ds.X[0].P, cfg.D)
 	}
-	w := kernels.NewVec(cfg.M, ds.N)
+	w, err := initModel(&cfg, ds.N)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{}
 	loss, err := denseLoss(cfg.Problem, w.Floats(), ds)
 	if err != nil {
@@ -203,14 +267,19 @@ func TrainDense(cfg Config, ds *dataset.DenseSet) (*Result, error) {
 	}
 	res.TrainLoss = append(res.TrainLoss, loss)
 
-	eta := cfg.StepSize
+	eta := resumeEta(&cfg)
 	ro := newRunObs(&cfg)
 	start := time.Now()
 	var numbers float64
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	epochsRun := 0
+	for epoch := cfg.StartEpoch; epoch < cfg.Epochs; epoch++ {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, err
+		}
 		if err := runDenseEpoch(cfg, ds, w, eta, epoch, ro); err != nil {
 			return nil, err
 		}
+		epochsRun++
 		numbers += float64(ds.Len()) * float64(ds.N)
 		eta *= cfg.StepDecay
 		loss, err := denseLoss(cfg.Problem, w.Floats(), ds)
@@ -219,15 +288,51 @@ func TrainDense(cfg Config, ds *dataset.DenseSet) (*Result, error) {
 		}
 		res.TrainLoss = append(res.TrainLoss, loss)
 		ro.epochDone(epoch+1, loss)
+		if cfg.EpochEnd != nil {
+			if err := cfg.EpochEnd(EpochState{Epoch: epoch + 1, Loss: loss, W: w, TrainLoss: res.TrainLoss}); err != nil {
+				return nil, err
+			}
+		}
 	}
 	res.Elapsed = time.Since(start)
 	res.W = w.Floats()
-	res.Steps = cfg.Epochs * (ds.Len() / cfg.MiniBatch)
+	res.Steps = epochsRun * (ds.Len() / cfg.MiniBatch)
 	if res.Elapsed > 0 {
 		res.NumbersPerSec = numbers / res.Elapsed.Seconds()
 	}
 	res.Stats = ro.snapshot()
 	return res, nil
+}
+
+// initModel builds the run's model vector: zeros for a fresh run, or the
+// re-quantized InitWeights for a resumed one.
+func initModel(cfg *Config, n int) (kernels.Vec, error) {
+	w := kernels.NewVec(cfg.M, n)
+	if cfg.InitWeights == nil {
+		return w, nil
+	}
+	if len(cfg.InitWeights) != n {
+		return kernels.Vec{}, fmt.Errorf("core: InitWeights has %d elements, model needs %d", len(cfg.InitWeights), n)
+	}
+	if w.P == kernels.F32 {
+		copy(w.F32, cfg.InitWeights)
+		return w, nil
+	}
+	f := w.P.Fixed()
+	for i, x := range cfg.InitWeights {
+		w.SetRaw(i, f.QuantizeBiased(x))
+	}
+	return w, nil
+}
+
+// resumeEta replays the step-decay schedule over the epochs a previous
+// run already completed.
+func resumeEta(cfg *Config) float32 {
+	eta := cfg.StepSize
+	for i := 0; i < cfg.StartEpoch; i++ {
+		eta *= cfg.StepDecay
+	}
+	return eta
 }
 
 // runDenseEpoch processes every example once, spread over the workers.
@@ -318,7 +423,14 @@ func (dw *denseWorker) run(ds *dataset.DenseSet, w kernels.Vec, eta float32, lo,
 	if dw.ro != nil {
 		stepsBefore = dw.ro.shards[dw.id].steps
 	}
+	var steps uint64
 	for i := lo; i < hi; i += b {
+		if dw.cfg.Ctx != nil && steps&ctxCheckMask == 0 {
+			if err := ctxErr(dw.cfg.Ctx); err != nil {
+				return err
+			}
+		}
+		steps++
 		end := i + b
 		if end > hi {
 			end = hi

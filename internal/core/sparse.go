@@ -27,7 +27,10 @@ func TrainSparse(cfg Config, ds *dataset.SparseSet) (*Result, error) {
 	if cfg.MiniBatch != 1 {
 		return nil, fmt.Errorf("core: sparse training supports MiniBatch=1 (got %d); the paper's mini-batch study is dense", cfg.MiniBatch)
 	}
-	w := kernels.NewVec(cfg.M, ds.N)
+	w, err := initModel(&cfg, ds.N)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{}
 	loss, err := sparseLoss(cfg.Problem, w.Floats(), ds)
 	if err != nil {
@@ -35,14 +38,19 @@ func TrainSparse(cfg Config, ds *dataset.SparseSet) (*Result, error) {
 	}
 	res.TrainLoss = append(res.TrainLoss, loss)
 
-	eta := cfg.StepSize
+	eta := resumeEta(&cfg)
 	ro := newRunObs(&cfg)
 	start := time.Now()
 	var numbers float64
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	epochsRun := 0
+	for epoch := cfg.StartEpoch; epoch < cfg.Epochs; epoch++ {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, err
+		}
 		if err := runSparseEpoch(cfg, ds, w, eta, epoch, ro); err != nil {
 			return nil, err
 		}
+		epochsRun++
 		numbers += float64(ds.NNZ())
 		eta *= cfg.StepDecay
 		loss, err := sparseLoss(cfg.Problem, w.Floats(), ds)
@@ -51,10 +59,15 @@ func TrainSparse(cfg Config, ds *dataset.SparseSet) (*Result, error) {
 		}
 		res.TrainLoss = append(res.TrainLoss, loss)
 		ro.epochDone(epoch+1, loss)
+		if cfg.EpochEnd != nil {
+			if err := cfg.EpochEnd(EpochState{Epoch: epoch + 1, Loss: loss, W: w, TrainLoss: res.TrainLoss}); err != nil {
+				return nil, err
+			}
+		}
 	}
 	res.Elapsed = time.Since(start)
 	res.W = w.Floats()
-	res.Steps = cfg.Epochs * ds.Len()
+	res.Steps = epochsRun * ds.Len()
 	if res.Elapsed > 0 {
 		res.NumbersPerSec = numbers / res.Elapsed.Seconds()
 	}
@@ -100,6 +113,12 @@ func runSparseEpoch(cfg Config, ds *dataset.SparseSet, w kernels.Vec, eta float3
 				stepsBefore = ro.shards[t].steps
 			}
 			for i := lo; i < hi; i++ {
+				if cfg.Ctx != nil && uint64(i-lo)&ctxCheckMask == 0 {
+					if err := ctxErr(cfg.Ctx); err != nil {
+						errs[t] = err
+						return
+					}
+				}
 				if cfg.Sharing == Locked {
 					if ro != nil {
 						ro.lock(t, &mu)

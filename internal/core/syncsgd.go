@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,6 +34,9 @@ type SyncConfig struct {
 	StepSize      float32
 	Epochs        int
 	Seed          uint64
+	// Ctx, when non-nil, bounds the run: it is checked before every
+	// communication round, and cancellation returns context.Cause(Ctx).
+	Ctx context.Context
 }
 
 func (c *SyncConfig) fill() error {
@@ -86,6 +90,9 @@ func TrainSyncDense(cfg SyncConfig, ds *dataset.DenseSet) (*Result, error) {
 	perRound := cfg.Workers * cfg.BatchPerWorker
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for start := 0; start+perRound <= ds.Len(); start += perRound {
+			if err := ctxErr(cfg.Ctx); err != nil {
+				return nil, err
+			}
 			// Local gradient accumulation.
 			for k := 0; k < cfg.Workers; k++ {
 				g := grads[k]

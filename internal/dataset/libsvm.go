@@ -31,6 +31,25 @@ type LibSVMConfig struct {
 	// largest index seen.
 	NumFeatures int
 	Seed        uint64
+	// Path, when set, names the input in parse errors ("path:line: ...")
+	// so a bad record in a multi-gigabyte file is locatable.
+	Path string
+}
+
+// loc renders an error location, with the file name when known.
+func (c *LibSVMConfig) loc(line int) string {
+	if c.Path != "" {
+		return fmt.Sprintf("%s:%d", c.Path, line)
+	}
+	return fmt.Sprintf("line %d", line)
+}
+
+// name identifies the whole input in stream-level errors.
+func (c *LibSVMConfig) name() string {
+	if c.Path != "" {
+		return c.Path
+	}
+	return "input"
 }
 
 // ReadLibSVM parses a LIBSVM-format stream into a sparse dataset. Labels
@@ -66,7 +85,7 @@ func ReadLibSVM(r io.Reader, cfg LibSVMConfig) (*SparseSet, error) {
 		}
 		label, err := strconv.ParseFloat(fields[0], 32)
 		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: bad label %q", lineNo, fields[0])
+			return nil, fmt.Errorf("dataset: %s: bad label %q", cfg.loc(lineNo), fields[0])
 		}
 		y := float32(-1)
 		if label > 0 {
@@ -78,19 +97,19 @@ func ReadLibSVM(r io.Reader, cfg LibSVMConfig) (*SparseSet, error) {
 		for _, f := range fields[1:] {
 			colon := strings.IndexByte(f, ':')
 			if colon <= 0 {
-				return nil, fmt.Errorf("dataset: line %d: bad feature %q", lineNo, f)
+				return nil, fmt.Errorf("dataset: %s: bad feature %q", cfg.loc(lineNo), f)
 			}
 			j, err := strconv.ParseInt(f[:colon], 10, 32)
 			if err != nil || j < 1 {
-				return nil, fmt.Errorf("dataset: line %d: bad index %q", lineNo, f[:colon])
+				return nil, fmt.Errorf("dataset: %s: bad index %q", cfg.loc(lineNo), f[:colon])
 			}
 			v, err := strconv.ParseFloat(f[colon+1:], 32)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d: bad value %q", lineNo, f[colon+1:])
+				return nil, fmt.Errorf("dataset: %s: bad value %q", cfg.loc(lineNo), f[colon+1:])
 			}
 			j0 := int32(j - 1) // to 0-based
 			if j0 <= prev {
-				return nil, fmt.Errorf("dataset: line %d: indices must be strictly increasing", lineNo)
+				return nil, fmt.Errorf("dataset: %s: indices must be strictly increasing", cfg.loc(lineNo))
 			}
 			prev = j0
 			if j0 > maxIdx {
@@ -108,10 +127,10 @@ func ReadLibSVM(r io.Reader, cfg LibSVMConfig) (*SparseSet, error) {
 		d.Y = append(d.Y, y)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: %w", err)
+		return nil, fmt.Errorf("dataset: reading %s: %w", cfg.name(), err)
 	}
 	if len(d.Idx) == 0 {
-		return nil, fmt.Errorf("dataset: no examples in input")
+		return nil, fmt.Errorf("dataset: no examples in %s", cfg.name())
 	}
 	d.N = int(maxIdx) + 1
 	if cfg.NumFeatures > 0 {

@@ -82,6 +82,53 @@ func TestReadLibSVMErrors(t *testing.T) {
 	}
 }
 
+func TestReadLibSVMTrailingBlankLines(t *testing.T) {
+	// Trailing blank lines, comment-only lines and a missing final
+	// newline are all tolerated, and the line numbering in errors stays
+	// anchored to the physical file.
+	in := "+1 1:0.5\n-1 2:0.25\n\n\n# trailing comment\n\n"
+	d, err := ReadLibSVM(strings.NewReader(in), LibSVMConfig{P: kernels.F32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("examples = %d, want 2", d.Len())
+	}
+	d, err = ReadLibSVM(strings.NewReader("+1 1:0.5"), LibSVMConfig{P: kernels.F32})
+	if err != nil || d.Len() != 1 {
+		t.Fatalf("no final newline: %v, %v", d, err)
+	}
+}
+
+func TestReadLibSVMOutOfOrderIndices(t *testing.T) {
+	for _, in := range []string{
+		"+1 3:1 2:1\n", // decreasing
+		"+1 2:1 2:5\n", // duplicate
+	} {
+		_, err := ReadLibSVM(strings.NewReader(in), LibSVMConfig{P: kernels.F32})
+		if err == nil || !strings.Contains(err.Error(), "strictly increasing") {
+			t.Errorf("input %q: %v", in, err)
+		}
+	}
+}
+
+func TestReadLibSVMErrorsNamePath(t *testing.T) {
+	cfg := LibSVMConfig{P: kernels.F32, Path: "data/a9a.svm"}
+	_, err := ReadLibSVM(strings.NewReader("+1 1:1\nbogus 1:1\n"), cfg)
+	if err == nil || !strings.Contains(err.Error(), "data/a9a.svm:2:") {
+		t.Fatalf("error should carry path and line: %v", err)
+	}
+	_, err = ReadLibSVM(strings.NewReader(""), cfg)
+	if err == nil || !strings.Contains(err.Error(), "data/a9a.svm") {
+		t.Fatalf("empty-input error should name the file: %v", err)
+	}
+	// Without a path the historical "line N" form is kept.
+	_, err = ReadLibSVM(strings.NewReader("bogus 1:1\n"), LibSVMConfig{P: kernels.F32})
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("pathless error: %v", err)
+	}
+}
+
 func TestLibSVMRoundTrip(t *testing.T) {
 	orig, err := GenSparse(SparseConfig{
 		N: 200, M: 25, Density: 0.05, P: kernels.F32, IdxBits: 32,

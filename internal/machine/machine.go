@@ -25,6 +25,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"buckwild/internal/cache"
@@ -195,6 +196,14 @@ func (s *sink) Record(core int, kind trace.Kind, write bool, latency int, cohere
 // throughput. It warms the caches with one round, then measures over
 // several rounds.
 func Simulate(mc Config, w Workload) (*Result, error) {
+	return SimulateCtx(context.Background(), mc, w)
+}
+
+// SimulateCtx is Simulate bounded by a context: the context is checked
+// between simulation rounds (one step per core), so cancellation or
+// deadline expiry interrupts even a large point promptly. A cancelled
+// simulation returns context.Cause(ctx).
+func SimulateCtx(ctx context.Context, mc Config, w Workload) (*Result, error) {
 	if err := validate(mc, w); err != nil {
 		return nil, err
 	}
@@ -238,6 +247,9 @@ func Simulate(mc Config, w Workload) (*Result, error) {
 
 	var offset uint64
 	runRound := func() error {
+		if ctx != nil && ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
 		for c := 0; c < w.Threads; c++ {
 			if err := runStep(h, snk, c, w, simN, offset, rng); err != nil {
 				return err

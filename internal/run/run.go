@@ -1,0 +1,416 @@
+package run
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"buckwild/internal/core"
+	"buckwild/internal/dataset"
+	"buckwild/internal/obs"
+)
+
+// Config configures the supervisor around one training job. Zero values
+// select conservative defaults; only Dir is required.
+type Config struct {
+	// Dir is the checkpoint directory; it is created if missing. A run
+	// started over a directory holding checkpoints from an earlier
+	// process resumes from the newest valid one, which is what makes a
+	// killed process recoverable.
+	Dir string
+	// Every is the checkpoint period in epochs (default 1). The final
+	// epoch is always checkpointed.
+	Every int
+	// Keep is how many checkpoint files to retain (default 2, so a
+	// corrupted newest checkpoint still leaves a fallback).
+	Keep int
+	// MaxRetries bounds how many times a failed attempt is retried
+	// (default 3). Only crashes and detected stalls are retried;
+	// configuration and I/O errors fail immediately.
+	MaxRetries int
+	// Backoff is the delay before the first retry (default 50ms); it
+	// doubles per consecutive failure, capped at BackoffCap (default 5s).
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// StallTimeout arms the watchdog: if no run progress (steps, epochs,
+	// checkpoints) is observed for this long, the attempt is cancelled
+	// with ErrStallDetected and retried. Zero disables the watchdog
+	// unless the fault plan injects stalls, in which case it defaults to
+	// 500ms. Choose a value comfortably above one epoch's duration.
+	StallTimeout time.Duration
+	// DegradeAfter is how many consecutive stall failures trigger
+	// graceful degradation — restarting with one worker fewer (default
+	// 2). MinThreads floors the degradation (default 1).
+	DegradeAfter int
+	MinThreads   int
+	// Faults is the deterministic fault-injection schedule; nil injects
+	// nothing.
+	Faults *Plan
+	// Hooks receives the training callbacks of every attempt; if it also
+	// implements obs.LifecycleHooks it receives checkpoint and retry
+	// events. CollectStats requests engine counters without hooks, and
+	// StepSample is forwarded to the engine's Observer (forced to 1 while
+	// step faults are armed).
+	Hooks        obs.Hooks
+	CollectStats bool
+	StepSample   int
+	// Sleep replaces time.Sleep for the backoff waits (tests inject a
+	// no-op); nil uses time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (c *Config) fill() error {
+	if c.Dir == "" {
+		return fmt.Errorf("run: checkpoint directory required")
+	}
+	if c.Every < 1 {
+		c.Every = 1
+	}
+	if c.Keep < 1 {
+		c.Keep = 2
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 5 * time.Second
+	}
+	if c.StallTimeout <= 0 && c.Faults.hasStalls() {
+		c.StallTimeout = 500 * time.Millisecond
+	}
+	if c.DegradeAfter < 1 {
+		c.DegradeAfter = 2
+	}
+	if c.MinThreads < 1 {
+		c.MinThreads = 1
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return nil
+}
+
+// Report is the outcome of a supervised run.
+type Report struct {
+	// Result is the final training result. Its TrainLoss covers the
+	// whole job from epoch 0, stitched across restarts.
+	Result *core.Result
+	// Stats counts what the supervisor did around the attempts.
+	Stats obs.SupervisorStats
+	// Checkpoint is the newest checkpoint file on disk ("" if the run
+	// never reached one).
+	Checkpoint string
+}
+
+// TrainDense supervises core.TrainDense: checkpoints every cfg.Every
+// epochs, resumes from the newest valid checkpoint after a crash or
+// stall, retries with exponential backoff up to cfg.MaxRetries times,
+// and degrades the worker count after repeated stalls. Cancelling ctx
+// stops the run (mid-epoch) and is never retried; the latest checkpoint
+// stays on disk for a later resume.
+func TrainDense(ctx context.Context, cfg Config, tc core.Config, ds *dataset.DenseSet) (*Report, error) {
+	return supervise(ctx, cfg, tc, func(c core.Config) (*core.Result, error) {
+		return core.TrainDense(c, ds)
+	})
+}
+
+// TrainSparse supervises core.TrainSparse; see TrainDense.
+func TrainSparse(ctx context.Context, cfg Config, tc core.Config, ds *dataset.SparseSet) (*Report, error) {
+	return supervise(ctx, cfg, tc, func(c core.Config) (*core.Result, error) {
+		return core.TrainSparse(c, ds)
+	})
+}
+
+// supervise is the engine-agnostic attempt loop.
+func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.Config) (*core.Result, error)) (*Report, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("run: %w", err)
+	}
+	epochs := tc.Epochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	threads := tc.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	if cfg.MinThreads > threads {
+		cfg.MinThreads = threads
+	}
+
+	inj := newInjector(cfg.Faults)
+	lifecycle, _ := cfg.Hooks.(obs.LifecycleHooks)
+	var stats obs.SupervisorStats
+
+	// Resume state: a previous process may have left checkpoints behind.
+	var (
+		startEpoch int
+		initW      []float32
+		history    []float64 // losses [0..startEpoch], from the checkpoint
+		lastPath   string
+	)
+	loadResume := func() error {
+		ck, path, skipped, err := LoadLatest(cfg.Dir)
+		stats.CheckpointFallbacks += skipped
+		if err != nil {
+			return err
+		}
+		if ck == nil {
+			startEpoch, initW, history = 0, nil, nil
+			return nil
+		}
+		if ck.Epoch > epochs {
+			return fmt.Errorf("run: checkpoint %s is at epoch %d, beyond the configured %d", path, ck.Epoch, epochs)
+		}
+		w, err := ck.Weights()
+		if err != nil {
+			return fmt.Errorf("%w (in %s)", err, path)
+		}
+		startEpoch, initW, history, lastPath = ck.Epoch, w, ck.TrainLoss, path
+		stats.Resumes++
+		stats.ResumedEpoch = ck.Epoch
+		return nil
+	}
+	if err := loadResume(); err != nil {
+		return nil, err
+	}
+
+	backoff := cfg.Backoff
+	stalls := 0
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
+		stats.Attempts++
+		stats.FinalThreads = threads
+
+		actx, cancel := context.WithCancelCause(ctx)
+		var progress atomic.Uint64
+		hooks := &attemptHooks{inner: cfg.Hooks, inj: inj, cancel: cancel, done: actx.Done(), progress: &progress}
+
+		run := tc
+		run.Ctx = actx
+		run.Threads = threads
+		run.StartEpoch = startEpoch
+		run.InitWeights = initW
+		run.Observer = attemptObserver(&cfg, inj, hooks)
+		resumeHist := history
+		run.EpochEnd = func(st core.EpochState) error {
+			progress.Add(1)
+			if st.Epoch%cfg.Every != 0 && st.Epoch != epochs {
+				return nil
+			}
+			ck := newCheckpoint(st.Epoch, tc.Seed, threads, st.W, stitchLoss(resumeHist, st.TrainLoss))
+			path, n, err := writeCheckpoint(cfg.Dir, ck, inj.corruptNextWrite())
+			if err != nil {
+				return err
+			}
+			stats.Checkpoints++
+			stats.CheckpointBytes += n
+			lastPath = path
+			pruneCheckpoints(cfg.Dir, cfg.Keep)
+			if lifecycle != nil {
+				lifecycle.OnCheckpoint(obs.CheckpointInfo{Epoch: st.Epoch, Path: path, Bytes: n})
+			}
+			return nil
+		}
+
+		var dog *watchdog
+		if cfg.StallTimeout > 0 {
+			dog = startWatchdog(cancel, &progress, cfg.StallTimeout)
+		}
+		res, err := train(run)
+		if dog != nil {
+			dog.stop()
+		}
+		cancel(nil)
+
+		stats.InjectedCrashes = inj.firedCount(FaultCrash)
+		stats.InjectedStalls = inj.firedCount(FaultStall)
+		stats.CorruptedCheckpoints = inj.firedCount(FaultCorrupt)
+
+		if err == nil {
+			res.TrainLoss = stitchLoss(resumeHist, res.TrainLoss)
+			return &Report{Result: res, Stats: stats, Checkpoint: lastPath}, nil
+		}
+		if ctx.Err() != nil {
+			// The caller cancelled: propagate rather than retry. The
+			// newest checkpoint stays on disk for a later resume.
+			return nil, context.Cause(ctx)
+		}
+
+		switch {
+		case errors.Is(err, ErrInjectedCrash):
+			stalls = 0
+		case errors.Is(err, ErrStallDetected):
+			stats.StallsDetected++
+			stalls++
+			if stalls >= cfg.DegradeAfter && threads > cfg.MinThreads {
+				threads--
+				stalls = 0
+				stats.Degradations++
+			}
+		default:
+			// Configuration, dataset and I/O errors recur identically on
+			// retry; fail fast.
+			return nil, err
+		}
+		if attempt > cfg.MaxRetries {
+			return nil, fmt.Errorf("run: giving up after %d attempts: %w", attempt, err)
+		}
+		stats.Retries++
+		if err := loadResume(); err != nil {
+			return nil, err
+		}
+		if lifecycle != nil {
+			lifecycle.OnRetry(obs.RetryInfo{
+				Attempt: attempt, Err: err, Backoff: backoff,
+				ResumeEpoch: startEpoch, Threads: threads,
+			})
+		}
+		cfg.Sleep(backoff)
+		if backoff *= 2; backoff > cfg.BackoffCap {
+			backoff = cfg.BackoffCap
+		}
+	}
+}
+
+// attemptObserver builds the engine Observer for one attempt, or nil
+// when neither the user nor the supervisor needs callbacks — the
+// zero-cost path.
+func attemptObserver(cfg *Config, inj *injector, hooks *attemptHooks) *obs.Observer {
+	needHooks := cfg.Hooks != nil || cfg.Faults.hasStepFaults() || cfg.StallTimeout > 0
+	if !needHooks {
+		if cfg.CollectStats {
+			return &obs.Observer{StepSample: cfg.StepSample}
+		}
+		return nil
+	}
+	sample := cfg.StepSample
+	if cfg.Faults.hasStepFaults() {
+		// Step faults address individual model updates; sampling would
+		// skip the scheduled one.
+		sample = 1
+	}
+	return &obs.Observer{Hooks: hooks, StepSample: sample}
+}
+
+// stitchLoss joins a checkpoint's loss history [0..resume] with an
+// attempt's trajectory [resume..now] (whose first element repeats the
+// resume-point loss).
+func stitchLoss(history, attempt []float64) []float64 {
+	if len(history) == 0 {
+		return append([]float64(nil), attempt...)
+	}
+	out := append([]float64(nil), history...)
+	if len(attempt) > 1 {
+		out = append(out, attempt[1:]...)
+	}
+	return out
+}
+
+// attemptHooks wraps the user's hooks with the supervisor's machinery:
+// the progress counter the watchdog monitors and the fault-injection
+// sites. OnStep is called from worker goroutines; everything here is
+// safe for concurrent use.
+type attemptHooks struct {
+	inner    obs.Hooks
+	inj      *injector
+	cancel   context.CancelCauseFunc
+	done     <-chan struct{}
+	progress *atomic.Uint64
+	steps    atomic.Uint64
+}
+
+func (h *attemptHooks) OnStep(si obs.StepInfo) {
+	h.progress.Add(1)
+	n := h.steps.Add(1)
+	if f, ok := h.inj.fireAt(n); ok {
+		switch f.Kind {
+		case FaultCrash:
+			h.cancel(ErrInjectedCrash)
+		case FaultStall:
+			// Hang this worker until the attempt is torn down — the
+			// watchdog must notice the missing progress.
+			<-h.done
+		}
+	}
+	if h.inner != nil {
+		h.inner.OnStep(si)
+	}
+}
+
+func (h *attemptHooks) OnEpoch(ei obs.EpochInfo) {
+	h.progress.Add(1)
+	if h.inner != nil {
+		h.inner.OnEpoch(ei)
+	}
+}
+
+func (h *attemptHooks) OnWorker(wi obs.WorkerInfo) {
+	h.progress.Add(1)
+	if h.inner != nil {
+		h.inner.OnWorker(wi)
+	}
+}
+
+// watchdog cancels an attempt when its progress counter stops moving for
+// the configured timeout. Progress is anything the hooks or the
+// checkpoint writer observe; once a worker hangs, the remaining workers
+// drain their epoch ranges, the epoch join blocks, the counter freezes,
+// and the watchdog fires.
+type watchdog struct {
+	quit chan struct{}
+	done chan struct{}
+}
+
+func startWatchdog(cancel context.CancelCauseFunc, progress *atomic.Uint64, timeout time.Duration) *watchdog {
+	w := &watchdog{quit: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		tick := timeout / 8
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		last := progress.Load()
+		lastChange := time.Now()
+		for {
+			select {
+			case <-w.quit:
+				return
+			case <-t.C:
+				if cur := progress.Load(); cur != last {
+					last, lastChange = cur, time.Now()
+					continue
+				}
+				if time.Since(lastChange) >= timeout {
+					cancel(ErrStallDetected)
+					return
+				}
+			}
+		}
+	}()
+	return w
+}
+
+func (w *watchdog) stop() {
+	close(w.quit)
+	<-w.done
+}

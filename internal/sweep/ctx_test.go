@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	for _, workers := range []int{1, 4} {
+		_, err := MapCtx(ctx, workers, 100, func(i int) (int, error) {
+			calls.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: %v, want context.Canceled", workers, err)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("%d points dispatched after cancellation", calls.Load())
+	}
+}
+
+func TestMapCtxCancelMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	_, err := MapCtx(ctx, 2, 10_000, func(i int) (int, error) {
+		if calls.Add(1) == 10 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n >= 10_000 {
+		t.Fatalf("cancellation did not stop dispatch (%d calls)", n)
+	}
+}
+
+func TestMapCtxDispatchedFailureBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := fmt.Errorf("point failed")
+	_, err := MapCtx(ctx, 2, 100, func(i int) (int, error) {
+		if i == 3 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the dispatched failure", err)
+	}
+}
+
+func TestMapCtxNilAndBackground(t *testing.T) {
+	got, err := MapCtx(context.Background(), 3, 5, func(i int) (int, error) { return i + 1, nil })
+	if err != nil || len(got) != 5 || got[4] != 5 {
+		t.Fatalf("background ctx sweep: %v, %v", got, err)
+	}
+}

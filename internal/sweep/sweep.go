@@ -7,6 +7,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -20,6 +21,16 @@ import (
 // sequential loop would surface first — regardless of worker count or
 // scheduling, so parallel and serial runs are interchangeable.
 func Map[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map bounded by a context: once ctx is cancelled no new
+// indices are dispatched, in-flight calls are awaited, and MapCtx returns
+// context.Cause(ctx). A failure of a dispatched call still wins over the
+// cancellation (lowest-index-failure semantics are unchanged); callers
+// whose fn is itself context-aware get mid-point cancellation on top of
+// the between-point cut-off implemented here.
+func MapCtx[R any](ctx context.Context, workers, n int, fn func(i int) (R, error)) ([]R, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -32,6 +43,9 @@ func Map[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
 	results := make([]R, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, context.Cause(ctx)
+			}
 			r, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -48,6 +62,9 @@ func Map[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
 		wg     sync.WaitGroup
 	)
 	claim := func() (int, bool) {
+		if ctx.Err() != nil {
+			return 0, false
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		// Indexes past the lowest failure cannot change the outcome;
@@ -88,14 +105,24 @@ func Map[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
 	if first != nil {
 		return nil, first
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
 	return results, nil
 }
 
 // Simulate runs every workload point on the machine configuration through
 // the worker pool and returns the results in input order.
 func Simulate(mc machine.Config, points []machine.Workload, workers int) ([]*machine.Result, error) {
-	return Map(workers, len(points), func(i int) (*machine.Result, error) {
-		return machine.Simulate(mc, points[i])
+	return SimulateCtx(context.Background(), mc, points, workers)
+}
+
+// SimulateCtx is Simulate bounded by a context: cancellation stops
+// dispatching new points and interrupts the running simulations at their
+// next measurement round.
+func SimulateCtx(ctx context.Context, mc machine.Config, points []machine.Workload, workers int) ([]*machine.Result, error) {
+	return MapCtx(ctx, workers, len(points), func(i int) (*machine.Result, error) {
+		return machine.SimulateCtx(ctx, mc, points[i])
 	})
 }
 
@@ -105,7 +132,12 @@ func Simulate(mc machine.Config, points []machine.Workload, workers int) ([]*mac
 // experiments driver folds per-point cache and access statistics into
 // its run report this way). each may be nil.
 func SimulateEach(mc machine.Config, points []machine.Workload, workers int, each func(i int, r *machine.Result)) ([]*machine.Result, error) {
-	res, err := Simulate(mc, points, workers)
+	return SimulateEachCtx(context.Background(), mc, points, workers, each)
+}
+
+// SimulateEachCtx is SimulateEach bounded by a context.
+func SimulateEachCtx(ctx context.Context, mc machine.Config, points []machine.Workload, workers int, each func(i int, r *machine.Result)) ([]*machine.Result, error) {
+	res, err := SimulateCtx(ctx, mc, points, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,160 @@
+package buckwild
+
+import (
+	"fmt"
+	"time"
+
+	"buckwild/internal/obs"
+	"buckwild/internal/run"
+)
+
+// This file is the facade over internal/run: supervised, fault-tolerant
+// training runs with periodic checkpointing, automatic resume, bounded
+// retries with exponential backoff, and deterministic fault injection.
+
+// Fault-tolerance re-exports.
+type (
+	// FaultPlan is a deterministic fault-injection schedule; build one
+	// with ParseFaultPlan or GenerateFaultPlan.
+	FaultPlan = run.Plan
+	// Fault is one scheduled fault inside a FaultPlan.
+	Fault = run.Fault
+	// Checkpoint is the durable state of a training run at an epoch
+	// boundary, stored at the model's own precision.
+	Checkpoint = run.Checkpoint
+	// SupervisorStats counts what the supervisor did around the training
+	// attempts of one run.
+	SupervisorStats = obs.SupervisorStats
+	// CheckpointInfo and RetryInfo are the LifecycleHooks payloads.
+	CheckpointInfo = obs.CheckpointInfo
+	RetryInfo      = obs.RetryInfo
+	// LifecycleHooks is the optional extension of Hooks that receives
+	// checkpoint and retry events from supervised runs.
+	LifecycleHooks = obs.LifecycleHooks
+	// RunReport is the outcome of a supervised run: the training result
+	// (loss trajectory stitched across restarts), the supervisor's
+	// counters, and the newest checkpoint path.
+	RunReport = run.Report
+)
+
+// Sentinel causes of supervised-run failures, for errors.Is.
+var (
+	// ErrInjectedCrash is the cause of an injected worker crash.
+	ErrInjectedCrash = run.ErrInjectedCrash
+	// ErrStallDetected is the cause the stall watchdog cancels with.
+	ErrStallDetected = run.ErrStallDetected
+)
+
+// ParseFaultPlan parses a comma-separated fault spec, e.g.
+// "corrupt@ckpt=1,crash@step=1500" (see the -fault flag of
+// cmd/buckwild). An empty spec returns a nil plan, which injects
+// nothing.
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	p, err := run.ParsePlan(spec)
+	return p, wrapErr(err)
+}
+
+// GenerateFaultPlan derives a pseudo-random schedule of n crash and
+// corrupt faults over maxStep model updates from a seed; the same seed
+// always yields the same schedule.
+func GenerateFaultPlan(seed uint64, n int, maxStep uint64) *FaultPlan {
+	return run.GeneratePlan(seed, n, maxStep)
+}
+
+// RunConfig configures the supervisor around a training run. Zero
+// values select conservative defaults; only CheckpointDir is required.
+type RunConfig struct {
+	// CheckpointDir is where checkpoints live; a run started over a
+	// directory holding checkpoints from an earlier process resumes from
+	// the newest valid one.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint period in epochs (default 1);
+	// the final epoch is always checkpointed. KeepCheckpoints is how
+	// many files to retain (default 2).
+	CheckpointEvery int
+	KeepCheckpoints int
+	// MaxRetries bounds the retries after crashes or stalls (default 3;
+	// negative disables retrying).
+	MaxRetries int
+	// Backoff is the first retry delay (default 50ms), doubling per
+	// consecutive failure up to BackoffCap (default 5s).
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// StallTimeout arms the stall watchdog; zero disables it unless the
+	// fault plan injects stalls. DegradeAfter consecutive stall failures
+	// degrade the run to one worker fewer, never below MinThreads.
+	StallTimeout time.Duration
+	DegradeAfter int
+	MinThreads   int
+	// Faults is the deterministic fault-injection schedule; nil injects
+	// nothing.
+	Faults *FaultPlan
+}
+
+func (rc RunConfig) internal(cfg Config) run.Config {
+	return run.Config{
+		Dir:          rc.CheckpointDir,
+		Every:        rc.CheckpointEvery,
+		Keep:         rc.KeepCheckpoints,
+		MaxRetries:   rc.MaxRetries,
+		Backoff:      rc.Backoff,
+		BackoffCap:   rc.BackoffCap,
+		StallTimeout: rc.StallTimeout,
+		DegradeAfter: rc.DegradeAfter,
+		MinThreads:   rc.MinThreads,
+		Faults:       rc.Faults,
+		Hooks:        cfg.Hooks,
+		CollectStats: cfg.CollectStats,
+		StepSample:   cfg.StepSample,
+	}
+}
+
+// RunDense is the supervised counterpart of TrainDense: it checkpoints
+// every CheckpointEvery epochs, resumes from the newest valid
+// checkpoint after a crash or detected stall, retries with exponential
+// backoff, and degrades the worker count after repeated stalls.
+// Cancelling cfg.Context stops the run without retrying and leaves the
+// newest checkpoint on disk for a later resume.
+func RunDense(cfg Config, rc RunConfig, ds *DenseDataset) (*RunReport, error) {
+	cc, err := cfg.coreConfig(false, 0)
+	if err != nil {
+		return nil, err
+	}
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("buckwild: empty dataset")
+	}
+	if ds.X[0].P != cc.D {
+		return nil, fmt.Errorf("buckwild: dataset stored at %v but signature wants %v", ds.X[0].P, cc.D)
+	}
+	// The supervisor owns observation (it must see every step while
+	// faults are armed), so the facade's Observer is not pre-installed.
+	cc.Observer = nil
+	rep, err := run.TrainDense(cfg.Context, rc.internal(cfg), cc, ds)
+	return rep, wrapErr(err)
+}
+
+// RunSparse is the supervised counterpart of TrainSparse; see RunDense.
+func RunSparse(cfg Config, rc RunConfig, ds *SparseDataset) (*RunReport, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("buckwild: empty dataset")
+	}
+	cc, err := cfg.coreConfig(true, ds.IdxBits)
+	if err != nil {
+		return nil, err
+	}
+	if ds.Val[0].P != cc.D {
+		return nil, fmt.Errorf("buckwild: dataset stored at %v but signature wants %v", ds.Val[0].P, cc.D)
+	}
+	cc.Observer = nil
+	rep, err := run.TrainSparse(cfg.Context, rc.internal(cfg), cc, ds)
+	return rep, wrapErr(err)
+}
+
+// LoadLatestCheckpoint loads the newest valid checkpoint in dir,
+// skipping corrupt or unreadable files (skipped reports how many). It
+// returns (nil, "", 0, nil) when the directory holds no valid
+// checkpoint.
+func LoadLatestCheckpoint(dir string) (ck *Checkpoint, path string, skipped int, err error) {
+	ck, path, skipped, err = run.LoadLatest(dir)
+	return ck, path, skipped, wrapErr(err)
+}

@@ -1,6 +1,7 @@
 package buckwild
 
 import (
+	"context"
 	"fmt"
 
 	"buckwild/internal/core"
@@ -22,6 +23,10 @@ type SyncConfig struct {
 	StepSize      float32
 	Epochs        int
 	Seed          uint64
+	// Context, when non-nil, bounds the run: it is checked before every
+	// communication round, and cancellation returns the context's cause
+	// with the "buckwild:" prefix.
+	Context context.Context
 }
 
 // TrainSync runs the synchronous quantized-communication engine on a dense
@@ -39,7 +44,7 @@ func TrainSync(cfg SyncConfig, ds *DenseDataset) (*Result, error) {
 	if step == 0 {
 		step = 0.1
 	}
-	return core.TrainSyncDense(core.SyncConfig{
+	res, err := core.TrainSyncDense(core.SyncConfig{
 		Problem:        prob,
 		CommBits:       cfg.CommBits,
 		Workers:        cfg.Workers,
@@ -48,5 +53,7 @@ func TrainSync(cfg SyncConfig, ds *DenseDataset) (*Result, error) {
 		StepSize:       step,
 		Epochs:         cfg.Epochs,
 		Seed:           cfg.Seed,
+		Ctx:            cfg.Context,
 	}, ds)
+	return res, wrapErr(err)
 }
