@@ -163,7 +163,33 @@ type (
 	// writes by rounding kind, mutex waits, mini-batch flushes, and the
 	// sampled write–read staleness histogram.
 	RunStats = obs.RunStats
+	// Tracer records coarse phase spans (run attempts, epochs,
+	// checkpoints, simulation phases) into a bounded in-memory ring and
+	// exports them as Chrome trace_event JSON (chrome://tracing,
+	// Perfetto). Create one with NewTracer and install it in a Config or
+	// SimOptions.
+	Tracer = obs.Tracer
+	// Series records the windowed training time-series (per-window loss,
+	// throughput, gradient magnitude, mutex waits and a staleness
+	// sub-histogram) under a fixed memory budget. Create one with
+	// NewSeries and install it in Config.TimeSeries.
+	Series = obs.Series
+	// SeriesSnapshot and SeriesWindow are the exportable time-series
+	// forms surfaced on Result.Series.
+	SeriesSnapshot = obs.SeriesSnapshot
+	SeriesWindow   = obs.SeriesWindow
 )
+
+// NewTracer returns a trace-span recorder keeping at most capacity spans
+// (<= 0 selects the default, obs.DefaultTraceCapacity). A nil *Tracer is
+// valid everywhere one is accepted and records nothing at no cost.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewSeries returns a windowed time-series recorder keeping at most
+// budget windows (<= 0 selects the default, obs.DefaultSeriesBudget).
+// Runs of any length fit the budget: when it fills, adjacent windows are
+// merged pairwise and the per-window epoch stride doubles.
+func NewSeries(budget int) *Series { return obs.NewSeries(budget) }
 
 // Config configures a training run. The zero value of optional fields
 // selects the paper's recommended defaults (hand-optimized kernels,
@@ -201,6 +227,14 @@ type Config struct {
 	// staleness histogram; 0 means the default (see obs.DefaultStepSample),
 	// 1 samples every step.
 	StepSample int
+	// Tracer, when non-nil, records the run's coarse phases (the run,
+	// each epoch) as trace spans; export them with Tracer.WriteTrace.
+	// Nil traces nothing at no cost.
+	Tracer *Tracer
+	// TimeSeries, when non-nil, records the windowed training
+	// time-series surfaced on Result.Series. Nil records nothing at no
+	// cost.
+	TimeSeries *Series
 
 	// Context, when non-nil, bounds the run: cancellation or deadline
 	// expiry stops training well within one epoch and the entry point
@@ -292,10 +326,10 @@ type DenseDataset = dataset.DenseSet
 type SparseDataset = dataset.SparseSet
 
 func (c Config) observer() *obs.Observer {
-	if c.Hooks == nil && !c.CollectStats {
+	if c.Hooks == nil && !c.CollectStats && c.Tracer == nil && c.TimeSeries == nil {
 		return nil
 	}
-	return &obs.Observer{Hooks: c.Hooks, StepSample: c.StepSample}
+	return &obs.Observer{Hooks: c.Hooks, StepSample: c.StepSample, Tracer: c.Tracer, Series: c.TimeSeries}
 }
 
 func (c Config) coreConfig(sparse bool, idxBits uint) (core.Config, error) {
@@ -537,6 +571,9 @@ type SimOptions struct {
 	// simulated rounds, and cancellation returns the context's cause with
 	// the "buckwild:" prefix.
 	Context context.Context
+	// Tracer, when non-nil, records the simulation's warm-up and
+	// measurement phases as trace spans. Nil traces nothing at no cost.
+	Tracer *Tracer
 }
 
 func (o SimOptions) variant(d, m kernels.Prec) (kernels.Variant, error) {
@@ -616,6 +653,6 @@ func SimulateThroughput(sigText string, modelSize, threads int, opts ...SimOptio
 		Prefetch:    o.Prefetch.enabled(true),
 		Seed:        seed,
 	}
-	res, err := machine.SimulateCtx(o.Context, machine.Xeon(), w)
+	res, err := machine.SimulateCtx(obs.ContextWithTracer(o.Context, o.Tracer), machine.Xeon(), w)
 	return res, wrapErr(err)
 }

@@ -1,0 +1,147 @@
+// Command benchdiff compares two trajectory files written by
+// cmd/experiments -json and fails when wall-clock time regressed.
+//
+// Usage:
+//
+//	benchdiff [-tolerance pct] [-min-wall seconds] baseline.json fresh.json
+//
+// Every experiment present in both files is compared; one whose fresh
+// wall time exceeds the baseline by more than -tolerance percent (default
+// 25) is a regression, unless both times sit below the -min-wall floor
+// (default 1s), where scheduler noise dominates and the comparison would
+// gate on jitter. The files' total times are compared the same way. Any
+// regression makes the exit status 1, so CI can gate on it; experiments
+// present in only one file are reported but never fail the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchFile mirrors the cmd/experiments -json document (the subset
+// benchdiff reads).
+type benchFile struct {
+	Date         string        `json:"date"`
+	Quick        bool          `json:"quick"`
+	TotalSeconds float64       `json:"total_seconds"`
+	Experiments  []benchRecord `json:"experiments"`
+}
+
+type benchRecord struct {
+	ID           string  `json:"id"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	HeadlineGNPS float64 `json:"headline_gnps,omitempty"`
+}
+
+// delta is one comparison row.
+type delta struct {
+	ID           string
+	Base, Fresh  float64
+	Regressed    bool
+	BaselineOnly bool // present in the baseline but not the fresh run
+	FreshOnly    bool // present in the fresh run but not the baseline
+}
+
+func (d delta) pct() float64 {
+	if d.Base == 0 {
+		return 0
+	}
+	return (d.Fresh/d.Base - 1) * 100
+}
+
+// diff compares the two files. tolPct is the allowed slowdown in
+// percent; pairs where both sides are under minWall seconds are
+// reported but never regress.
+func diff(base, fresh benchFile, tolPct, minWall float64) []delta {
+	baseline := make(map[string]benchRecord, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseline[e.ID] = e
+	}
+	regressed := func(b, f float64) bool {
+		return f > b*(1+tolPct/100) && (b >= minWall || f >= minWall)
+	}
+	var ds []delta
+	for _, f := range fresh.Experiments {
+		b, ok := baseline[f.ID]
+		if !ok {
+			ds = append(ds, delta{ID: f.ID, Fresh: f.WallSeconds, FreshOnly: true})
+			continue
+		}
+		delete(baseline, f.ID)
+		ds = append(ds, delta{
+			ID: f.ID, Base: b.WallSeconds, Fresh: f.WallSeconds,
+			Regressed: regressed(b.WallSeconds, f.WallSeconds),
+		})
+	}
+	for _, e := range base.Experiments {
+		if _, stale := baseline[e.ID]; stale {
+			ds = append(ds, delta{ID: e.ID, Base: e.WallSeconds, BaselineOnly: true})
+		}
+	}
+	ds = append(ds, delta{
+		ID: "TOTAL", Base: base.TotalSeconds, Fresh: fresh.TotalSeconds,
+		Regressed: regressed(base.TotalSeconds, fresh.TotalSeconds),
+	})
+	return ds
+}
+
+func load(path string) (benchFile, error) {
+	var bf benchFile
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return bf, err
+	}
+	if err := json.Unmarshal(buf, &bf); err != nil {
+		return bf, fmt.Errorf("%s: %w", path, err)
+	}
+	return bf, nil
+}
+
+func main() {
+	tol := flag.Float64("tolerance", 25, "allowed wall-clock slowdown in percent before failing")
+	minWall := flag.Float64("min-wall", 1, "skip regression checks when both sides ran under this many seconds")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance pct] [-min-wall seconds] baseline.json fresh.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err == nil {
+		var fresh benchFile
+		fresh, err = load(flag.Arg(1))
+		if err == nil {
+			if base.Quick != fresh.Quick {
+				fmt.Fprintf(os.Stderr, "benchdiff: baseline quick=%v but fresh quick=%v: not comparable\n", base.Quick, fresh.Quick)
+				os.Exit(2)
+			}
+			os.Exit(report(diff(base, fresh, *tol, *minWall), *tol))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}
+
+// report prints the comparison table and returns the exit status.
+func report(ds []delta, tolPct float64) int {
+	fmt.Printf("%-10s %12s %12s %9s\n", "experiment", "base (s)", "fresh (s)", "delta")
+	status := 0
+	for _, d := range ds {
+		switch {
+		case d.FreshOnly:
+			fmt.Printf("%-10s %12s %12.3f %9s  new (no baseline)\n", d.ID, "-", d.Fresh, "-")
+		case d.BaselineOnly:
+			fmt.Printf("%-10s %12.3f %12s %9s  missing from fresh run\n", d.ID, d.Base, "-", "-")
+		default:
+			note := ""
+			if d.Regressed {
+				note = fmt.Sprintf("  REGRESSION (> +%g%%)", tolPct)
+				status = 1
+			}
+			fmt.Printf("%-10s %12.3f %12.3f %+8.1f%%%s\n", d.ID, d.Base, d.Fresh, d.pct(), note)
+		}
+	}
+	return status
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mk(total float64, recs ...benchRecord) benchFile {
+	return benchFile{TotalSeconds: total, Experiments: recs}
+}
+
+func find(t *testing.T, ds []delta, id string) delta {
+	t.Helper()
+	for _, d := range ds {
+		if d.ID == id {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %q", id)
+	return delta{}
+}
+
+func TestDiffRegression(t *testing.T) {
+	base := mk(100, benchRecord{ID: "a", WallSeconds: 10}, benchRecord{ID: "b", WallSeconds: 10})
+	fresh := mk(105, benchRecord{ID: "a", WallSeconds: 13}, benchRecord{ID: "b", WallSeconds: 11})
+	ds := diff(base, fresh, 25, 1)
+	if d := find(t, ds, "a"); !d.Regressed {
+		t.Errorf("a: +30%% at tolerance 25%% should regress: %+v", d)
+	}
+	if d := find(t, ds, "b"); d.Regressed {
+		t.Errorf("b: +10%% at tolerance 25%% should pass: %+v", d)
+	}
+	if d := find(t, ds, "TOTAL"); d.Regressed {
+		t.Errorf("TOTAL: +5%% should pass: %+v", d)
+	}
+}
+
+func TestDiffExactTolerance(t *testing.T) {
+	// Exactly +25% is not a regression: the gate is strictly greater.
+	ds := diff(mk(10, benchRecord{ID: "a", WallSeconds: 8}), mk(12.5, benchRecord{ID: "a", WallSeconds: 10}), 25, 1)
+	for _, d := range ds {
+		if d.Regressed {
+			t.Errorf("%s: exactly +25%% should pass", d.ID)
+		}
+	}
+}
+
+func TestDiffMinWallFloor(t *testing.T) {
+	// Both sides in the noise floor: a 3x slowdown of a 30ms experiment
+	// must not gate. A slow experiment collapsing under the floor still
+	// compares (and here improves).
+	base := mk(50, benchRecord{ID: "tiny", WallSeconds: 0.03}, benchRecord{ID: "big", WallSeconds: 40})
+	fresh := mk(50, benchRecord{ID: "tiny", WallSeconds: 0.09}, benchRecord{ID: "big", WallSeconds: 0.5})
+	ds := diff(base, fresh, 25, 1)
+	if d := find(t, ds, "tiny"); d.Regressed {
+		t.Errorf("tiny: sub-floor pair should never regress: %+v", d)
+	}
+	if d := find(t, ds, "big"); d.Regressed {
+		t.Errorf("big: speedup should pass: %+v", d)
+	}
+	// The floor does not hide a real regression of a big experiment.
+	ds = diff(mk(50, benchRecord{ID: "big", WallSeconds: 40}), mk(80, benchRecord{ID: "big", WallSeconds: 70}), 25, 1)
+	if d := find(t, ds, "big"); !d.Regressed {
+		t.Errorf("big: +75%% should regress: %+v", d)
+	}
+}
+
+func TestDiffDisjointSets(t *testing.T) {
+	base := mk(10, benchRecord{ID: "old", WallSeconds: 5})
+	fresh := mk(10, benchRecord{ID: "new", WallSeconds: 5})
+	ds := diff(base, fresh, 25, 1)
+	if d := find(t, ds, "new"); !d.FreshOnly || d.Regressed {
+		t.Errorf("new: want FreshOnly, not regressed: %+v", d)
+	}
+	if d := find(t, ds, "old"); !d.BaselineOnly || d.Regressed {
+		t.Errorf("old: want BaselineOnly, not regressed: %+v", d)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	doc := `{"date":"2026-08-05T00:00:00Z","quick":true,"total_seconds":12.5,
+		"experiments":[{"id":"fig2","wall_seconds":5.5,"headline_gnps":57.9}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bf.Quick || bf.TotalSeconds != 12.5 || len(bf.Experiments) != 1 || bf.Experiments[0].ID != "fig2" {
+		t.Errorf("load: %+v", bf)
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("load of a missing file should fail")
+	}
+}
+
+func TestReportExitStatus(t *testing.T) {
+	ok := []delta{{ID: "a", Base: 1, Fresh: 1}}
+	if got := report(ok, 25); got != 0 {
+		t.Errorf("clean diff: exit %d, want 0", got)
+	}
+	bad := []delta{{ID: "a", Base: 1, Fresh: 2, Regressed: true}}
+	if got := report(bad, 25); got != 1 {
+		t.Errorf("regressed diff: exit %d, want 1", got)
+	}
+}

@@ -20,6 +20,13 @@
 // SIGINT/SIGTERM cancel the run cleanly: training stops within an
 // epoch, the newest checkpoint stays on disk, and a supervised run can
 // be resumed later.
+//
+// -trace records the run's phases (attempts, epochs, checkpoints,
+// resumes) as Chrome trace_event JSON loadable in chrome://tracing or
+// https://ui.perfetto.dev; "buckwild trace-summary trace.json" prints a
+// per-phase wall-clock breakdown of such a file. -series records the
+// windowed training time-series (JSON, or CSV with a .csv path). -http
+// additionally serves live Prometheus metrics at /metrics.
 package main
 
 import (
@@ -32,10 +39,28 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"buckwild"
 	"buckwild/internal/obs"
 )
+
+// writeSeries dumps a time-series snapshot as CSV (for .csv paths) or
+// indented JSON.
+func writeSeries(path string, sn *buckwild.SeriesSnapshot) error {
+	if strings.HasSuffix(path, ".csv") {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := sn.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return obs.WriteJSON(path, sn)
+}
 
 // fatal logs err and exits. Facade errors already carry a "buckwild: "
 // prefix, which would stutter with the log prefix; trim it. An
@@ -49,9 +74,49 @@ func fatal(err error) {
 	log.Fatal(strings.TrimPrefix(err.Error(), "buckwild: "))
 }
 
+// traceSummary implements the trace-summary subcommand: a per-phase
+// wall-clock breakdown of a -trace output file.
+func traceSummary(args []string) {
+	fs := flag.NewFlagSet("trace-summary", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: buckwild trace-summary <trace.json>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	phases, err := obs.SummarizeTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(phases) == 0 {
+		fmt.Println("no complete spans in trace")
+		return
+	}
+	fmt.Printf("%-10s %-18s %7s %14s %14s %14s %14s\n",
+		"category", "phase", "count", "total", "mean", "min", "max")
+	for _, p := range phases {
+		fmt.Printf("%-10s %-18s %7d %14v %14v %14v %14v\n",
+			p.Cat, p.Name, p.Count, p.Total.Round(time.Microsecond),
+			p.Mean().Round(time.Microsecond), p.Min.Round(time.Microsecond),
+			p.Max.Round(time.Microsecond))
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("buckwild: ")
+	if len(os.Args) > 1 && os.Args[1] == "trace-summary" {
+		traceSummary(os.Args[2:])
+		return
+	}
 	var (
 		sig      = flag.String("sig", "D8M8", "DMGC signature (e.g. D8M8, D16M16, D32fM32f, D8i16M8)")
 		problem  = flag.String("problem", "logistic", "problem: logistic, linear or svm")
@@ -73,7 +138,12 @@ func main() {
 		save     = flag.String("save", "", "write the trained model to this file")
 		stats    = flag.Bool("stats", false, "collect and print run counters (steps, writes, staleness)")
 		report   = flag.String("report", "", "write a JSON run report to this file (implies -stats)")
-		httpAddr = flag.String("http", "", "serve /debug/obs and /debug/pprof on this address during the run")
+		httpAddr = flag.String("http", "", "serve /metrics (Prometheus), /debug/obs and /debug/pprof on this address during the run")
+
+		tracePath    = flag.String("trace", "", "write Chrome trace_event JSON of the run's phases to this file (Perfetto-loadable)")
+		traceCap     = flag.Int("trace-capacity", 0, "trace ring capacity in spans (0 = default)")
+		seriesPath   = flag.String("series", "", "write the windowed training time-series to this file (.csv for CSV, otherwise JSON)")
+		seriesBudget = flag.Int("series-budget", 0, "time-series window budget (0 = default)")
 
 		ckptDir   = flag.String("checkpoint-dir", "", "supervise the run: checkpoint here, resume and retry on failure")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint period in epochs (with -checkpoint-dir)")
@@ -108,6 +178,12 @@ func main() {
 		Seed:           *seed,
 		CollectStats:   *stats || *report != "",
 		Context:        ctx,
+	}
+	if *tracePath != "" {
+		cfg.Tracer = buckwild.NewTracer(*traceCap)
+	}
+	if *seriesPath != "" || *report != "" {
+		cfg.TimeSeries = buckwild.NewSeries(*seriesBudget)
 	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
@@ -159,13 +235,16 @@ func main() {
 		return rep.Result, nil
 	}
 
+	var live *obs.LiveMetrics
 	if *httpAddr != "" {
-		srv, err := obs.Serve(*httpAddr)
+		live = &obs.LiveMetrics{Series: cfg.TimeSeries}
+		cfg.Hooks = live
+		srv, err := obs.ServeWith(*httpAddr, live)
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Printf("debug endpoints on http://%s/debug/obs and /debug/pprof\n", srv.Addr)
+		fmt.Printf("live metrics on http://%s/metrics, debug endpoints on /debug/obs and /debug/pprof\n", srv.Addr)
 	}
 
 	var res *buckwild.Result
@@ -212,6 +291,32 @@ func main() {
 	fmt.Printf("\n%d updates in %v (%.1f M numbers/s on this host)\n",
 		res.Steps, res.Elapsed.Round(1e6), res.NumbersPerSec/1e6)
 
+	if live != nil {
+		var sup *buckwild.SupervisorStats
+		if supRep != nil {
+			sup = &supRep.Stats
+		}
+		live.SetFinal(res.Stats, sup)
+	}
+	if *tracePath != "" {
+		if err := cfg.Tracer.WriteTraceFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d spans recorded; load in chrome://tracing or ui.perfetto.dev)\n",
+			*tracePath, cfg.Tracer.SpanCount())
+	}
+	if *seriesPath != "" && res.Series != nil {
+		if err := writeSeries(*seriesPath, res.Series); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("time-series written to %s (%d windows of %d epochs)\n",
+			*seriesPath, len(res.Series.Windows), res.Series.EpochsPerWindow)
+	}
+	if win := res.Series.Final(); win != nil {
+		fmt.Printf("final window: epochs (%d,%d], %.0f steps/s, loss %.6f, staleness mean %.2f\n",
+			win.StartEpoch, win.EndEpoch, win.StepsPerSec, win.Loss, win.Staleness.Mean())
+	}
+
 	if res.Stats != nil {
 		s := res.Stats
 		fmt.Printf("run counters: %d steps, %d mutex waits, %d batch flushes\n",
@@ -249,9 +354,10 @@ func main() {
 			Epochs     int                       `json:"epochs"`
 			TrainLoss  []float64                 `json:"train_loss"`
 			Stats      *buckwild.RunStats        `json:"stats"`
+			Series     *buckwild.SeriesSnapshot  `json:"series,omitempty"`
 			Supervisor *buckwild.SupervisorStats `json:"supervisor,omitempty"`
 			Checkpoint string                    `json:"checkpoint,omitempty"`
-		}{*sig, cfg.Problem.String(), *rounding, *threads, *batch, *epochs, res.TrainLoss, res.Stats, nil, ""}
+		}{*sig, cfg.Problem.String(), *rounding, *threads, *batch, *epochs, res.TrainLoss, res.Stats, res.Series, nil, ""}
 		if supRep != nil {
 			out.Supervisor = &supRep.Stats
 			out.Checkpoint = supRep.Checkpoint

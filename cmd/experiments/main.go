@@ -3,19 +3,23 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-workers n] [-json path] [-report path] [-cpuprofile path] <id> [<id> ...]
+//	experiments [-quick] [-workers n] [-json path] [-report path] [-trace path] [-cpuprofile path] <id> [<id> ...]
 //	experiments all
 //
 // where <id> is one of: table1 table2 table3 fig2 fig3 fig4a fig4b fig4c
 // fig5a fig5b fig5c fig6a fig6b fig6c fig6d fig6e fig6f fig7a fig7b fig7c
-// fig7d fig7e fig7f newinsn.
+// fig7d fig7e fig7f newinsn numa ablations faulttol.
 //
 // -quick shrinks sweep sizes for smoke runs. -workers bounds the sweep
 // worker pool (0 = all CPUs). -json writes per-experiment wall times and
 // headline GNPS to a file for trajectory tracking; -report writes a
 // JSON observability report with per-experiment simulator statistics
 // (steps, coherence events, access latencies) and training counters
-// (model writes, staleness histogram); -cpuprofile writes a pprof CPU
+// (model writes, staleness histogram); -trace writes a Chrome
+// trace_event JSON timeline of the run (one span per experiment, per
+// sweep task, per simulated-machine phase, and per training epoch —
+// load it at https://ui.perfetto.dev or summarize it with
+// `buckwild trace-summary`); -cpuprofile writes a pprof CPU
 // profile of the whole run. Output is plain text: one labelled
 // series or table per experiment, in the same shape as the paper's
 // figure/table, so results can be compared row by row (see EXPERIMENTS.md).
@@ -36,6 +40,7 @@ import (
 	"time"
 
 	"buckwild/internal/machine"
+	"buckwild/internal/obs"
 	"buckwild/internal/sweep"
 )
 
@@ -117,6 +122,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	jsonPath := flag.String("json", "", "write per-experiment wall time + headline GNPS to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file")
+	traceCap := flag.Int("trace-capacity", 4*obs.DefaultTraceCapacity, "trace ring capacity in spans (oldest dropped beyond it)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -125,12 +132,21 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// The tracer rides runCtx: sweep workers and the machine simulator
+	// pick it up from the context, and training experiments inherit it
+	// through core's context fallback, so no experiment needs changing to
+	// be traced.
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(*traceCap)
+		ctx = obs.ContextWithTracer(ctx, tracer)
+	}
 	runCtx = ctx
 	// Validate output writability up front: a bad path should fail before
 	// the sweeps run, not after minutes of work. O_CREATE without O_TRUNC
 	// leaves any existing file intact until the run completes and
 	// rewrites it.
-	for name, path := range map[string]string{"json": *jsonPath, "report": *reportPath} {
+	for name, path := range map[string]string{"json": *jsonPath, "report": *reportPath, "trace": *tracePath} {
 		if path == "" {
 			continue
 		}
@@ -183,6 +199,7 @@ func main() {
 		bench.Experiments = append(bench.Experiments, benchRecord{ID: e.id})
 		current = &bench.Experiments[len(bench.Experiments)-1]
 		reportStart(e.id)
+		expSpan := tracer.Begin("experiment", e.id, 0)
 		start := time.Now()
 		if err := e.run(*quick); err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -193,6 +210,7 @@ func main() {
 			os.Exit(1)
 		}
 		elapsed := time.Since(start)
+		expSpan.End()
 		current.WallSeconds = elapsed.Seconds()
 		reportFinish(elapsed.Seconds(), current.HeadlineGNPS)
 		current = nil
@@ -208,6 +226,13 @@ func main() {
 	if err := reportWrite(time.Since(total).Seconds()); err != nil {
 		fmt.Fprintf(os.Stderr, "report: %v\n", err)
 		os.Exit(1)
+	}
+	if *tracePath != "" {
+		if err := tracer.WriteTraceFile(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d spans -> %s\n", tracer.SpanCount(), *tracePath)
 	}
 }
 
@@ -229,7 +254,7 @@ func lookup(id string) *experiment {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-workers n] [-json path] [-report path] [-cpuprofile path] <id> [<id> ...] | all")
+	fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-workers n] [-json path] [-report path] [-trace path] [-cpuprofile path] <id> [<id> ...] | all")
 	fmt.Fprintln(os.Stderr, "experiments:")
 	sort.SliceStable(experiments, func(i, j int) bool { return experiments[i].id < experiments[j].id })
 	for _, e := range experiments {

@@ -31,14 +31,20 @@ type reportExperiment struct {
 	SimSteps  int `json:"sim_steps,omitempty"`
 	// CoherenceEvents and ObstinateRejects total the simulated cache
 	// hierarchy's coherence traffic across the experiment's sweeps.
-	CoherenceEvents  uint64 `json:"coherence_events"`
-	ObstinateRejects uint64 `json:"obstinate_rejects"`
-	// Access breaks the simulated accesses down by trace kind.
-	Access trace.AccessStats `json:"access"`
+	// Omitted (with Access) for pure-training experiments that never run
+	// the simulator, so their entries don't carry zero-valued sim blocks.
+	CoherenceEvents  uint64 `json:"coherence_events,omitempty"`
+	ObstinateRejects uint64 `json:"obstinate_rejects,omitempty"`
+	// Access breaks the simulated accesses down by trace kind; nil when
+	// the experiment ran no simulation.
+	Access *trace.AccessStats `json:"access,omitempty"`
 	// Train aggregates the engine counters of the experiment's real
 	// trainings (step counts, model writes, staleness histogram); absent
 	// for pure-simulation experiments.
 	Train *obs.RunStats `json:"train,omitempty"`
+	// Supervisor totals the retry/checkpoint counters of the experiment's
+	// supervised runs; absent when no supervisor ran.
+	Supervisor *obs.SupervisorStats `json:"supervisor,omitempty"`
 }
 
 // runReport is the top-level -report document.
@@ -100,6 +106,9 @@ func reportSim(_ int, r *machine.Result) {
 	currentRpt.SimSteps += r.MeasuredSteps
 	currentRpt.CoherenceEvents += r.CoherenceEvents
 	currentRpt.ObstinateRejects += r.ObstinateRejects
+	if currentRpt.Access == nil {
+		currentRpt.Access = &trace.AccessStats{}
+	}
 	currentRpt.Access.Merge(r.Access)
 }
 
@@ -130,6 +139,31 @@ func reportTrain(stats ...*obs.RunStats) {
 		}
 		currentRpt.Train.Merge(s)
 	}
+}
+
+// reportSupervisor folds a supervised run's counters into the running
+// entry; ResumedEpoch and FinalThreads take the latest run's values.
+func reportSupervisor(ss *obs.SupervisorStats) {
+	if currentRpt == nil || ss == nil {
+		return
+	}
+	if currentRpt.Supervisor == nil {
+		currentRpt.Supervisor = &obs.SupervisorStats{}
+	}
+	s := currentRpt.Supervisor
+	s.Attempts += ss.Attempts
+	s.Retries += ss.Retries
+	s.Checkpoints += ss.Checkpoints
+	s.CheckpointBytes += ss.CheckpointBytes
+	s.Resumes += ss.Resumes
+	s.ResumedEpoch = ss.ResumedEpoch
+	s.InjectedCrashes += ss.InjectedCrashes
+	s.InjectedStalls += ss.InjectedStalls
+	s.CorruptedCheckpoints += ss.CorruptedCheckpoints
+	s.CheckpointFallbacks += ss.CheckpointFallbacks
+	s.StallsDetected += ss.StallsDetected
+	s.Degradations += ss.Degradations
+	s.FinalThreads = ss.FinalThreads
 }
 
 // reportWrite finalizes and writes the document.

@@ -1,0 +1,86 @@
+// Training telemetry on a tiny RFF problem: run-level hooks, a
+// fixed-budget time-series, and trace spans, all enabled through the
+// engine's Observer. The run is Sequential with fixed seeds, so every
+// printed number is deterministic (main_test.go pins the output).
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"buckwild/internal/core"
+	"buckwild/internal/dataset"
+	"buckwild/internal/kernels"
+	"buckwild/internal/obs"
+	"buckwild/internal/rff"
+)
+
+// epochCounter counts OnEpoch callbacks; the other hooks are no-ops.
+type epochCounter struct {
+	obs.NopHooks
+	epochs atomic.Uint64
+}
+
+func (h *epochCounter) OnEpoch(obs.EpochInfo) { h.epochs.Add(1) }
+
+func main() { telemetry() }
+
+func telemetry() {
+	log.SetFlags(0)
+	digits, err := dataset.GenDigits(dataset.DigitsConfig{
+		W: 8, H: 8, Classes: 2, Train: 300, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := digits.Split(0.8)
+
+	const epochs = 6
+	hooks := &epochCounter{}
+	series := obs.NewSeries(4)   // tiny budget, so downsampling shows
+	tracer := obs.NewTracer(128) // coarse spans: one per training + epoch
+	_, res, err := rff.Train(rff.Config{
+		Features: 64,
+		Train: core.Config{
+			D: kernels.I8, M: kernels.I8,
+			Variant: kernels.HandOpt,
+			Quant:   kernels.QShared, QuantPeriod: 8,
+			Threads:  1,
+			StepSize: 0.05,
+			Epochs:   epochs,
+			Sharing:  core.Sequential,
+			Seed:     5,
+			Observer: &obs.Observer{
+				Hooks:      hooks,
+				StepSample: 1,
+				Series:     series,
+				Tracer:     tracer,
+			},
+		},
+		Seed: 5,
+	}, train, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One one-vs-all SVM per class shares the observer, so the hooks and
+	// series cover both trainings back to back.
+	fmt.Printf("hooks saw %d epochs (%d classes x %d epochs)\n",
+		hooks.epochs.Load(), digits.C, epochs)
+
+	sn := series.Snapshot()
+	var steps uint64
+	for _, w := range sn.Windows {
+		steps += w.Steps
+	}
+	fmt.Printf("time-series: %d windows (budget %d, %d epochs each), %d steps total\n",
+		len(sn.Windows), sn.Budget, sn.EpochsPerWindow, steps)
+	final := sn.Final()
+	fmt.Printf("final window: %d steps, loss %.4f, max staleness %d\n",
+		final.Steps, final.Loss, final.Staleness.Max)
+	fmt.Println("loss improved:", res.TrainLoss[epochs] < res.TrainLoss[0])
+	fmt.Printf("trace: %d spans recorded\n", tracer.SpanCount())
+}

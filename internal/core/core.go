@@ -243,6 +243,9 @@ type Result struct {
 	// Stats holds the run's observability counters; nil unless the
 	// config installed an Observer.
 	Stats *obs.RunStats
+	// Series is the windowed training time-series; nil unless the
+	// Observer installed a Series recorder.
+	Series *obs.SeriesSnapshot
 }
 
 // TrainDense runs Buckwild! SGD on a dense dataset.
@@ -269,6 +272,7 @@ func TrainDense(cfg Config, ds *dataset.DenseSet) (*Result, error) {
 
 	eta := resumeEta(&cfg)
 	ro := newRunObs(&cfg)
+	trainSpan := ro.span("train-dense")
 	start := time.Now()
 	var numbers float64
 	epochsRun := 0
@@ -276,6 +280,7 @@ func TrainDense(cfg Config, ds *dataset.DenseSet) (*Result, error) {
 		if err := ctxErr(cfg.Ctx); err != nil {
 			return nil, err
 		}
+		epochSpan := ro.span("epoch")
 		if err := runDenseEpoch(cfg, ds, w, eta, epoch, ro); err != nil {
 			return nil, err
 		}
@@ -288,6 +293,7 @@ func TrainDense(cfg Config, ds *dataset.DenseSet) (*Result, error) {
 		}
 		res.TrainLoss = append(res.TrainLoss, loss)
 		ro.epochDone(epoch+1, loss)
+		epochSpan.EndArgs(map[string]string{"epoch": fmt.Sprint(epoch + 1), "loss": fmt.Sprintf("%.6g", loss)})
 		if cfg.EpochEnd != nil {
 			if err := cfg.EpochEnd(EpochState{Epoch: epoch + 1, Loss: loss, W: w, TrainLoss: res.TrainLoss}); err != nil {
 				return nil, err
@@ -300,7 +306,11 @@ func TrainDense(cfg Config, ds *dataset.DenseSet) (*Result, error) {
 	if res.Elapsed > 0 {
 		res.NumbersPerSec = numbers / res.Elapsed.Seconds()
 	}
+	trainSpan.EndArgs(map[string]string{"epochs": fmt.Sprint(epochsRun)})
 	res.Stats = ro.snapshot()
+	if ro != nil {
+		res.Series = ro.series.Snapshot()
+	}
 	return res, nil
 }
 
@@ -480,7 +490,7 @@ func (dw *denseWorker) step(ds *dataset.DenseSet, w kernels.Vec, eta float32, i 
 		}
 	}
 	if dw.ro != nil {
-		dw.ro.stepEnd(dw.id, dw.epoch, readClock, sampled, wrote)
+		dw.ro.stepEnd(dw.id, dw.epoch, readClock, sampled, wrote, a)
 	}
 }
 
@@ -543,6 +553,7 @@ func (dw *denseWorker) batchStep(ds *dataset.DenseSet, w kernels.Vec, eta float3
 		g[j] = 0
 	}
 	any := false
+	var gradAbs float32
 	for i := lo; i < hi; i++ {
 		d := dw.quantGrad(dw.kernel.Dot(ds.X[i], w))
 		a := dw.quantGrad(gradScale(dw.cfg.Problem, d, ds.Y[i], eta) / float32(hi-lo))
@@ -550,6 +561,11 @@ func (dw *denseWorker) batchStep(ds *dataset.DenseSet, w kernels.Vec, eta float3
 			continue
 		}
 		any = true
+		if a < 0 {
+			gradAbs -= a
+		} else {
+			gradAbs += a
+		}
 		x := ds.X[i]
 		for j := 0; j < x.Len(); j++ {
 			g[j] += a * x.At(j)
@@ -567,7 +583,7 @@ func (dw *denseWorker) batchStep(ds *dataset.DenseSet, w kernels.Vec, eta float3
 		if any {
 			dw.ro.shards[dw.id].batchFlushes++
 		}
-		dw.ro.stepEnd(dw.id, dw.epoch, readClock, sampled, any)
+		dw.ro.stepEnd(dw.id, dw.epoch, readClock, sampled, any, gradAbs)
 	}
 }
 

@@ -46,6 +46,14 @@ type obsShard struct {
 type runObs struct {
 	hooks  obs.Hooks
 	sample uint64
+	// tracer records the run's coarse phase spans (nil when tracing is
+	// off; all its methods no-op on nil). tid is the trace track the
+	// run's spans render on, taken from the bounding context so runs
+	// launched by the sweep pool land on their worker's track.
+	tracer *obs.Tracer
+	tid    int
+	// series is the windowed time-series recorder (nil when off).
+	series *obs.Series
 	// writeKind labels the model-write counter with the run's rounding
 	// strategy.
 	writeKind string
@@ -72,12 +80,28 @@ func newRunObs(cfg *Config) *runObs {
 	if cfg.M != kernels.F32 {
 		kind = cfg.Quant.String()
 	}
+	tracer := cfg.Observer.Tracer
+	if tracer == nil {
+		tracer = obs.TracerFrom(cfg.Ctx)
+	}
 	return &runObs{
 		hooks:     cfg.Observer.Hooks,
 		sample:    cfg.Observer.SamplePeriod(),
+		tracer:    tracer,
+		tid:       obs.TraceTID(cfg.Ctx),
+		series:    cfg.Observer.Series,
 		writeKind: kind,
 		shards:    make([]obsShard, threads),
 	}
+}
+
+// span opens a trace span for one of the run's coarse phases. A nil
+// runObs (or a runObs without a tracer) returns an inert handle.
+func (ro *runObs) span(name string) obs.SpanHandle {
+	if ro == nil {
+		return obs.SpanHandle{}
+	}
+	return ro.tracer.Begin("core", name, ro.tid)
 }
 
 // stepBegin opens one step for worker w: it bumps the step counter and,
@@ -93,9 +117,10 @@ func (ro *runObs) stepBegin(w int) (readClock uint64, sampled bool) {
 }
 
 // stepEnd closes one step: wrote reports whether the step updated the
-// model (advancing the write clock), and on sampling steps the staleness
-// is measured and reported.
-func (ro *runObs) stepEnd(w, epoch int, readClock uint64, sampled, wrote bool) {
+// model (advancing the write clock), grad is the step's AXPY scale (the
+// gradient-magnitude proxy the time-series records), and on sampling
+// steps the staleness is measured and reported.
+func (ro *runObs) stepEnd(w, epoch int, readClock uint64, sampled, wrote bool, grad float32) {
 	sh := &ro.shards[w]
 	if wrote {
 		sh.modelWrites++
@@ -110,6 +135,12 @@ func (ro *runObs) stepEnd(w, epoch int, readClock uint64, sampled, wrote bool) {
 		d-- // exclude this step's own write
 	}
 	ro.stale.Observe(d)
+	if ro.series != nil {
+		if grad < 0 {
+			grad = -grad
+		}
+		ro.series.ObserveSample(d, float64(grad))
+	}
 	if ro.hooks != nil {
 		ro.hooks.OnStep(obs.StepInfo{Worker: w, Epoch: epoch, Step: sh.steps, Staleness: d})
 	}
@@ -133,16 +164,21 @@ func (ro *runObs) workerDone(w, epoch int, stepsBefore uint64) {
 	}
 }
 
-// epochDone reports a finished epoch (1-based) and its loss.
+// epochDone reports a finished epoch (1-based) and its loss to the hooks
+// and the time-series recorder.
 func (ro *runObs) epochDone(epoch int, loss float64) {
-	if ro == nil || ro.hooks == nil {
+	if ro == nil || (ro.hooks == nil && ro.series == nil) {
 		return
 	}
-	var steps uint64
+	var steps, waits uint64
 	for i := range ro.shards {
 		steps += ro.shards[i].steps
+		waits += ro.shards[i].mutexWaits
 	}
-	ro.hooks.OnEpoch(obs.EpochInfo{Epoch: epoch, Loss: loss, Steps: steps})
+	ro.series.EpochTick(epoch, loss, steps, waits)
+	if ro.hooks != nil {
+		ro.hooks.OnEpoch(obs.EpochInfo{Epoch: epoch, Loss: loss, Steps: steps})
+	}
 }
 
 // snapshot folds the shards into the exportable run statistics.

@@ -40,6 +40,7 @@ func TrainSparse(cfg Config, ds *dataset.SparseSet) (*Result, error) {
 
 	eta := resumeEta(&cfg)
 	ro := newRunObs(&cfg)
+	trainSpan := ro.span("train-sparse")
 	start := time.Now()
 	var numbers float64
 	epochsRun := 0
@@ -47,6 +48,7 @@ func TrainSparse(cfg Config, ds *dataset.SparseSet) (*Result, error) {
 		if err := ctxErr(cfg.Ctx); err != nil {
 			return nil, err
 		}
+		epochSpan := ro.span("epoch")
 		if err := runSparseEpoch(cfg, ds, w, eta, epoch, ro); err != nil {
 			return nil, err
 		}
@@ -59,6 +61,7 @@ func TrainSparse(cfg Config, ds *dataset.SparseSet) (*Result, error) {
 		}
 		res.TrainLoss = append(res.TrainLoss, loss)
 		ro.epochDone(epoch+1, loss)
+		epochSpan.EndArgs(map[string]string{"epoch": fmt.Sprint(epoch + 1), "loss": fmt.Sprintf("%.6g", loss)})
 		if cfg.EpochEnd != nil {
 			if err := cfg.EpochEnd(EpochState{Epoch: epoch + 1, Loss: loss, W: w, TrainLoss: res.TrainLoss}); err != nil {
 				return nil, err
@@ -71,7 +74,11 @@ func TrainSparse(cfg Config, ds *dataset.SparseSet) (*Result, error) {
 	if res.Elapsed > 0 {
 		res.NumbersPerSec = numbers / res.Elapsed.Seconds()
 	}
+	trainSpan.EndArgs(map[string]string{"epochs": fmt.Sprint(epochsRun)})
 	res.Stats = ro.snapshot()
+	if ro != nil {
+		res.Series = ro.series.Snapshot()
+	}
 	return res, nil
 }
 
@@ -138,7 +145,7 @@ func runSparseEpoch(cfg Config, ds *dataset.SparseSet, w kernels.Vec, eta float3
 					k.Axpy(a, ds.Idx[i], ds.Val[i], w)
 				}
 				if ro != nil {
-					ro.stepEnd(t, epoch, readClock, sampled, wrote)
+					ro.stepEnd(t, epoch, readClock, sampled, wrote, a)
 				}
 				if cfg.Sharing == Locked {
 					mu.Unlock()

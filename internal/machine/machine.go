@@ -30,6 +30,7 @@ import (
 
 	"buckwild/internal/cache"
 	"buckwild/internal/kernels"
+	"buckwild/internal/obs"
 	"buckwild/internal/prng"
 	"buckwild/internal/simd"
 	"buckwild/internal/trace"
@@ -258,22 +259,31 @@ func SimulateCtx(ctx context.Context, mc Config, w Workload) (*Result, error) {
 		offset += stepStreamBytes(w, simN)
 		return nil
 	}
+	// Phase spans land on the track the bounding context designates (the
+	// sweep pool assigns one per worker); a context without a tracer
+	// records nothing.
+	tracer := obs.TracerFrom(ctx)
+	tid := obs.TraceTID(ctx)
+	warmSpan := tracer.Begin("machine", "sim-warmup", tid)
 	for r := 0; r < warmRounds; r++ {
 		if err := runRound(); err != nil {
 			return nil, err
 		}
 	}
+	warmSpan.End()
 	h.ResetStats()
 	snk.access.Reset()
 	for i := range snk.cycles {
 		snk.cycles[i] = 0
 		snk.coh[i] = 0
 	}
+	measSpan := tracer.Begin("machine", "sim-measure", tid)
 	for r := 0; r < measRounds; r++ {
 		if err := runRound(); err != nil {
 			return nil, err
 		}
 	}
+	measSpan.EndArgs(map[string]string{"threads": fmt.Sprint(w.Threads)})
 
 	st := h.Stats()
 

@@ -102,13 +102,20 @@ func (s *Server) Close() error { return s.srv.Close() }
 // returns once the listener is bound; the server runs until Close. This
 // is the optional pprof/HTTP exporter — nothing in the engine depends on
 // it.
-func Serve(addr string) (*Server, error) {
+func Serve(addr string) (*Server, error) { return ServeWith(addr, nil) }
+
+// ServeWith is Serve with an optional Prometheus-style metrics handler
+// (typically a *LiveMetrics) mounted at /metrics.
+func ServeWith(addr string, metrics http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/obs", Default)
+	if metrics != nil {
+		mux.Handle("/metrics", metrics)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

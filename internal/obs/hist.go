@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"math/bits"
 	"sync/atomic"
 )
@@ -83,6 +84,52 @@ type HistSnapshot struct {
 	Sum     uint64       `json:"sum"`
 	Max     uint64       `json:"max"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Observe adds one value to the snapshot form. Unlike Histogram.Observe
+// it is not safe for concurrent use; the time-series recorder calls it
+// under its own lock.
+func (s *HistSnapshot) Observe(v uint64) {
+	s.Count++
+	s.Sum += v
+	if v > s.Max {
+		s.Max = v
+	}
+	lo := bucketLo(bucketOf(v))
+	for i := range s.Buckets {
+		if s.Buckets[i].Lo == lo {
+			s.Buckets[i].N++
+			return
+		}
+		if s.Buckets[i].Lo > lo {
+			s.Buckets = append(s.Buckets, HistBucket{})
+			copy(s.Buckets[i+1:], s.Buckets[i:])
+			s.Buckets[i] = HistBucket{Lo: lo, N: 1}
+			return
+		}
+	}
+	s.Buckets = append(s.Buckets, HistBucket{Lo: lo, N: 1})
+}
+
+// MarshalJSON omits empty buckets (N == 0), which merges of sparse
+// snapshots can otherwise leave behind, so exported histograms list only
+// populated buckets.
+func (s HistSnapshot) MarshalJSON() ([]byte, error) {
+	type alias HistSnapshot
+	a := alias(s)
+	if len(a.Buckets) > 0 {
+		kept := make([]HistBucket, 0, len(a.Buckets))
+		for _, b := range a.Buckets {
+			if b.N > 0 {
+				kept = append(kept, b)
+			}
+		}
+		a.Buckets = kept
+		if len(kept) == 0 {
+			a.Buckets = nil
+		}
+	}
+	return json.Marshal(a)
 }
 
 // Mean returns the average observed value (0 for an empty histogram).

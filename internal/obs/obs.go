@@ -96,6 +96,13 @@ type Observer struct {
 	// staleness histogram: every StepSample-th step is sampled. Zero
 	// selects DefaultStepSample.
 	StepSample int
+	// Tracer, when non-nil, records trace spans for the run's coarse
+	// phases (the whole run, each epoch). Nil is free: no span is opened.
+	Tracer *Tracer
+	// Series, when non-nil, records the windowed training time-series
+	// (loss, throughput, staleness and gradient-magnitude sub-aggregates
+	// per window). Nil is free: the sampled path skips it with one check.
+	Series *Series
 }
 
 // SamplePeriod returns the effective step sampling period.

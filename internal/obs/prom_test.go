@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPromFloat(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {42, "42"}, {-3, "-3"}, {0.25, "0.25"},
+	} {
+		if got := promFloat(tc.in); got != tc.want {
+			t.Errorf("promFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if got := promFloat(math.Inf(1)); got != "+Inf" {
+		t.Errorf("promFloat(+Inf) = %q", got)
+	}
+	if got := promFloat(math.NaN()); got != "NaN" {
+		t.Errorf("promFloat(NaN) = %q", got)
+	}
+}
+
+func TestWriteRunStatsProm(t *testing.T) {
+	rs := &RunStats{
+		Steps: 1000, MutexWaits: 5, SampledSteps: 100,
+		ModelWrites: map[string]uint64{"xorshift": 990, "biased": 10},
+	}
+	rs.Staleness.Observe(0)
+	rs.Staleness.Observe(0)
+	rs.Staleness.Observe(3) // bucket [2,4) -> le="3"
+	ss := &SupervisorStats{Attempts: 2, Retries: 1, Checkpoints: 4, Resumes: 1, FinalThreads: 2}
+	var buf bytes.Buffer
+	if err := WriteRunStatsProm(&buf, rs, ss); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE buckwild_steps_total counter",
+		"buckwild_steps_total 1000",
+		`buckwild_model_writes_total{rounding="biased"} 10`,
+		`buckwild_model_writes_total{rounding="xorshift"} 990`,
+		"# TYPE buckwild_staleness histogram",
+		`buckwild_staleness_bucket{le="0"} 2`,
+		`buckwild_staleness_bucket{le="3"} 3`, // cumulative
+		`buckwild_staleness_bucket{le="+Inf"} 3`,
+		"buckwild_staleness_sum 3",
+		"buckwild_staleness_count 3",
+		"buckwild_supervisor_attempts_total 2",
+		"buckwild_supervisor_final_threads 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Headers appear exactly once per metric.
+	if n := strings.Count(out, "# TYPE buckwild_model_writes_total"); n != 1 {
+		t.Errorf("model_writes TYPE header appears %d times", n)
+	}
+}
+
+func TestLiveMetricsEndpoint(t *testing.T) {
+	m := &LiveMetrics{Series: NewSeries(4)}
+	var hooks Hooks = m
+	hooks.OnEpoch(EpochInfo{Epoch: 3, Loss: 0.125, Steps: 300})
+	hooks.OnStep(StepInfo{Staleness: 2})
+	hooks.OnStep(StepInfo{Staleness: 0})
+	var lc LifecycleHooks = m
+	lc.OnCheckpoint(CheckpointInfo{Epoch: 3, Bytes: 512})
+	lc.OnRetry(RetryInfo{Attempt: 1, ResumeEpoch: 2})
+	m.Series.EpochTick(3, 0.125, 300, 0)
+
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		"buckwild_epochs_completed 3",
+		"buckwild_train_loss 0.125",
+		"buckwild_live_sampled_steps_total 2",
+		"buckwild_checkpoints_total 1",
+		"buckwild_checkpoint_bytes_total 512",
+		"buckwild_retries_total 1",
+		"buckwild_resume_epoch 2",
+		"# TYPE buckwild_live_staleness histogram",
+		`buckwild_live_staleness_bucket{le="+Inf"} 2`,
+		"buckwild_window_loss 0.125",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q\n%s", want, out)
+		}
+	}
+
+	// SetFinal adds the authoritative totals to later scrapes.
+	m.SetFinal(&RunStats{Steps: 300}, &SupervisorStats{Attempts: 2})
+	rec = httptest.NewRecorder()
+	m.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	out = rec.Body.String()
+	if !strings.Contains(out, "buckwild_steps_total 300") ||
+		!strings.Contains(out, "buckwild_supervisor_attempts_total 2") {
+		t.Errorf("post-final scrape missing totals\n%s", out)
+	}
+}
+
+func TestLiveMetricsNilSeries(t *testing.T) {
+	m := &LiveMetrics{} // no Series attached: window gauges just absent
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "buckwild_window_") {
+		t.Error("window gauges should be absent without a Series")
+	}
+}
+
+// TestHistogramConcurrentMerge exercises concurrent Observe against a
+// lock-free Histogram while snapshots of other histograms merge into an
+// accumulator — the pattern the report aggregation uses.
+func TestHistogramConcurrentMerge(t *testing.T) {
+	const workers, each = 8, 2000
+	var hs [workers]Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				hs[w].Observe(uint64(i % 16))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var acc HistSnapshot
+	for w := range hs {
+		acc.Merge(hs[w].Snapshot())
+	}
+	if acc.Count != workers*each {
+		t.Errorf("merged count %d, want %d", acc.Count, workers*each)
+	}
+	var want uint64
+	for i := 0; i < each; i++ {
+		want += uint64(i % 16)
+	}
+	if acc.Sum != workers*want {
+		t.Errorf("merged sum %d, want %d", acc.Sum, workers*want)
+	}
+	if acc.Max != 15 {
+		t.Errorf("merged max %d, want 15", acc.Max)
+	}
+	var n uint64
+	for i, b := range acc.Buckets {
+		n += b.N
+		if i > 0 && acc.Buckets[i-1].Lo >= b.Lo {
+			t.Errorf("buckets out of order at %d: %+v", i, acc.Buckets)
+		}
+	}
+	if n != acc.Count {
+		t.Errorf("bucket sum %d != count %d", n, acc.Count)
+	}
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// This file holds the time-series half of the telemetry layer: a
+// fixed-budget windowed recorder of training dynamics. The paper's story
+// is about quantities that drift as workers contend — staleness,
+// throughput, loss — which a single end-of-run aggregate hides.
+//
+// Memory bound: the recorder keeps at most Budget windows. Windows
+// advance at epoch boundaries; when a new window would exceed the
+// budget, adjacent windows are merged pairwise and the per-window epoch
+// stride doubles, so a run of any length occupies O(Budget) memory and
+// every recorded step remains represented (totals are preserved exactly;
+// only time resolution halves). A run of E epochs ends with between
+// Budget/2 and Budget windows of stride 2^ceil(log2(E/Budget)).
+
+// DefaultSeriesBudget is the window budget NewSeries uses for budget <= 0.
+const DefaultSeriesBudget = 64
+
+// SeriesWindow is one closed (or still-open) window of a Series.
+type SeriesWindow struct {
+	// StartEpoch and EndEpoch bound the window: epochs (StartEpoch,
+	// EndEpoch], counting cumulative completed epochs.
+	StartEpoch int `json:"start_epoch"`
+	EndEpoch   int `json:"end_epoch"`
+	// StartSeconds and EndSeconds are wall-clock offsets from the first
+	// observation.
+	StartSeconds float64 `json:"start_seconds"`
+	EndSeconds   float64 `json:"end_seconds"`
+	// Steps counts model updates performed during the window;
+	// StepsPerSec is the window's throughput (filled by Snapshot).
+	Steps       uint64  `json:"steps"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	// Loss is the training loss at the window's last epoch boundary.
+	Loss float64 `json:"loss"`
+	// GradAbsSum and GradSamples accumulate the sampled gradient-norm
+	// proxy (the |AXPY scale| of sampled steps); mean = Sum/Samples.
+	GradAbsSum  float64 `json:"grad_abs_sum"`
+	GradSamples uint64  `json:"grad_samples"`
+	// MutexWaits counts contended lock acquisitions during the window
+	// (Locked sharing only).
+	MutexWaits uint64 `json:"mutex_waits"`
+	// Staleness is the window's sampled write–read staleness
+	// sub-histogram.
+	Staleness HistSnapshot `json:"staleness"`
+}
+
+// GradAbsMean returns the window's mean sampled gradient magnitude.
+func (w *SeriesWindow) GradAbsMean() float64 {
+	if w.GradSamples == 0 {
+		return 0
+	}
+	return w.GradAbsSum / float64(w.GradSamples)
+}
+
+// merge folds other (the later window) into w.
+func (w *SeriesWindow) merge(other *SeriesWindow) {
+	w.EndEpoch = other.EndEpoch
+	w.EndSeconds = other.EndSeconds
+	w.Steps += other.Steps
+	w.Loss = other.Loss
+	w.GradAbsSum += other.GradAbsSum
+	w.GradSamples += other.GradSamples
+	w.MutexWaits += other.MutexWaits
+	w.Staleness.Merge(other.Staleness)
+}
+
+// Series records windowed training time-series under a fixed memory
+// budget. ObserveSample is safe to call from concurrent worker
+// goroutines (it fires at the observer's sampling rate, so a mutex is
+// cheap); EpochTick fires on the coordinating goroutine. A nil *Series
+// is inert: every method nil-checks first.
+type Series struct {
+	mu     sync.Mutex
+	budget int
+	// stride is the number of epoch ticks a window spans; it doubles on
+	// every downsampling merge.
+	stride int
+	// openTicks counts epoch ticks in the newest (open) window.
+	openTicks int
+	windows   []SeriesWindow
+	started   bool
+	start     time.Time
+	// lastSteps and lastWaits are the cumulative counters at the previous
+	// epoch tick, for per-window deltas. A counter going backwards means
+	// a new attempt (the engine's counters restart per attempt); the
+	// baseline resets.
+	lastSteps uint64
+	lastWaits uint64
+}
+
+// NewSeries returns a recorder keeping at most budget windows; budget <=
+// 0 selects DefaultSeriesBudget, and odd budgets round up to even (the
+// downsampling merge pairs windows).
+func NewSeries(budget int) *Series {
+	if budget <= 0 {
+		budget = DefaultSeriesBudget
+	}
+	if budget < 2 {
+		budget = 2
+	}
+	if budget%2 == 1 {
+		budget++
+	}
+	return &Series{budget: budget, stride: 1}
+}
+
+// Budget returns the recorder's window budget.
+func (s *Series) Budget() int {
+	if s == nil {
+		return 0
+	}
+	return s.budget
+}
+
+// open returns the open window, creating it (and downsampling if needed)
+// when the previous one is full. Callers hold s.mu.
+func (s *Series) open() *SeriesWindow {
+	now := s.sinceStart()
+	if len(s.windows) == 0 || s.openTicks >= s.stride {
+		if len(s.windows) == s.budget {
+			// Downsample: merge adjacent pairs, halving the window count
+			// and doubling the stride. Totals are preserved exactly.
+			for i := 0; i < s.budget/2; i++ {
+				w := s.windows[2*i]
+				w.merge(&s.windows[2*i+1])
+				s.windows[i] = w
+			}
+			s.windows = s.windows[:s.budget/2]
+			s.stride *= 2
+			// The two merged halves of the last pair were full, so the
+			// merged window is full too; a fresh window still opens below.
+		}
+		startEpoch := 0
+		if n := len(s.windows); n > 0 {
+			startEpoch = s.windows[n-1].EndEpoch
+		}
+		s.windows = append(s.windows, SeriesWindow{
+			StartEpoch: startEpoch, EndEpoch: startEpoch,
+			StartSeconds: now, EndSeconds: now,
+		})
+		s.openTicks = 0
+	}
+	return &s.windows[len(s.windows)-1]
+}
+
+// sinceStart returns seconds since the first observation, starting the
+// clock on first use. Callers hold s.mu.
+func (s *Series) sinceStart() float64 {
+	if !s.started {
+		s.started = true
+		s.start = time.Now()
+		return 0
+	}
+	return time.Since(s.start).Seconds()
+}
+
+// ObserveSample records one sampled step: its write–read staleness and
+// gradient-magnitude proxy feed the open window.
+func (s *Series) ObserveSample(staleness uint64, gradAbs float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	w := s.open()
+	w.Staleness.Observe(staleness)
+	w.GradAbsSum += gradAbs
+	w.GradSamples++
+	s.mu.Unlock()
+}
+
+// EpochTick records an epoch boundary: the cumulative completed-epoch
+// count, the epoch's training loss, and the engine's cumulative step and
+// mutex-wait counters (deltas are attributed to the open window; a
+// counter moving backwards resets the baseline, which happens when a
+// supervised run restarts an attempt).
+func (s *Series) EpochTick(epoch int, loss float64, steps, mutexWaits uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	w := s.open()
+	if steps < s.lastSteps || mutexWaits < s.lastWaits {
+		s.lastSteps, s.lastWaits = 0, 0
+	}
+	w.Steps += steps - s.lastSteps
+	w.MutexWaits += mutexWaits - s.lastWaits
+	s.lastSteps, s.lastWaits = steps, mutexWaits
+	w.EndEpoch = epoch
+	w.EndSeconds = s.sinceStart()
+	w.Loss = loss
+	s.openTicks++
+	s.mu.Unlock()
+}
+
+// SeriesSnapshot is the exportable form of a Series.
+type SeriesSnapshot struct {
+	// Budget is the window budget; EpochsPerWindow the stride the run
+	// ended with (1 unless downsampling merged windows).
+	Budget          int `json:"budget"`
+	EpochsPerWindow int `json:"epochs_per_window"`
+	// Windows are the recorded windows, oldest first; the last one may
+	// be partially filled.
+	Windows []SeriesWindow `json:"windows"`
+}
+
+// Snapshot copies the recorder's windows, filling each window's
+// StepsPerSec from its wall-clock bounds.
+func (s *Series) Snapshot() *SeriesSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := &SeriesSnapshot{Budget: s.budget, EpochsPerWindow: s.stride,
+		Windows: append([]SeriesWindow(nil), s.windows...)}
+	for i := range snap.Windows {
+		w := &snap.Windows[i]
+		if dt := w.EndSeconds - w.StartSeconds; dt > 0 {
+			w.StepsPerSec = float64(w.Steps) / dt
+		}
+	}
+	return snap
+}
+
+// Final returns the last (newest) window of the snapshot, or nil.
+func (sn *SeriesSnapshot) Final() *SeriesWindow {
+	if sn == nil || len(sn.Windows) == 0 {
+		return nil
+	}
+	return &sn.Windows[len(sn.Windows)-1]
+}
+
+// WriteCSV writes the snapshot as one CSV row per window.
+func (sn *SeriesSnapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"start_epoch", "end_epoch", "start_seconds", "end_seconds",
+		"steps", "steps_per_sec", "loss", "grad_abs_mean", "mutex_waits",
+		"stale_samples", "stale_mean", "stale_max",
+	}); err != nil {
+		return err
+	}
+	if sn != nil {
+		for i := range sn.Windows {
+			win := &sn.Windows[i]
+			if err := cw.Write([]string{
+				fmt.Sprint(win.StartEpoch), fmt.Sprint(win.EndEpoch),
+				fmt.Sprintf("%.6f", win.StartSeconds), fmt.Sprintf("%.6f", win.EndSeconds),
+				fmt.Sprint(win.Steps), fmt.Sprintf("%.3f", win.StepsPerSec),
+				fmt.Sprintf("%.8g", win.Loss), fmt.Sprintf("%.8g", win.GradAbsMean()),
+				fmt.Sprint(win.MutexWaits),
+				fmt.Sprint(win.Staleness.Count), fmt.Sprintf("%.4f", win.Staleness.Mean()),
+				fmt.Sprint(win.Staleness.Max),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

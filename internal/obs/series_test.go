@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSeriesNilSafe(t *testing.T) {
+	var s *Series
+	s.ObserveSample(1, 0.5)
+	s.EpochTick(1, 0.1, 100, 0)
+	if s.Budget() != 0 {
+		t.Error("nil Budget should be 0")
+	}
+	if s.Snapshot() != nil {
+		t.Error("nil Snapshot should be nil")
+	}
+	var sn *SeriesSnapshot
+	if sn.Final() != nil {
+		t.Error("nil snapshot Final should be nil")
+	}
+}
+
+func TestNewSeriesBudgetNormalization(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultSeriesBudget}, {-3, DefaultSeriesBudget},
+		{1, 2}, {7, 8}, {8, 8},
+	} {
+		if got := NewSeries(tc.in).Budget(); got != tc.want {
+			t.Errorf("NewSeries(%d).Budget() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// tick drives e epochs into s with synthetic cumulative counters: 100
+// steps and 3 mutex waits per epoch, 2 staleness samples per epoch.
+func tick(s *Series, epochs int) {
+	for e := 1; e <= epochs; e++ {
+		s.ObserveSample(uint64(e%4), 0.5)
+		s.ObserveSample(0, 1.5)
+		s.EpochTick(e, 1.0/float64(e), uint64(100*e), uint64(3*e))
+	}
+}
+
+func TestSeriesDownsamplingPreservesTotals(t *testing.T) {
+	const budget = 8
+	for _, epochs := range []int{1, budget, budget + 1, 3 * budget, 10 * budget} {
+		s := NewSeries(budget)
+		tick(s, epochs)
+		sn := s.Snapshot()
+		if len(sn.Windows) > budget {
+			t.Fatalf("epochs=%d: %d windows exceed budget %d", epochs, len(sn.Windows), budget)
+		}
+		var steps, waits, samples uint64
+		for _, w := range sn.Windows {
+			steps += w.Steps
+			waits += w.MutexWaits
+			samples += w.Staleness.Count
+		}
+		if want := uint64(100 * epochs); steps != want {
+			t.Errorf("epochs=%d: total steps %d, want %d (downsampling must preserve totals)", epochs, steps, want)
+		}
+		if want := uint64(3 * epochs); waits != want {
+			t.Errorf("epochs=%d: total waits %d, want %d", epochs, waits, want)
+		}
+		if want := uint64(2 * epochs); samples != want {
+			t.Errorf("epochs=%d: staleness samples %d, want %d", epochs, samples, want)
+		}
+		// Windows tile the epoch range contiguously.
+		prev := 0
+		for i, w := range sn.Windows {
+			if w.StartEpoch != prev {
+				t.Fatalf("epochs=%d: window %d starts at %d, want %d", epochs, i, w.StartEpoch, prev)
+			}
+			prev = w.EndEpoch
+		}
+		if prev != epochs {
+			t.Errorf("epochs=%d: windows end at %d", epochs, prev)
+		}
+		if last := sn.Final(); last.Loss != 1.0/float64(epochs) {
+			t.Errorf("epochs=%d: final loss %g", epochs, last.Loss)
+		}
+	}
+}
+
+func TestSeriesMemoryBoundOnLongRuns(t *testing.T) {
+	// The acceptance check: a 10x longer run must not grow the recorder.
+	const budget = 16
+	short := NewSeries(budget)
+	tick(short, 100)
+	long := NewSeries(budget)
+	tick(long, 1000)
+	ns, nl := len(short.Snapshot().Windows), len(long.Snapshot().Windows)
+	if nl > budget {
+		t.Fatalf("10x run: %d windows exceed budget %d", nl, budget)
+	}
+	if ns > budget {
+		t.Fatalf("1x run: %d windows exceed budget %d", ns, budget)
+	}
+	// Downsampling halves to at least budget/2, never below.
+	if nl < budget/2 {
+		t.Errorf("10x run: %d windows, want >= %d", nl, budget/2)
+	}
+	if ew := long.Snapshot().EpochsPerWindow; ew != 64 {
+		// 1000 epochs / 16 windows -> stride 2^ceil(log2(62.5)) = 64.
+		t.Errorf("10x run stride = %d, want 64", ew)
+	}
+}
+
+func TestSeriesCounterRestartResetsBaseline(t *testing.T) {
+	s := NewSeries(8)
+	s.EpochTick(1, 0.5, 1000, 10)
+	s.EpochTick(2, 0.4, 2000, 20)
+	// A supervised retry restarts the engine: cumulative counters drop.
+	// The recorder must treat the post-restart counters as a fresh
+	// baseline, not underflow the delta.
+	s.EpochTick(2, 0.45, 900, 5)
+	s.EpochTick(3, 0.35, 1800, 9)
+	var steps uint64
+	for _, w := range s.Snapshot().Windows {
+		steps += w.Steps
+	}
+	if want := uint64(1000 + 1000 + 900 + 900); steps != want {
+		t.Errorf("total steps %d, want %d", steps, want)
+	}
+}
+
+func TestSeriesConcurrentObserve(t *testing.T) {
+	s := NewSeries(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.ObserveSample(uint64(i%8), 1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for e := 1; e <= 50; e++ {
+			s.EpochTick(e, 0.1, uint64(10*e), 0)
+		}
+	}()
+	wg.Wait()
+	<-done
+	var samples uint64
+	for _, w := range s.Snapshot().Windows {
+		samples += w.Staleness.Count
+	}
+	if samples != 4000 {
+		t.Errorf("samples %d, want 4000", samples)
+	}
+}
+
+func TestSeriesSnapshotThroughputAndCSV(t *testing.T) {
+	s := NewSeries(4)
+	tick(s, 3)
+	sn := s.Snapshot()
+	for i, w := range sn.Windows {
+		if dt := w.EndSeconds - w.StartSeconds; dt > 0 && w.StepsPerSec == 0 {
+			t.Errorf("window %d: StepsPerSec not filled", i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sn.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(sn.Windows) {
+		t.Fatalf("%d CSV lines, want header + %d windows", len(lines), len(sn.Windows))
+	}
+	if !strings.HasPrefix(lines[0], "start_epoch,end_epoch,") {
+		t.Errorf("header: %q", lines[0])
+	}
+	cols := strings.Count(lines[0], ",") + 1
+	for i, l := range lines[1:] {
+		if got := strings.Count(l, ",") + 1; got != cols {
+			t.Errorf("row %d has %d columns, want %d", i, got, cols)
+		}
+	}
+}

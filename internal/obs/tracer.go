@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file holds the trace-span half of the time-resolved telemetry
+// layer: a bounded in-memory recorder of begin/end phase events (run
+// attempts, training epochs, checkpoint saves, sweep tasks, simulated-
+// machine phases) exportable as Chrome trace_event JSON, loadable in
+// chrome://tracing and Perfetto.
+//
+// Spans are coarse-grained by design — epochs, attempts, sweep points,
+// never individual model updates — so a single mutex around the ring is
+// cheap relative to the work each span brackets. A nil *Tracer is fully
+// inert: every method nil-checks first, so uninstrumented runs pay
+// nothing (the established zero-cost convention of this package).
+
+// Span is one recorded trace event. Start is measured from the tracer's
+// creation; Dur is zero for instant events.
+type Span struct {
+	// Name and Cat label the span ("epoch", "core"); viewers group and
+	// color by category.
+	Name string
+	Cat  string
+	// TID is the track the span renders on. Concurrent phases should use
+	// distinct tracks (the sweep pool assigns one per worker); nested
+	// phases on one track are nested by time containment.
+	TID int
+	// Start is the offset from the tracer's epoch; Dur the span length.
+	Start time.Duration
+	Dur   time.Duration
+	// Instant marks a point event (Dur is ignored).
+	Instant bool
+	// Args carries small key/value annotations shown in the viewer.
+	Args map[string]string
+}
+
+// DefaultTraceCapacity is the ring size NewTracer uses for capacity <= 0.
+const DefaultTraceCapacity = 8192
+
+// Tracer records spans into a bounded ring: once capacity is reached the
+// oldest spans are overwritten and counted as dropped, so memory is fixed
+// regardless of run length. All methods are safe for concurrent use and
+// safe on a nil receiver (no-ops).
+type Tracer struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	ring   []Span
+	next   uint64 // total spans recorded, including dropped
+	tracks map[int]string
+}
+
+// NewTracer returns a tracer with the given ring capacity (spans kept);
+// capacity <= 0 selects DefaultTraceCapacity.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{epoch: time.Now(), ring: make([]Span, 0, capacity)}
+}
+
+// clock returns the current offset from the tracer's epoch.
+func (t *Tracer) clock() time.Duration { return time.Since(t.epoch) }
+
+// record appends one span to the ring, overwriting the oldest when full.
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next%uint64(cap(t.ring))] = s
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// SpanHandle is an open span returned by Begin; End (or EndArgs) records
+// it. The zero value (from a nil tracer) is inert.
+type SpanHandle struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int
+	start time.Duration
+}
+
+// Begin opens a span on track tid. Nothing is recorded until End.
+func (t *Tracer) Begin(cat, name string, tid int) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: t, name: name, cat: cat, tid: tid, start: t.clock()}
+}
+
+// End records the span with no annotations.
+func (h SpanHandle) End() { h.EndArgs(nil) }
+
+// EndArgs records the span with key/value annotations.
+func (h SpanHandle) EndArgs(args map[string]string) {
+	if h.t == nil {
+		return
+	}
+	h.t.record(Span{
+		Name: h.name, Cat: h.cat, TID: h.tid,
+		Start: h.start, Dur: h.t.clock() - h.start, Args: args,
+	})
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(cat, name string, tid int, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.record(Span{Name: name, Cat: cat, TID: tid, Start: t.clock(), Instant: true, Args: args})
+}
+
+// NameTrack labels a track for the viewer (rendered as a thread name).
+func (t *Tracer) NameTrack(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.tracks == nil {
+		t.tracks = make(map[int]string)
+	}
+	t.tracks[tid] = name
+	t.mu.Unlock()
+}
+
+// TraceSnapshot is the exportable content of a Tracer.
+type TraceSnapshot struct {
+	// Spans are the retained spans, oldest first.
+	Spans []Span
+	// Dropped counts spans overwritten after the ring filled.
+	Dropped uint64
+	// Tracks maps track ids to their NameTrack labels.
+	Tracks map[int]string
+}
+
+// Snapshot copies the tracer's current contents. It may be taken while
+// spans are still being recorded.
+func (t *Tracer) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := TraceSnapshot{Spans: make([]Span, 0, len(t.ring))}
+	if n := uint64(len(t.ring)); t.next > n {
+		snap.Dropped = t.next - n
+		// The ring wrapped: oldest retained span is at next % cap.
+		at := t.next % uint64(cap(t.ring))
+		snap.Spans = append(snap.Spans, t.ring[at:]...)
+		snap.Spans = append(snap.Spans, t.ring[:at]...)
+	} else {
+		snap.Spans = append(snap.Spans, t.ring...)
+	}
+	if len(t.tracks) > 0 {
+		snap.Tracks = make(map[int]string, len(t.tracks))
+		for k, v := range t.tracks {
+			snap.Tracks[k] = v
+		}
+	}
+	return snap
+}
+
+// SpanCount returns the total number of spans recorded so far, including
+// any the ring dropped. Two identical seeded runs record identical
+// counts, which the determinism tests assert.
+func (t *Tracer) SpanCount() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// chromeEvent is one trace_event entry of the Chrome/Perfetto JSON
+// format: ph "X" is a complete span (ts+dur), "i" an instant, "M"
+// metadata. Timestamps are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event document (object form, so
+// viewers accept metadata alongside the event array).
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// WriteTrace writes the tracer's contents as Chrome trace_event JSON,
+// loadable in chrome://tracing and https://ui.perfetto.dev.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	snap := t.Snapshot()
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(snap.Spans)+len(snap.Tracks)+1)}
+	// Track-name metadata first, in stable order.
+	tids := make([]int, 0, len(snap.Tracks))
+	for tid := range snap.Tracks {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]string{"name": snap.Tracks[tid]},
+		})
+	}
+	for _, s := range snap.Spans {
+		ev := chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X", Pid: 1, Tid: s.TID,
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Args: s.Args,
+		}
+		if s.Instant {
+			ev.Ph, ev.Dur, ev.S = "i", 0, "t"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	if snap.Dropped > 0 {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "spans_dropped", Ph: "i", Pid: 1, S: "g",
+			Args: map[string]string{"dropped": fmt.Sprint(snap.Dropped)},
+		})
+	}
+	buf, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(buf, '\n'))
+	return err
+}
+
+// WriteTraceFile writes the trace to path, creating or truncating it.
+func (t *Tracer) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Context plumbing: deep callees (the sweep pool, the simulated machine)
+// receive the tracer and their display track through the context that
+// already bounds them, so no simulation signature changes when tracing
+// is off — and a context without a tracer costs one failed type
+// assertion per phase, not per step.
+
+type tracerCtxKey struct{}
+type traceTIDCtxKey struct{}
+
+// ContextWithTracer returns a context carrying t (nil ctx starts from
+// context.Background; a nil t returns ctx unchanged).
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, tracerCtxKey{}, t)
+}
+
+// TracerFrom extracts the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerCtxKey{}).(*Tracer)
+	return t
+}
+
+// ContextWithTraceTID returns a context whose trace spans render on
+// track tid (the sweep pool gives each worker its own track).
+func ContextWithTraceTID(ctx context.Context, tid int) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, traceTIDCtxKey{}, tid)
+}
+
+// TraceTID extracts the context's trace track, defaulting to 0.
+func TraceTID(ctx context.Context) int {
+	if ctx == nil {
+		return 0
+	}
+	tid, _ := ctx.Value(traceTIDCtxKey{}).(int)
+	return tid
+}

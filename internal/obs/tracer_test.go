@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	h := tr.Begin("cat", "name", 0)
+	h.End()
+	h.EndArgs(map[string]string{"k": "v"})
+	tr.Instant("cat", "name", 0, nil)
+	tr.NameTrack(1, "worker")
+	if got := tr.SpanCount(); got != 0 {
+		t.Errorf("nil SpanCount = %d", got)
+	}
+	if snap := tr.Snapshot(); len(snap.Spans) != 0 || snap.Dropped != 0 {
+		t.Errorf("nil Snapshot = %+v", snap)
+	}
+}
+
+func TestTracerRecordsSpans(t *testing.T) {
+	tr := NewTracer(16)
+	h := tr.Begin("core", "epoch", 2)
+	time.Sleep(time.Millisecond)
+	h.EndArgs(map[string]string{"epoch": "1"})
+	tr.Instant("run", "retry", 0, nil)
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 2 || snap.Dropped != 0 {
+		t.Fatalf("snapshot: %d spans, %d dropped", len(snap.Spans), snap.Dropped)
+	}
+	s := snap.Spans[0]
+	if s.Cat != "core" || s.Name != "epoch" || s.TID != 2 || s.Instant {
+		t.Errorf("span 0: %+v", s)
+	}
+	if s.Dur <= 0 {
+		t.Errorf("span 0 duration = %v, want > 0", s.Dur)
+	}
+	if s.Args["epoch"] != "1" {
+		t.Errorf("span 0 args: %v", s.Args)
+	}
+	if i := snap.Spans[1]; !i.Instant || i.Name != "retry" {
+		t.Errorf("span 1: %+v", i)
+	}
+}
+
+func TestTracerRingDropsOldest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		h := tr.Begin("t", fmt.Sprintf("s%d", i), 0)
+		h.End()
+	}
+	if got := tr.SpanCount(); got != 10 {
+		t.Errorf("SpanCount = %d, want 10 (dropped spans still count)", got)
+	}
+	snap := tr.Snapshot()
+	if snap.Dropped != 6 {
+		t.Errorf("Dropped = %d, want 6", snap.Dropped)
+	}
+	if len(snap.Spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(snap.Spans))
+	}
+	// Oldest-first order across the wrap point.
+	for i, s := range snap.Spans {
+		if want := fmt.Sprintf("s%d", 6+i); s.Name != want {
+			t.Errorf("span %d = %q, want %q", i, s.Name, want)
+		}
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(128)
+	var wg sync.WaitGroup
+	const workers, each = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr.NameTrack(w, fmt.Sprintf("w%d", w))
+			for i := 0; i < each; i++ {
+				h := tr.Begin("t", "task", w)
+				h.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.SpanCount(); got != workers*each {
+		t.Errorf("SpanCount = %d, want %d", got, workers*each)
+	}
+	if snap := tr.Snapshot(); len(snap.Spans)+int(snap.Dropped) != workers*each {
+		t.Errorf("retained %d + dropped %d != %d", len(snap.Spans), snap.Dropped, workers*each)
+	}
+}
+
+func TestWriteTraceChromeJSON(t *testing.T) {
+	tr := NewTracer(8)
+	tr.NameTrack(1, "sweep-worker-1")
+	h := tr.Begin("sweep", "task", 1)
+	h.End()
+	tr.Instant("run", "fault-crash", 0, map[string]string{"step": "9"})
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The export must be plain trace_event JSON any viewer accepts:
+	// decode it generically, not through the package's own types.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("%d events, want 3 (metadata + span + instant)", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta["ph"] != "M" || meta["name"] != "thread_name" {
+		t.Errorf("event 0 should be thread_name metadata: %v", meta)
+	}
+	span := doc.TraceEvents[1]
+	if span["ph"] != "X" || span["cat"] != "sweep" || span["pid"] != float64(1) || span["tid"] != float64(1) {
+		t.Errorf("event 1: %v", span)
+	}
+	inst := doc.TraceEvents[2]
+	if inst["ph"] != "i" || inst["s"] != "t" {
+		t.Errorf("event 2 should be a thread-scoped instant: %v", inst)
+	}
+}
+
+func TestSummarizeTrace(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 3; i++ {
+		h := tr.Begin("core", "epoch", 0)
+		time.Sleep(time.Millisecond)
+		h.End()
+	}
+	h := tr.Begin("run", "attempt", 0)
+	time.Sleep(30 * time.Millisecond)
+	h.End()
+	tr.Instant("run", "retry", 0, nil) // ignored by the summary
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sums, err := SummarizeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("%d phases, want 2: %+v", len(sums), sums)
+	}
+	// Sorted by total descending: the 5ms attempt leads the ~3ms epochs.
+	if sums[0].Name != "attempt" || sums[0].Count != 1 {
+		t.Errorf("phase 0: %+v", sums[0])
+	}
+	if sums[1].Name != "epoch" || sums[1].Count != 3 {
+		t.Errorf("phase 1: %+v", sums[1])
+	}
+	if sums[1].Min <= 0 || sums[1].Max < sums[1].Min || sums[1].Mean() < sums[1].Min {
+		t.Errorf("epoch durations inconsistent: %+v", sums[1])
+	}
+	if _, err := SummarizeTrace(strings.NewReader("not json")); err == nil {
+		t.Error("garbage input should fail")
+	}
+}
+
+func TestTracerContext(t *testing.T) {
+	if TracerFrom(nil) != nil || TraceTID(nil) != 0 {
+		t.Error("nil context should yield nil tracer, tid 0")
+	}
+	tr := NewTracer(4)
+	ctx := ContextWithTracer(nil, tr)
+	if TracerFrom(ctx) != tr {
+		t.Error("tracer not carried by context")
+	}
+	ctx = ContextWithTraceTID(ctx, 7)
+	if TraceTID(ctx) != 7 || TracerFrom(ctx) != tr {
+		t.Error("tid not carried alongside tracer")
+	}
+	if got := ContextWithTracer(ctx, nil); TracerFrom(got) != tr {
+		t.Error("attaching a nil tracer should leave the context unchanged")
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// PhaseSummary aggregates the complete spans of one (category, name)
+// phase from a trace file: how often it ran and how much wall clock it
+// accumulated.
+type PhaseSummary struct {
+	Cat   string
+	Name  string
+	Count int
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average span duration.
+func (p PhaseSummary) Mean() time.Duration {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Total / time.Duration(p.Count)
+}
+
+// SummarizeTrace reads Chrome trace_event JSON (as written by
+// Tracer.WriteTrace, but any trace_event document with "X" complete
+// events works) and returns per-phase wall-clock breakdowns, sorted by
+// total time descending. Instant and metadata events are ignored.
+func SummarizeTrace(r io.Reader) ([]PhaseSummary, error) {
+	var doc chromeTrace
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("obs: parsing trace: %w", err)
+	}
+	byPhase := make(map[string]*PhaseSummary)
+	var order []string
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		key := ev.Cat + "\x00" + ev.Name
+		p := byPhase[key]
+		if p == nil {
+			p = &PhaseSummary{Cat: ev.Cat, Name: ev.Name}
+			byPhase[key] = p
+			order = append(order, key)
+		}
+		d := time.Duration(ev.Dur * float64(time.Microsecond))
+		p.Count++
+		p.Total += d
+		if p.Count == 1 || d < p.Min {
+			p.Min = d
+		}
+		if d > p.Max {
+			p.Max = d
+		}
+	}
+	out := make([]PhaseSummary, 0, len(order))
+	for _, key := range order {
+		out = append(out, *byPhase[key])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out, nil
+}

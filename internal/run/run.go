@@ -57,6 +57,15 @@ type Config struct {
 	Hooks        obs.Hooks
 	CollectStats bool
 	StepSample   int
+	// Tracer, when non-nil, records the supervisor's lifecycle as trace
+	// spans — attempts, checkpoint saves, resume decisions, backoff
+	// waits — and is forwarded to the engine so epochs appear nested
+	// inside their attempt. Nil traces nothing at no cost.
+	Tracer *obs.Tracer
+	// Series, when non-nil, is forwarded to the engine's Observer so the
+	// windowed time-series spans the whole supervised run (the recorder
+	// detects each attempt's counter restart and keeps accumulating).
+	Series *obs.Series
 	// Sleep replaces time.Sleep for the backoff waits (tests inject a
 	// no-op); nil uses time.Sleep.
 	Sleep func(time.Duration)
@@ -165,15 +174,19 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 		lastPath   string
 	)
 	loadResume := func() error {
+		span := cfg.Tracer.Begin("run", "resume", 0)
 		ck, path, skipped, err := LoadLatest(cfg.Dir)
 		stats.CheckpointFallbacks += skipped
 		if err != nil {
+			span.EndArgs(map[string]string{"error": err.Error()})
 			return err
 		}
 		if ck == nil {
 			startEpoch, initW, history = 0, nil, nil
+			span.EndArgs(map[string]string{"found": "false"})
 			return nil
 		}
+		span.EndArgs(map[string]string{"found": "true", "epoch": fmt.Sprint(ck.Epoch)})
 		if ck.Epoch > epochs {
 			return fmt.Errorf("run: checkpoint %s is at epoch %d, beyond the configured %d", path, ck.Epoch, epochs)
 		}
@@ -201,7 +214,8 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 
 		actx, cancel := context.WithCancelCause(ctx)
 		var progress atomic.Uint64
-		hooks := &attemptHooks{inner: cfg.Hooks, inj: inj, cancel: cancel, done: actx.Done(), progress: &progress}
+		hooks := &attemptHooks{inner: cfg.Hooks, inj: inj, cancel: cancel, done: actx.Done(), progress: &progress, tracer: cfg.Tracer}
+		attemptSpan := cfg.Tracer.Begin("run", "attempt", 0)
 
 		run := tc
 		run.Ctx = actx
@@ -215,11 +229,14 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 			if st.Epoch%cfg.Every != 0 && st.Epoch != epochs {
 				return nil
 			}
+			ckSpan := cfg.Tracer.Begin("run", "checkpoint-save", 0)
 			ck := newCheckpoint(st.Epoch, tc.Seed, threads, st.W, stitchLoss(resumeHist, st.TrainLoss))
 			path, n, err := writeCheckpoint(cfg.Dir, ck, inj.corruptNextWrite())
 			if err != nil {
+				ckSpan.EndArgs(map[string]string{"error": err.Error()})
 				return err
 			}
+			ckSpan.EndArgs(map[string]string{"epoch": fmt.Sprint(st.Epoch), "bytes": fmt.Sprint(n)})
 			stats.Checkpoints++
 			stats.CheckpointBytes += n
 			lastPath = path
@@ -239,6 +256,14 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 			dog.stop()
 		}
 		cancel(nil)
+		attemptArgs := map[string]string{
+			"attempt": fmt.Sprint(attempt), "threads": fmt.Sprint(threads),
+			"start_epoch": fmt.Sprint(startEpoch),
+		}
+		if err != nil {
+			attemptArgs["error"] = err.Error()
+		}
+		attemptSpan.EndArgs(attemptArgs)
 
 		stats.InjectedCrashes = inj.firedCount(FaultCrash)
 		stats.InjectedStalls = inj.firedCount(FaultStall)
@@ -283,7 +308,13 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 				ResumeEpoch: startEpoch, Threads: threads,
 			})
 		}
+		cfg.Tracer.Instant("run", "retry", 0, map[string]string{
+			"attempt": fmt.Sprint(attempt), "error": err.Error(),
+			"resume_epoch": fmt.Sprint(startEpoch),
+		})
+		backoffSpan := cfg.Tracer.Begin("run", "backoff", 0)
 		cfg.Sleep(backoff)
+		backoffSpan.EndArgs(map[string]string{"backoff": backoff.String()})
 		if backoff *= 2; backoff > cfg.BackoffCap {
 			backoff = cfg.BackoffCap
 		}
@@ -296,8 +327,8 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 func attemptObserver(cfg *Config, inj *injector, hooks *attemptHooks) *obs.Observer {
 	needHooks := cfg.Hooks != nil || cfg.Faults.hasStepFaults() || cfg.StallTimeout > 0
 	if !needHooks {
-		if cfg.CollectStats {
-			return &obs.Observer{StepSample: cfg.StepSample}
+		if cfg.CollectStats || cfg.Tracer != nil || cfg.Series != nil {
+			return &obs.Observer{StepSample: cfg.StepSample, Tracer: cfg.Tracer, Series: cfg.Series}
 		}
 		return nil
 	}
@@ -307,7 +338,7 @@ func attemptObserver(cfg *Config, inj *injector, hooks *attemptHooks) *obs.Obser
 		// skip the scheduled one.
 		sample = 1
 	}
-	return &obs.Observer{Hooks: hooks, StepSample: sample}
+	return &obs.Observer{Hooks: hooks, StepSample: sample, Tracer: cfg.Tracer, Series: cfg.Series}
 }
 
 // stitchLoss joins a checkpoint's loss history [0..resume] with an
@@ -334,6 +365,7 @@ type attemptHooks struct {
 	cancel   context.CancelCauseFunc
 	done     <-chan struct{}
 	progress *atomic.Uint64
+	tracer   *obs.Tracer
 	steps    atomic.Uint64
 }
 
@@ -341,6 +373,7 @@ func (h *attemptHooks) OnStep(si obs.StepInfo) {
 	h.progress.Add(1)
 	n := h.steps.Add(1)
 	if f, ok := h.inj.fireAt(n); ok {
+		h.tracer.Instant("run", "fault-"+f.Kind.String(), 0, map[string]string{"step": fmt.Sprint(n)})
 		switch f.Kind {
 		case FaultCrash:
 			h.cancel(ErrInjectedCrash)

@@ -8,10 +8,12 @@ package sweep
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"buckwild/internal/machine"
+	"buckwild/internal/obs"
 )
 
 // Map runs fn(i) for every i in [0, n) on a pool of workers goroutines
@@ -31,6 +33,18 @@ func Map[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
 // whose fn is itself context-aware get mid-point cancellation on top of
 // the between-point cut-off implemented here.
 func MapCtx[R any](ctx context.Context, workers, n int, fn func(i int) (R, error)) ([]R, error) {
+	return mapWorkerCtx(ctx, workers, n, func(_ context.Context, i int) (R, error) {
+		return fn(i)
+	})
+}
+
+// mapWorkerCtx is the pool behind MapCtx; fn additionally receives the
+// worker's context. When the bounding context carries an obs.Tracer,
+// each pool worker gets its own trace track (so context-aware fns — the
+// machine simulations — render their sub-spans on their worker's track,
+// nested under the per-task span recorded here) and every dispatched
+// task is recorded as one "sweep/task" span.
+func mapWorkerCtx[R any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (R, error)) ([]R, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -40,13 +54,18 @@ func MapCtx[R any](ctx context.Context, workers, n int, fn func(i int) (R, error
 	if workers > n {
 		workers = n
 	}
+	tracer := obs.TracerFrom(ctx)
 	results := make([]R, n)
 	if workers == 1 {
+		// A single worker inherits the caller's track.
+		tid := obs.TraceTID(ctx)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, context.Cause(ctx)
 			}
-			r, err := fn(i)
+			span := tracer.Begin("sweep", "task", tid)
+			r, err := fn(ctx, i)
+			span.EndArgs(map[string]string{"index": fmt.Sprint(i)})
 			if err != nil {
 				return nil, err
 			}
@@ -85,21 +104,31 @@ func MapCtx[R any](ctx context.Context, workers, n int, fn func(i int) (R, error
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wctx := ctx
+			tid := obs.TraceTID(ctx)
+			if tracer != nil {
+				// Track ids are 1-based so the coordinator keeps track 0.
+				tid = w + 1
+				wctx = obs.ContextWithTraceTID(ctx, tid)
+				tracer.NameTrack(tid, fmt.Sprintf("sweep-worker-%d", tid))
+			}
 			for {
 				i, ok := claim()
 				if !ok {
 					return
 				}
-				r, err := fn(i)
+				span := tracer.Begin("sweep", "task", tid)
+				r, err := fn(wctx, i)
+				span.EndArgs(map[string]string{"index": fmt.Sprint(i)})
 				if err != nil {
 					fail(i, err)
 					continue
 				}
 				results[i] = r
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if first != nil {
@@ -121,8 +150,8 @@ func Simulate(mc machine.Config, points []machine.Workload, workers int) ([]*mac
 // dispatching new points and interrupts the running simulations at their
 // next measurement round.
 func SimulateCtx(ctx context.Context, mc machine.Config, points []machine.Workload, workers int) ([]*machine.Result, error) {
-	return MapCtx(ctx, workers, len(points), func(i int) (*machine.Result, error) {
-		return machine.SimulateCtx(ctx, mc, points[i])
+	return mapWorkerCtx(ctx, workers, len(points), func(wctx context.Context, i int) (*machine.Result, error) {
+		return machine.SimulateCtx(wctx, mc, points[i])
 	})
 }
 

@@ -106,6 +106,8 @@ func (rc RunConfig) internal(cfg Config) run.Config {
 		Hooks:        cfg.Hooks,
 		CollectStats: cfg.CollectStats,
 		StepSample:   cfg.StepSample,
+		Tracer:       cfg.Tracer,
+		Series:       cfg.TimeSeries,
 	}
 }
 
