@@ -178,7 +178,36 @@ type (
 	// forms surfaced on Result.Series.
 	SeriesSnapshot = obs.SeriesSnapshot
 	SeriesWindow   = obs.SeriesWindow
+	// NumStats is the numerical-health snapshot surfaced on
+	// Result.NumStats (and Result.Stats.NumHealth) when Config.NumHealth
+	// is set: saturation counts per clamp site, rounding-bias
+	// accumulators, gradient underflows and the final weight
+	// distribution.
+	NumStats = obs.NumStats
+	// WeightStats and RoundingBias are NumStats components.
+	WeightStats  = obs.WeightStats
+	RoundingBias = obs.RoundingBias
+	// HealthInfo is the per-epoch payload delivered to HealthHooks.
+	HealthInfo = obs.HealthInfo
+	// HealthHooks is the optional Hooks extension receiving per-epoch
+	// numerical-health snapshots.
+	HealthHooks = obs.HealthHooks
+	// HealthWatchdog wraps a Hooks chain and cancels the run's context
+	// with a *DivergenceError when the loss goes non-finite or the
+	// saturation rate / rounding-bias drift cross its thresholds.
+	HealthWatchdog = obs.HealthWatchdog
+	// DivergenceInfo describes why a HealthWatchdog fired; DivergenceHooks
+	// is the optional extension receiving it.
+	DivergenceInfo  = obs.DivergenceInfo
+	DivergenceHooks = obs.DivergenceHooks
+	// DivergenceError is the context cause installed by a fired
+	// HealthWatchdog; errors.Is(err, ErrDivergence) matches it.
+	DivergenceError = obs.DivergenceError
 )
+
+// ErrDivergence matches (via errors.Is) the error a run returns after a
+// HealthWatchdog cancelled it.
+var ErrDivergence = obs.ErrDivergence
 
 // NewTracer returns a trace-span recorder keeping at most capacity spans
 // (<= 0 selects the default, obs.DefaultTraceCapacity). A nil *Tracer is
@@ -235,6 +264,12 @@ type Config struct {
 	// time-series surfaced on Result.Series. Nil records nothing at no
 	// cost.
 	TimeSeries *Series
+	// NumHealth enables numerical-health collection: saturation events
+	// per clamp site, signed rounding-bias accumulators, gradient
+	// underflows and a per-epoch weight-distribution snapshot, surfaced
+	// on Result.NumStats. Off (the default) it costs one nil check per
+	// kernel call.
+	NumHealth bool
 
 	// Context, when non-nil, bounds the run: cancellation or deadline
 	// expiry stops training well within one epoch and the entry point
@@ -326,10 +361,10 @@ type DenseDataset = dataset.DenseSet
 type SparseDataset = dataset.SparseSet
 
 func (c Config) observer() *obs.Observer {
-	if c.Hooks == nil && !c.CollectStats && c.Tracer == nil && c.TimeSeries == nil {
+	if c.Hooks == nil && !c.CollectStats && c.Tracer == nil && c.TimeSeries == nil && !c.NumHealth {
 		return nil
 	}
-	return &obs.Observer{Hooks: c.Hooks, StepSample: c.StepSample, Tracer: c.Tracer, Series: c.TimeSeries}
+	return &obs.Observer{Hooks: c.Hooks, StepSample: c.StepSample, Tracer: c.Tracer, Series: c.TimeSeries, NumHealth: c.NumHealth}
 }
 
 func (c Config) coreConfig(sparse bool, idxBits uint) (core.Config, error) {

@@ -37,6 +37,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -136,8 +137,9 @@ func main() {
 		predict  = flag.Bool("predict", true, "also print the Section 4 performance-model prediction")
 		data     = flag.String("data", "", "LIBSVM-format training file (implies -sparse; overrides -n/-m)")
 		save     = flag.String("save", "", "write the trained model to this file")
-		stats    = flag.Bool("stats", false, "collect and print run counters (steps, writes, staleness)")
+		stats    = flag.Bool("stats", false, "collect and print run counters (steps, writes, staleness, numerical health)")
 		report   = flag.String("report", "", "write a JSON run report to this file (implies -stats)")
+		healthW  = flag.Bool("health-watch", false, "abort the run on numerical divergence (NaN/Inf loss, excessive saturation rate or rounding-bias drift)")
 		httpAddr = flag.String("http", "", "serve /metrics (Prometheus), /debug/obs and /debug/pprof on this address during the run")
 
 		tracePath    = flag.String("trace", "", "write Chrome trace_event JSON of the run's phases to this file (Perfetto-loadable)")
@@ -155,6 +157,12 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// The health watchdog stops a diverging run by cancelling this cause
+	// context; the training call then returns the diagnostic error.
+	var healthCancel context.CancelCauseFunc
+	if *healthW {
+		ctx, healthCancel = context.WithCancelCause(ctx)
+	}
 
 	eta := *step
 	if eta == 0 {
@@ -177,6 +185,7 @@ func main() {
 		Epochs:         *epochs,
 		Seed:           *seed,
 		CollectStats:   *stats || *report != "",
+		NumHealth:      *stats || *report != "" || *healthW || *httpAddr != "",
 		Context:        ctx,
 	}
 	if *tracePath != "" {
@@ -245,6 +254,11 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("live metrics on http://%s/metrics, debug endpoints on /debug/obs and /debug/pprof\n", srv.Addr)
+	}
+	if *healthW {
+		// The watchdog wraps whatever hooks are already installed (live
+		// metrics included) so it adds detection without hiding them.
+		cfg.Hooks = &buckwild.HealthWatchdog{Cancel: healthCancel, Next: cfg.Hooks}
 	}
 
 	var res *buckwild.Result
@@ -324,8 +338,29 @@ func main() {
 		for kind, n := range s.ModelWrites {
 			fmt.Printf("  model writes (%s): %d\n", kind, n)
 		}
-		fmt.Printf("  staleness over %d sampled steps: mean %.2f, max %d writes\n",
-			s.Staleness.Count, s.Staleness.Mean(), s.Staleness.Max)
+		fmt.Printf("  staleness over %d sampled steps: mean %.2f, p50 %.0f, p99 %.0f, max %d writes\n",
+			s.Staleness.Count, s.Staleness.Mean(), s.Staleness.Quantile(0.5),
+			s.Staleness.Quantile(0.99), s.Staleness.Max)
+	}
+	if h := res.NumStats; h != nil {
+		fmt.Printf("numerical health: %d saturations, %d underflows, rounding bias %+.4g quanta over %d writes (%s)\n",
+			h.Saturations, h.Underflows, h.Bias.MeanQuanta(), h.Bias.Samples, h.Bias.Mode)
+		sites := make([]string, 0, len(h.SatBySite))
+		for site := range h.SatBySite {
+			sites = append(sites, site)
+		}
+		sort.Strings(sites)
+		for _, site := range sites {
+			fmt.Printf("  saturations at %s: %d\n", site, h.SatBySite[site])
+		}
+		if w := h.Weights; w != nil {
+			fmt.Printf("  weights (epoch %d): range [%.4g, %.4g], mean %.4g, %d at format bounds",
+				w.Epoch, w.Min, w.Max, w.Mean, w.AtBounds)
+			if w.NonFinite > 0 {
+				fmt.Printf(", %d non-finite", w.NonFinite)
+			}
+			fmt.Println()
+		}
 	}
 	if supRep != nil {
 		s := supRep.Stats
@@ -346,18 +381,26 @@ func main() {
 	}
 	if *report != "" {
 		out := struct {
-			Signature  string                    `json:"signature"`
-			Problem    string                    `json:"problem"`
-			Rounding   string                    `json:"rounding"`
-			Threads    int                       `json:"threads"`
-			MiniBatch  int                       `json:"mini_batch"`
-			Epochs     int                       `json:"epochs"`
-			TrainLoss  []float64                 `json:"train_loss"`
-			Stats      *buckwild.RunStats        `json:"stats"`
-			Series     *buckwild.SeriesSnapshot  `json:"series,omitempty"`
-			Supervisor *buckwild.SupervisorStats `json:"supervisor,omitempty"`
-			Checkpoint string                    `json:"checkpoint,omitempty"`
-		}{*sig, cfg.Problem.String(), *rounding, *threads, *batch, *epochs, res.TrainLoss, res.Stats, res.Series, nil, ""}
+			Signature    string                    `json:"signature"`
+			Problem      string                    `json:"problem"`
+			Rounding     string                    `json:"rounding"`
+			Threads      int                       `json:"threads"`
+			MiniBatch    int                       `json:"mini_batch"`
+			Epochs       int                       `json:"epochs"`
+			TrainLoss    []float64                 `json:"train_loss"`
+			Stats        *buckwild.RunStats        `json:"stats"`
+			StalenessP50 float64                   `json:"staleness_p50"`
+			StalenessP99 float64                   `json:"staleness_p99"`
+			Series       *buckwild.SeriesSnapshot  `json:"series,omitempty"`
+			Supervisor   *buckwild.SupervisorStats `json:"supervisor,omitempty"`
+			Checkpoint   string                    `json:"checkpoint,omitempty"`
+		}{Signature: *sig, Problem: cfg.Problem.String(), Rounding: *rounding,
+			Threads: *threads, MiniBatch: *batch, Epochs: *epochs,
+			TrainLoss: res.TrainLoss, Stats: res.Stats, Series: res.Series}
+		if res.Stats != nil {
+			out.StalenessP50 = res.Stats.Staleness.Quantile(0.5)
+			out.StalenessP99 = res.Stats.Staleness.Quantile(0.99)
+		}
 		if supRep != nil {
 			out.Supervisor = &supRep.Stats
 			out.Checkpoint = supRep.Checkpoint

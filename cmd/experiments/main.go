@@ -8,7 +8,7 @@
 //
 // where <id> is one of: table1 table2 table3 fig2 fig3 fig4a fig4b fig4c
 // fig5a fig5b fig5c fig6a fig6b fig6c fig6d fig6e fig6f fig7a fig7b fig7c
-// fig7d fig7e fig7f newinsn numa ablations faulttol.
+// fig7d fig7e fig7f newinsn numa ablations faulttol healthsweep.
 //
 // -quick shrinks sweep sizes for smoke runs. -workers bounds the sweep
 // worker pool (0 = all CPUs). -json writes per-experiment wall times and

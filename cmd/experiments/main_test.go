@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5a", "fig5b", "fig5c",
 		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f",
 		"fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig7f",
-		"newinsn", "numa", "ablations", "faulttol",
+		"newinsn", "numa", "ablations", "faulttol", "healthsweep",
 	}
 	seen := map[string]int{}
 	for _, e := range experiments {

@@ -39,9 +39,14 @@ type reportExperiment struct {
 	// the experiment ran no simulation.
 	Access *trace.AccessStats `json:"access,omitempty"`
 	// Train aggregates the engine counters of the experiment's real
-	// trainings (step counts, model writes, staleness histogram); absent
-	// for pure-simulation experiments.
+	// trainings (step counts, model writes, staleness histogram and the
+	// numerical-health block); absent for pure-simulation experiments.
 	Train *obs.RunStats `json:"train,omitempty"`
+	// StalenessP50 and StalenessP99 are quantiles of the aggregated
+	// staleness histogram, precomputed so report consumers need no
+	// histogram arithmetic.
+	StalenessP50 float64 `json:"staleness_p50,omitempty"`
+	StalenessP99 float64 `json:"staleness_p99,omitempty"`
 	// Supervisor totals the retry/checkpoint counters of the experiment's
 	// supervised runs; absent when no supervisor ran.
 	Supervisor *obs.SupervisorStats `json:"supervisor,omitempty"`
@@ -92,6 +97,10 @@ func reportFinish(wallSeconds, headlineGNPS float64) {
 	}
 	currentRpt.WallSeconds = wallSeconds
 	currentRpt.HeadlineGNPS = headlineGNPS
+	if currentRpt.Train != nil {
+		currentRpt.StalenessP50 = currentRpt.Train.Staleness.Quantile(0.5)
+		currentRpt.StalenessP99 = currentRpt.Train.Staleness.Quantile(0.99)
+	}
 	currentRpt = nil
 }
 
@@ -114,13 +123,13 @@ func reportSim(_ int, r *machine.Result) {
 
 // trainObserver returns the Observer that training experiments should
 // install: nil without -report (the zero-cost path), otherwise a
-// default-sampling observer collecting counters and the staleness
-// histogram.
+// default-sampling observer collecting counters, the staleness
+// histogram and the numerical-health block.
 func trainObserver() *obs.Observer {
 	if report == nil {
 		return nil
 	}
-	return &obs.Observer{}
+	return &obs.Observer{NumHealth: true}
 }
 
 // reportTrain merges training RunStats (one per sweep point; nil entries

@@ -246,6 +246,9 @@ type Result struct {
 	// Series is the windowed training time-series; nil unless the
 	// Observer installed a Series recorder.
 	Series *obs.SeriesSnapshot
+	// NumStats is the run's numerical-health snapshot (also reachable as
+	// Stats.NumHealth); nil unless the Observer enabled NumHealth.
+	NumStats *obs.NumStats
 }
 
 // TrainDense runs Buckwild! SGD on a dense dataset.
@@ -292,6 +295,7 @@ func TrainDense(cfg Config, ds *dataset.DenseSet) (*Result, error) {
 			return nil, err
 		}
 		res.TrainLoss = append(res.TrainLoss, loss)
+		ro.observeWeights(epoch+1, w)
 		ro.epochDone(epoch+1, loss)
 		epochSpan.EndArgs(map[string]string{"epoch": fmt.Sprint(epoch + 1), "loss": fmt.Sprintf("%.6g", loss)})
 		if cfg.EpochEnd != nil {
@@ -308,6 +312,9 @@ func TrainDense(cfg Config, ds *dataset.DenseSet) (*Result, error) {
 	}
 	trainSpan.EndArgs(map[string]string{"epochs": fmt.Sprint(epochsRun)})
 	res.Stats = ro.snapshot()
+	if res.Stats != nil {
+		res.NumStats = res.Stats.NumHealth
+	}
 	if ro != nil {
 		res.Series = ro.series.Snapshot()
 	}
@@ -360,6 +367,13 @@ func runDenseEpoch(cfg Config, ds *dataset.DenseSet, w kernels.Vec, eta float32,
 			return err
 		}
 		worker.ro = ro
+		if nc := ro.numCounts(t); nc != nil {
+			worker.nc = nc
+			worker.kernel.Num = nc
+			if worker.kernel.Q != nil {
+				worker.kernel.Q.Num = nc
+			}
+		}
 		lo := t * ds.Len() / threads
 		hi := (t + 1) * ds.Len() / threads
 		run := func(t, lo, hi int, wk *denseWorker) {
@@ -398,14 +412,24 @@ type denseWorker struct {
 	snapshot kernels.Vec
 	// gradFmt quantizes gradient intermediates (nil = full precision).
 	gradFmt *fixed.Format
+	// nc is the worker's numerical-health counter block (nil when health
+	// collection is off); the same block is shared with the kernel and
+	// its quantizer.
+	nc *fixed.NumCounts
 }
 
-// quantGrad rounds a gradient intermediate onto the G grid.
+// quantGrad rounds a gradient intermediate onto the G grid, counting a
+// nonzero value that quantizes to zero as an underflow when health
+// collection is on.
 func (dw *denseWorker) quantGrad(v float32) float32 {
 	if dw.gradFmt == nil {
 		return v
 	}
-	return dw.gradFmt.Dequantize(dw.gradFmt.QuantizeBiased(v))
+	q := dw.gradFmt.QuantizeBiased(v)
+	if dw.nc != nil && q == 0 && v != 0 {
+		dw.nc.Underflows++
+	}
+	return dw.gradFmt.Dequantize(q)
 }
 
 func newDenseWorker(cfg Config, id, epoch int) (*denseWorker, error) {

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
+	"buckwild/internal/fixed"
 	"buckwild/internal/kernels"
 	"buckwild/internal/obs"
 )
@@ -42,6 +46,15 @@ type obsShard struct {
 	_            [obsShardSize - 5*8]byte
 }
 
+// numShard is one worker's numerical-health counter block, padded to the
+// shard size so adjacent workers never false-share. Same ownership rules
+// as obsShard: the owning worker writes with plain stores, the
+// coordinator reads after wg.Wait.
+type numShard struct {
+	c fixed.NumCounts
+	_ [(obsShardSize - unsafe.Sizeof(fixed.NumCounts{})%obsShardSize) % obsShardSize]byte
+}
+
 // runObs carries one run's observability state across epochs.
 type runObs struct {
 	hooks  obs.Hooks
@@ -64,6 +77,13 @@ type runObs struct {
 	writes atomic.Uint64
 	shards []obsShard
 	stale  obs.Histogram
+	// num holds the per-worker numerical-health shards; nil unless the
+	// Observer enabled NumHealth (the kernels then count through the
+	// shard handed to them by numCounts).
+	num []numShard
+	// weights is the newest per-epoch weight-distribution pass, written
+	// and read only on the coordinating goroutine.
+	weights *obs.WeightStats
 }
 
 // newRunObs builds the run's observability state, or nil when the config
@@ -84,7 +104,7 @@ func newRunObs(cfg *Config) *runObs {
 	if tracer == nil {
 		tracer = obs.TracerFrom(cfg.Ctx)
 	}
-	return &runObs{
+	ro := &runObs{
 		hooks:     cfg.Observer.Hooks,
 		sample:    cfg.Observer.SamplePeriod(),
 		tracer:    tracer,
@@ -93,6 +113,19 @@ func newRunObs(cfg *Config) *runObs {
 		writeKind: kind,
 		shards:    make([]obsShard, threads),
 	}
+	if cfg.Observer.NumHealth {
+		ro.num = make([]numShard, threads)
+	}
+	return ro
+}
+
+// numCounts returns worker w's numerical-health counter block, or nil
+// when health collection is off (the kernels' nil fast path).
+func (ro *runObs) numCounts(w int) *fixed.NumCounts {
+	if ro == nil || ro.num == nil {
+		return nil
+	}
+	return &ro.num[w].c
 }
 
 // span opens a trace span for one of the run's coarse phases. A nil
@@ -164,20 +197,135 @@ func (ro *runObs) workerDone(w, epoch int, stepsBefore uint64) {
 	}
 }
 
-// epochDone reports a finished epoch (1-based) and its loss to the hooks
-// and the time-series recorder.
-func (ro *runObs) epochDone(epoch int, loss float64) {
-	if ro == nil || (ro.hooks == nil && ro.series == nil) {
+// observeWeights runs the per-epoch weight-distribution pass over the
+// model: magnitude histogram in quanta, real-unit extrema and mean, and
+// the count of weights pinned at the format bounds. It runs on the
+// coordinating goroutine while the workers are joined (the same boundary
+// the loss evaluation uses), and only when health collection is on.
+func (ro *runObs) observeWeights(epoch int, w kernels.Vec) {
+	if ro == nil || ro.num == nil {
 		return
 	}
-	var steps, waits uint64
+	n := w.Len()
+	ws := &obs.WeightStats{Epoch: epoch, Count: n}
+	ro.weights = ws
+	if n == 0 {
+		return
+	}
+	if w.P == kernels.F32 {
+		var sum float64
+		finite := 0
+		for i := 0; i < n; i++ {
+			v := float64(w.F32[i])
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				ws.NonFinite++
+				continue
+			}
+			if finite == 0 || v < ws.Min {
+				ws.Min = v
+			}
+			if finite == 0 || v > ws.Max {
+				ws.Max = v
+			}
+			sum += v
+			finite++
+			// Float weights histogram in quanta of 2^-24, the finest
+			// fixed grid the engine uses, so fixed and float runs chart
+			// on comparable axes.
+			q := math.Abs(v) * (1 << 24)
+			if q > float64(uint64(1)<<62) {
+				q = float64(uint64(1) << 62)
+			}
+			ws.Magnitude.Observe(uint64(q))
+		}
+		if finite > 0 {
+			ws.Mean = sum / float64(finite)
+		}
+		return
+	}
+	f := w.P.Fixed()
+	maxRaw, minRaw := f.MaxInt(), f.MinInt()
+	minR, maxR := w.Raw(0), w.Raw(0)
+	var sumRaw int64
+	for i := 0; i < n; i++ {
+		r := w.Raw(i)
+		if r == maxRaw || r == minRaw {
+			ws.AtBounds++
+		}
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+		sumRaw += int64(r)
+		a := r
+		if a < 0 {
+			a = -a
+		}
+		ws.Magnitude.Observe(uint64(a))
+	}
+	q := float64(f.Quantum())
+	ws.Min = float64(minR) * q
+	ws.Max = float64(maxR) * q
+	ws.Mean = float64(sumRaw) * q / float64(n)
+}
+
+// epochDone reports a finished epoch (1-based) and its loss to the hooks
+// and the time-series recorder, with the numerical-health counters when
+// collected (HealthTick lands before EpochTick so both hit the same
+// window; OnHealth fires after OnEpoch).
+func (ro *runObs) epochDone(epoch int, loss float64) {
+	if ro == nil || (ro.hooks == nil && ro.series == nil && ro.num == nil) {
+		return
+	}
+	var steps, waits, writes uint64
 	for i := range ro.shards {
 		steps += ro.shards[i].steps
 		waits += ro.shards[i].mutexWaits
+		writes += ro.shards[i].modelWrites
+	}
+	var health fixed.NumCounts
+	if ro.num != nil {
+		for i := range ro.num {
+			health.Merge(&ro.num[i].c)
+		}
+		ro.series.HealthTick(health.SatTotal(), health.Underflows, health.BiasN, health.BiasSumQ)
+		if ro.tracer != nil {
+			biasMean := 0.0
+			if health.BiasN > 0 {
+				biasMean = health.BiasSumQ / float64(health.BiasN)
+			}
+			var atBounds uint64
+			if ro.weights != nil {
+				atBounds = ro.weights.AtBounds
+			}
+			ro.tracer.Instant("core", "num-health", ro.tid, map[string]string{
+				"epoch":       fmt.Sprint(epoch),
+				"saturations": fmt.Sprint(health.SatTotal()),
+				"underflows":  fmt.Sprint(health.Underflows),
+				"bias_mean":   fmt.Sprintf("%.6g", biasMean),
+				"at_bounds":   fmt.Sprint(atBounds),
+			})
+		}
 	}
 	ro.series.EpochTick(epoch, loss, steps, waits)
 	if ro.hooks != nil {
 		ro.hooks.OnEpoch(obs.EpochInfo{Epoch: epoch, Loss: loss, Steps: steps})
+		if hh, ok := ro.hooks.(obs.HealthHooks); ok && ro.num != nil {
+			hi := obs.HealthInfo{
+				Epoch: epoch, Loss: loss, Steps: steps, ModelWrites: writes,
+				Saturations:   health.SatTotal(),
+				Underflows:    health.Underflows,
+				BiasSamples:   health.BiasN,
+				BiasSumQuanta: health.BiasSumQ,
+			}
+			if ro.weights != nil {
+				hi.WeightsAtBounds = ro.weights.AtBounds
+				hi.WeightCount = ro.weights.Count
+			}
+			hh.OnHealth(hi)
+		}
 	}
 }
 
@@ -197,5 +345,33 @@ func (ro *runObs) snapshot() *obs.RunStats {
 		s.SampledSteps += sh.sampled
 	}
 	s.ModelWrites = map[string]uint64{ro.writeKind: writes}
+	if ro.num != nil {
+		var total fixed.NumCounts
+		for i := range ro.num {
+			total.Merge(&ro.num[i].c)
+		}
+		ns := &obs.NumStats{
+			Saturations: total.SatTotal(),
+			Underflows:  total.Underflows,
+			Bias: obs.RoundingBias{
+				Mode:      ro.writeKind,
+				Samples:   total.BiasN,
+				SumQuanta: total.BiasSumQ,
+			},
+		}
+		for site := fixed.Site(0); site < fixed.NumSites; site++ {
+			if n := total.Sat[site]; n > 0 {
+				if ns.SatBySite == nil {
+					ns.SatBySite = make(map[string]uint64)
+				}
+				ns.SatBySite[site.String()] = n
+			}
+		}
+		if ro.weights != nil {
+			w := *ro.weights
+			ns.Weights = &w
+		}
+		s.NumHealth = ns
+	}
 	return s
 }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"buckwild/internal/dataset"
+	"buckwild/internal/kernels"
+	"buckwild/internal/obs"
+)
+
+// TestHooksHealthWatchdogTripsQ4 runs a seeded 4-bit model with an
+// oversized step — the update magnitudes saturate the tiny format on
+// nearly every write — under a HealthWatchdog with a tight saturation
+// budget, and checks the whole divergence path: the watchdog fires, the
+// run's context is cancelled with the detailed cause, and TrainDense
+// returns an error matching obs.ErrDivergence. The TestHooks prefix keeps
+// it in the race-enabled CI filter.
+func TestHooksHealthWatchdogTripsQ4(t *testing.T) {
+	ds, err := dataset.GenDense(dataset.DenseConfig{N: 32, M: 400, P: kernels.I8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	wd := &obs.HealthWatchdog{MaxSatRate: 0.01, MinEpochs: 1, Cancel: cancel}
+	cfg := Config{
+		Problem: Logistic, D: kernels.I8, M: kernels.I4,
+		Variant: kernels.HandOpt, Quant: kernels.QShared, QuantPeriod: 8,
+		Threads: 1, StepSize: 2.0, Epochs: 8,
+		Sharing: Sequential, Seed: 7,
+		Ctx:      ctx,
+		Observer: &obs.Observer{Hooks: wd, NumHealth: true},
+	}
+	_, err = TrainDense(cfg, ds)
+	if err == nil {
+		t.Fatal("saturating Q4 run completed without tripping the watchdog")
+	}
+	if !errors.Is(err, obs.ErrDivergence) {
+		t.Fatalf("error %v does not match obs.ErrDivergence", err)
+	}
+	var de *obs.DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v carries no DivergenceError detail", err)
+	}
+	if de.Info.SatRate <= 0.01 {
+		t.Errorf("divergence detail reports sat rate %v, want > threshold", de.Info.SatRate)
+	}
+	if !wd.Fired() {
+		t.Error("watchdog did not record firing")
+	}
+}
+
+// TestHooksNumStatsOnResult checks that enabling NumHealth populates
+// Result.NumStats for the async engine, and that the counters are
+// plausible for a quantized run (every model write is a bias sample).
+func TestHooksNumStatsOnResult(t *testing.T) {
+	ds, err := dataset.GenDense(dataset.DenseConfig{N: 32, M: 300, P: kernels.I8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Problem: Logistic, D: kernels.I8, M: kernels.I8,
+		Variant: kernels.HandOpt, Quant: kernels.QShared, QuantPeriod: 8,
+		Threads: 2, StepSize: 0.05, Epochs: 2,
+		Sharing: Locked, Seed: 11,
+		Observer: &obs.Observer{NumHealth: true},
+	}
+	res, err := TrainDense(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := res.NumStats
+	if ns == nil || res.Stats == nil || res.Stats.NumHealth != ns {
+		t.Fatal("NumStats not exposed on the result with NumHealth enabled")
+	}
+	if ns.Bias.Samples == 0 {
+		t.Error("quantized run measured no rounding-bias samples")
+	}
+	if ns.Bias.Mode == "" {
+		t.Error("bias mode not recorded")
+	}
+	if ns.Weights == nil || ns.Weights.Count == 0 {
+		t.Error("weight distribution not collected")
+	}
+	// Without the flag the collection stays off and the result is nil.
+	cfg.Observer = &obs.Observer{}
+	res, err = TrainDense(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumStats != nil {
+		t.Error("NumStats collected without NumHealth")
+	}
+}
+
+// TestSyncNumHealth checks the synchronous engine's comm-grid counting:
+// every quantized coordinate is a bias sample, and tiny gradients late in
+// a converged run underflow the 4-bit grid.
+func TestSyncNumHealth(t *testing.T) {
+	ds := syncData(t)
+	res, err := TrainSyncDense(SyncConfig{
+		Problem:          Logistic,
+		CommBits:         4,
+		Workers:          2,
+		BatchPerWorker:   4,
+		ErrorFeedback:    true,
+		StepSize:         0.1,
+		Epochs:           3,
+		Seed:             1,
+		CollectNumHealth: true,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := res.NumStats
+	if ns == nil {
+		t.Fatal("sync run with CollectNumHealth produced no NumStats")
+	}
+	if ns.Bias.Mode != "comm-grid" {
+		t.Errorf("bias mode %q, want comm-grid", ns.Bias.Mode)
+	}
+	if ns.Bias.Samples == 0 {
+		t.Error("no comm-grid bias samples counted")
+	}
+	if ns.Underflows == 0 {
+		t.Error("4-bit comm grid counted no underflows")
+	}
+	// The grid rounds to nearest, so the mean signed error stays within
+	// half a quantum.
+	if m := ns.Bias.MeanQuanta(); m < -0.5 || m > 0.5 {
+		t.Errorf("comm-grid mean bias %v quanta outside [-0.5, 0.5]", m)
+	}
+
+	// Off by default.
+	res, err = TrainSyncDense(SyncConfig{
+		Problem: Logistic, CommBits: 4, Workers: 2, BatchPerWorker: 4,
+		ErrorFeedback: true, StepSize: 0.1, Epochs: 1, Seed: 1,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumStats != nil {
+		t.Error("sync NumStats collected without CollectNumHealth")
+	}
+}

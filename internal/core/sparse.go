@@ -60,6 +60,7 @@ func TrainSparse(cfg Config, ds *dataset.SparseSet) (*Result, error) {
 			return nil, err
 		}
 		res.TrainLoss = append(res.TrainLoss, loss)
+		ro.observeWeights(epoch+1, w)
 		ro.epochDone(epoch+1, loss)
 		epochSpan.EndArgs(map[string]string{"epoch": fmt.Sprint(epoch + 1), "loss": fmt.Sprintf("%.6g", loss)})
 		if cfg.EpochEnd != nil {
@@ -76,6 +77,9 @@ func TrainSparse(cfg Config, ds *dataset.SparseSet) (*Result, error) {
 	}
 	trainSpan.EndArgs(map[string]string{"epochs": fmt.Sprint(epochsRun)})
 	res.Stats = ro.snapshot()
+	if res.Stats != nil {
+		res.NumStats = res.Stats.NumHealth
+	}
 	if ro != nil {
 		res.Series = ro.series.Snapshot()
 	}
@@ -104,6 +108,13 @@ func runSparseEpoch(cfg Config, ds *dataset.SparseSet, w kernels.Vec, eta float3
 		if err != nil {
 			return err
 		}
+		nc := ro.numCounts(t)
+		if nc != nil {
+			k.Num = nc
+			if q != nil {
+				q.Num = nc
+			}
+		}
 		lo := t * ds.Len() / threads
 		hi := (t + 1) * ds.Len() / threads
 		gf := cfg.gradFormat()
@@ -111,7 +122,11 @@ func runSparseEpoch(cfg Config, ds *dataset.SparseSet, w kernels.Vec, eta float3
 			if gf == nil {
 				return v
 			}
-			return gf.Dequantize(gf.QuantizeBiased(v))
+			g := gf.QuantizeBiased(v)
+			if nc != nil && g == 0 && v != 0 {
+				nc.Underflows++
+			}
+			return gf.Dequantize(g)
 		}
 		run := func(t, lo, hi int, k *kernels.Sparse) {
 			defer wg.Done()

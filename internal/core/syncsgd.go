@@ -6,7 +6,9 @@ import (
 	"math"
 
 	"buckwild/internal/dataset"
+	"buckwild/internal/fixed"
 	"buckwild/internal/metrics"
+	"buckwild/internal/obs"
 )
 
 // This file implements the explicit-communication corner of the DMGC space
@@ -37,6 +39,11 @@ type SyncConfig struct {
 	// Ctx, when non-nil, bounds the run: it is checked before every
 	// communication round, and cancellation returns context.Cause(Ctx).
 	Ctx context.Context
+	// CollectNumHealth enables numerical-health counting over the
+	// communication quantizer: gradient coordinates quantized to zero
+	// (underflows) and the signed grid rounding error in grid steps fill
+	// Result.NumStats with mode "comm-grid".
+	CollectNumHealth bool
 }
 
 func (c *SyncConfig) fill() error {
@@ -87,6 +94,10 @@ func TrainSyncDense(cfg SyncConfig, ds *dataset.DenseSet) (*Result, error) {
 	}
 	res.TrainLoss = append(res.TrainLoss, loss)
 
+	var nc *fixed.NumCounts
+	if cfg.CollectNumHealth {
+		nc = &fixed.NumCounts{}
+	}
 	perRound := cfg.Workers * cfg.BatchPerWorker
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for start := 0; start+perRound <= ds.Len(); start += perRound {
@@ -121,7 +132,7 @@ func TrainSyncDense(cfg SyncConfig, ds *dataset.DenseSet) (*Result, error) {
 				agg[j] = 0
 			}
 			for k := 0; k < cfg.Workers; k++ {
-				q := quantizeComm(grads[k], residuals[k], cfg.CommBits, cfg.ErrorFeedback)
+				q := quantizeComm(grads[k], residuals[k], cfg.CommBits, cfg.ErrorFeedback, nc)
 				for j := range agg {
 					agg[j] += q[j]
 				}
@@ -139,6 +150,16 @@ func TrainSyncDense(cfg SyncConfig, ds *dataset.DenseSet) (*Result, error) {
 		res.TrainLoss = append(res.TrainLoss, loss)
 	}
 	res.W = w
+	if nc != nil {
+		res.NumStats = &obs.NumStats{
+			Underflows: nc.Underflows,
+			Bias: obs.RoundingBias{
+				Mode:      "comm-grid",
+				Samples:   nc.BiasN,
+				SumQuanta: nc.BiasSumQ,
+			},
+		}
+	}
 	return res, nil
 }
 
@@ -150,7 +171,12 @@ func TrainSyncDense(cfg SyncConfig, ds *dataset.DenseSet) (*Result, error) {
 // sign, scaled by the mean magnitude; the full-precision difference stays
 // in the residual. For 1 < bits < 32 a symmetric uniform grid over the
 // max magnitude is used.
-func quantizeComm(g, residual []float32, bits uint, errorFeedback bool) []float32 {
+//
+// A non-nil nc collects numerical health for the grid path (bits > 1):
+// nonzero coordinates quantized to zero count as underflows, and the
+// signed rounding error accumulates in grid steps (scale/levels quanta).
+// The 1-bit scheme never produces a zero and has no grid to measure.
+func quantizeComm(g, residual []float32, bits uint, errorFeedback bool, nc *fixed.NumCounts) []float32 {
 	if bits >= 32 {
 		return g
 	}
@@ -189,6 +215,15 @@ func quantizeComm(g, residual []float32, bits uint, errorFeedback bool) []float3
 		} else {
 			r := v / scale * levels
 			q = float32(math.Round(float64(r))) / levels * scale
+			if nc != nil {
+				if v != 0 && q == 0 {
+					nc.Underflows++
+				}
+				// Signed rounding error in grid steps: one quantum is
+				// scale/levels.
+				nc.BiasN++
+				nc.BiasSumQ += float64(q-v) * float64(levels) / float64(scale)
+			}
 		}
 		if errorFeedback {
 			residual[j] = v - q

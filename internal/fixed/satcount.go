@@ -1,0 +1,355 @@
+package fixed
+
+// Numerical-health counting: optional counting variants of the saturating
+// helpers and the quantization entry points. "Taming the Wild" and the
+// paper's Section 3 argue that saturation and rounding bias are the
+// mechanisms behind low-precision accuracy gaps; these variants make both
+// observable per run without touching the uninstrumented paths.
+//
+// The contract mirrors the engine's observability convention: every
+// counting variant takes a *NumCounts and behaves bit-identically to its
+// plain counterpart when the counter is nil, so call sites pay one nil
+// check and nothing else when health collection is off. A NumCounts is
+// owned by exactly one worker goroutine and written with plain stores;
+// the coordinator reads it only after joining the workers (the epoch
+// WaitGroup provides the happens-before edge), exactly like the engine's
+// counter shards.
+
+// Site identifies one saturation (clamp) site in the low-precision
+// arithmetic. Each counting variant increments exactly one site when its
+// result clamps at a type or format bound.
+type Site int
+
+// The saturation sites, one per saturating helper plus the two
+// format-level sites (Saturate on raw model writes, Quantize on
+// float-to-fixed conversion hitting the format bounds).
+const (
+	SiteClamp4 Site = iota
+	SiteClamp8
+	SiteClamp16
+	SiteAddSat8
+	SiteAddSat16
+	SiteAddSat32
+	SiteMulAdd8to16
+	SiteMulAdd16to32
+	SiteSaturate
+	SiteQuantize
+	// NumSites bounds the Site enum; it is the length of NumCounts.Sat.
+	NumSites
+)
+
+// String names the site as it appears in exported saturation maps.
+func (s Site) String() string {
+	switch s {
+	case SiteClamp4:
+		return "clamp4"
+	case SiteClamp8:
+		return "clamp8"
+	case SiteClamp16:
+		return "clamp16"
+	case SiteAddSat8:
+		return "addsat8"
+	case SiteAddSat16:
+		return "addsat16"
+	case SiteAddSat32:
+		return "addsat32"
+	case SiteMulAdd8to16:
+		return "muladd8to16"
+	case SiteMulAdd16to32:
+		return "muladd16to32"
+	case SiteSaturate:
+		return "saturate"
+	case SiteQuantize:
+		return "quantize"
+	}
+	return "site?"
+}
+
+// NumCounts is one worker's private numerical-health counter block:
+// saturation events per site, the signed rounding-bias accumulator
+// (measured error rounded − exact, in quanta of the destination format),
+// and underflow events (a nonzero value quantized to zero, counted by the
+// call sites that know a zero result means "no update"). All fields are
+// plain (non-atomic); see the ownership contract above. A nil *NumCounts
+// is valid everywhere one is accepted and counts nothing.
+type NumCounts struct {
+	// Sat counts saturation events by site.
+	Sat [NumSites]uint64
+	// Underflows counts nonzero values quantized to zero.
+	Underflows uint64
+	// BiasN and BiasSumQ accumulate the signed rounding error of
+	// quantized writes: BiasSumQ sums (rounded − exact) in quanta over
+	// BiasN writes, so BiasSumQ/BiasN is the measured rounding bias —
+	// near zero for unbiased (stochastic) rounding, drifting for biased.
+	// Saturated writes are excluded (clamping error is not rounding
+	// error).
+	BiasN    uint64
+	BiasSumQ float64
+}
+
+// SatTotal sums the saturation events across all sites.
+func (c *NumCounts) SatTotal() uint64 {
+	if c == nil {
+		return 0
+	}
+	var n uint64
+	for _, v := range c.Sat {
+		n += v
+	}
+	return n
+}
+
+// Merge folds other into c (both may be nil; a nil receiver ignores the
+// call, matching the rest of the counting API).
+func (c *NumCounts) Merge(other *NumCounts) {
+	if c == nil || other == nil {
+		return
+	}
+	for i := range c.Sat {
+		c.Sat[i] += other.Sat[i]
+	}
+	c.Underflows += other.Underflows
+	c.BiasN += other.BiasN
+	c.BiasSumQ += other.BiasSumQ
+}
+
+// AddSat8C is AddSat8 with saturation counting.
+func AddSat8C(a, b int8, c *NumCounts) int8 {
+	s := int16(a) + int16(b)
+	if s > 127 {
+		if c != nil {
+			c.Sat[SiteAddSat8]++
+		}
+		return 127
+	}
+	if s < -128 {
+		if c != nil {
+			c.Sat[SiteAddSat8]++
+		}
+		return -128
+	}
+	return int8(s)
+}
+
+// AddSat16C is AddSat16 with saturation counting.
+func AddSat16C(a, b int16, c *NumCounts) int16 {
+	s := int32(a) + int32(b)
+	if s > 32767 {
+		if c != nil {
+			c.Sat[SiteAddSat16]++
+		}
+		return 32767
+	}
+	if s < -32768 {
+		if c != nil {
+			c.Sat[SiteAddSat16]++
+		}
+		return -32768
+	}
+	return int16(s)
+}
+
+// AddSat32C is AddSat32 with saturation counting.
+func AddSat32C(a, b int32, c *NumCounts) int32 {
+	s := int64(a) + int64(b)
+	if s > 2147483647 {
+		if c != nil {
+			c.Sat[SiteAddSat32]++
+		}
+		return 2147483647
+	}
+	if s < -2147483648 {
+		if c != nil {
+			c.Sat[SiteAddSat32]++
+		}
+		return -2147483648
+	}
+	return int32(s)
+}
+
+// MulAdd8to16C is MulAdd8to16 with saturation counting (the multiply is
+// exact; only the accumulate can clamp).
+func MulAdd8to16C(a, b int8, acc int16, c *NumCounts) int16 {
+	s := int32(int16(a)*int16(b)) + int32(acc)
+	if s > 32767 {
+		if c != nil {
+			c.Sat[SiteMulAdd8to16]++
+		}
+		return 32767
+	}
+	if s < -32768 {
+		if c != nil {
+			c.Sat[SiteMulAdd8to16]++
+		}
+		return -32768
+	}
+	return int16(s)
+}
+
+// MulAdd16to32C is MulAdd16to32 with saturation counting.
+func MulAdd16to32C(a, b int16, acc int32, c *NumCounts) int32 {
+	s := int64(a)*int64(b) + int64(acc)
+	if s > 2147483647 {
+		if c != nil {
+			c.Sat[SiteMulAdd16to32]++
+		}
+		return 2147483647
+	}
+	if s < -2147483648 {
+		if c != nil {
+			c.Sat[SiteMulAdd16to32]++
+		}
+		return -2147483648
+	}
+	return int32(s)
+}
+
+// Clamp8C is Clamp8 with saturation counting.
+func Clamp8C(v int32, c *NumCounts) int8 {
+	if v > 127 {
+		if c != nil {
+			c.Sat[SiteClamp8]++
+		}
+		return 127
+	}
+	if v < -128 {
+		if c != nil {
+			c.Sat[SiteClamp8]++
+		}
+		return -128
+	}
+	return int8(v)
+}
+
+// Clamp16C is Clamp16 with saturation counting.
+func Clamp16C(v int32, c *NumCounts) int16 {
+	if v > 32767 {
+		if c != nil {
+			c.Sat[SiteClamp16]++
+		}
+		return 32767
+	}
+	if v < -32768 {
+		if c != nil {
+			c.Sat[SiteClamp16]++
+		}
+		return -32768
+	}
+	return int16(v)
+}
+
+// Clamp4C is Clamp4 with saturation counting.
+func Clamp4C(v int32, c *NumCounts) int8 {
+	if v > 7 {
+		if c != nil {
+			c.Sat[SiteClamp4]++
+		}
+		return 7
+	}
+	if v < -8 {
+		if c != nil {
+			c.Sat[SiteClamp4]++
+		}
+		return -8
+	}
+	return int8(v)
+}
+
+// SaturateC is Saturate with saturation counting — the site every raw
+// model write passes through in the integer AXPY pipeline.
+func (f Format) SaturateC(v int64, c *NumCounts) int32 {
+	if v > int64(f.MaxInt()) {
+		if c != nil {
+			c.Sat[SiteSaturate]++
+		}
+		return f.MaxInt()
+	}
+	if v < int64(f.MinInt()) {
+		if c != nil {
+			c.Sat[SiteSaturate]++
+		}
+		return f.MinInt()
+	}
+	return int32(v)
+}
+
+// QuantizeBiasedC is QuantizeBiased with saturation counting and
+// rounding-bias accumulation: the signed error (rounded − exact) in
+// quanta of f is added to the bias accumulator for in-range results.
+func (f Format) QuantizeBiasedC(x float32, c *NumCounts) int32 {
+	if x != x { // NaN
+		return 0
+	}
+	out := f.QuantizeBiased(x)
+	if c != nil {
+		f.countQuant(float64(x)*float64(f.Scale()), out, c)
+	}
+	return out
+}
+
+// QuantizeUnbiasedC is QuantizeUnbiased with saturation counting and
+// rounding-bias accumulation.
+func (f Format) QuantizeUnbiasedC(x float32, rs RandSource, c *NumCounts) int32 {
+	if x != x { // NaN
+		return 0
+	}
+	out := f.QuantizeUnbiased(x, rs)
+	if c != nil {
+		f.countQuant(float64(x)*float64(f.Scale()), out, c)
+	}
+	return out
+}
+
+// QuantizeC dispatches to the counting variant for the given mode.
+func (f Format) QuantizeC(x float32, mode Rounding, rs RandSource, c *NumCounts) int32 {
+	if mode == Unbiased {
+		return f.QuantizeUnbiasedC(x, rs, c)
+	}
+	return f.QuantizeBiasedC(x, c)
+}
+
+// countQuant records the health of one float-to-fixed conversion: the
+// exact scaled value, the rounded output. Saturated conversions count a
+// SiteQuantize event; in-range ones feed the bias accumulator.
+func (f Format) countQuant(scaled float64, out int32, c *NumCounts) {
+	if (out == f.MaxInt() && scaled > float64(f.MaxInt())) ||
+		(out == f.MinInt() && scaled < float64(f.MinInt())) {
+		c.Sat[SiteQuantize]++
+		return
+	}
+	c.BiasN++
+	c.BiasSumQ += float64(out) - scaled
+}
+
+// RoundRawC is RoundRaw with saturation counting and rounding-bias
+// accumulation: the exact value is v/2^shift in quanta of f; the signed
+// error of the rounded (pre-saturation) result feeds the bias
+// accumulator, and a clamped result counts a SiteSaturate event instead.
+func (f Format) RoundRawC(v int64, shift uint, mode Rounding, rs RandSource, c *NumCounts) int32 {
+	if c == nil {
+		return f.RoundRaw(v, shift, mode, rs)
+	}
+	if shift == 0 {
+		out := f.SaturateC(v, c)
+		if int64(out) == v {
+			c.BiasN++ // exact requantization: zero rounding error
+		}
+		return out
+	}
+	half := int64(1) << (shift - 1)
+	mask := int64(1)<<shift - 1
+	var r int64
+	switch mode {
+	case Unbiased:
+		u := int64(rs.Uint32()) & mask
+		r = (v + u) >> shift
+	default:
+		r = (v + half) >> shift
+	}
+	out := f.SaturateC(r, c)
+	if int64(out) == r {
+		c.BiasN++
+		c.BiasSumQ += float64(r) - float64(v)/float64(int64(1)<<shift)
+	}
+	return out
+}

@@ -1,6 +1,10 @@
 package kernels
 
-import "fmt"
+import (
+	"fmt"
+
+	"buckwild/internal/fixed"
+)
 
 // Variant selects the implementation style of a kernel (Section 5.1/6.1).
 type Variant int
@@ -43,6 +47,11 @@ type Dense struct {
 	V    Variant
 	// Q quantizes model writes; required iff M != F32.
 	Q *Quantizer
+	// Num, when non-nil, receives the worker's numerical-health counts
+	// (saturation per site, underflows). The uninstrumented loops are
+	// kept verbatim behind one nil check per kernel call; set Q.Num to
+	// the same block to also count quantization bias.
+	Num *fixed.NumCounts
 }
 
 // NewDense validates and builds a dense kernel.
@@ -100,6 +109,9 @@ func (k *Dense) Dot(x, w Vec) float32 {
 // accumulate exactly into 32 bits. Mixed widths widen the narrower operand
 // first (exact).
 func (k *Dense) dotInt(x, w Vec, n int) float32 {
+	if k.Num != nil {
+		return k.dotIntC(x, w, n)
+	}
 	var acc int64
 	if k.D.Bits() <= 8 && k.M.Bits() <= 8 {
 		// vpmaddubsw: pairwise 8x8->16 with saturating pair add.
@@ -128,6 +140,28 @@ func (k *Dense) dotInt(x, w Vec, n int) float32 {
 	return float32(acc) * k.D.Fixed().Quantum() * k.M.Fixed().Quantum()
 }
 
+// dotIntC mirrors dotInt with saturation counting: the 8-bit pair add is
+// the vpmaddubsw saturation site, counted under SiteMulAdd8to16. The
+// 16-bit path accumulates exactly and has nothing to count.
+func (k *Dense) dotIntC(x, w Vec, n int) float32 {
+	var acc int64
+	if k.D.Bits() <= 8 && k.M.Bits() <= 8 {
+		i := 0
+		for ; i+1 < n; i += 2 {
+			p0 := int16(int32(x.Raw(i)) * int32(w.Raw(i)))
+			acc += int64(fixed.MulAdd8to16C(int8(x.Raw(i+1)), int8(w.Raw(i+1)), p0, k.Num))
+		}
+		if i < n {
+			acc += int64(int32(x.Raw(i)) * int32(w.Raw(i)))
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			acc += int64(x.Raw(i)) * int64(w.Raw(i))
+		}
+	}
+	return float32(acc) * k.D.Fixed().Quantum() * k.M.Fixed().Quantum()
+}
+
 // Axpy performs the model update w <- round(w + a*x) elementwise, where the
 // rounding into the model format follows the kernel's quantizer. For float
 // models this is a plain fused multiply-add with no rounding step.
@@ -149,6 +183,17 @@ func (k *Dense) Axpy(a float32, x, w Vec) {
 		// added with saturation (this is the semantics of the
 		// proposed QAXPY8 instruction as well).
 		fm := k.M.Fixed()
+		if c := k.Num; c != nil {
+			for i := 0; i < n; i++ {
+				p := a * x.At(i)
+				delta := k.Q.Quantize(p)
+				if delta == 0 && p != 0 {
+					c.Underflows++
+				}
+				w.SetRaw(i, fm.SaturateC(int64(w.Raw(i))+int64(delta), c))
+			}
+			return
+		}
 		for i := 0; i < n; i++ {
 			delta := k.Q.Quantize(a * x.At(i))
 			w.SetRaw(i, fm.Saturate(int64(w.Raw(i))+int64(delta)))
@@ -168,6 +213,10 @@ func (k *Dense) Axpy(a float32, x, w Vec) {
 // delta is added to the model with saturation. This mirrors the
 // vpmullw / add-random-vector / truncate sequence of Section 6.1.
 func (k *Dense) axpyInt(a float32, x, w Vec, n int) {
+	if k.Num != nil {
+		k.axpyIntC(a, x, w, n)
+		return
+	}
 	aq := quantizeScalarA(a)
 	if aq == 0 {
 		// The scalar underflowed the a-lane format; the hand-optimized
@@ -181,6 +230,32 @@ func (k *Dense) axpyInt(a float32, x, w Vec, n int) {
 		wide := int64(x.Raw(i)) * int64(aq)
 		delta := k.Q.RoundRaw(wide, shift)
 		w.SetRaw(i, fm.Saturate(int64(w.Raw(i))+int64(delta)))
+	}
+}
+
+// axpyIntC mirrors axpyInt with health counting: a dropped whole update
+// (the scalar underflowing its 16-bit lane) and per-element deltas that
+// round to zero count as underflows, the model write clamp counts under
+// SiteSaturate, and RoundRaw feeds the bias accumulator through Q.Num.
+func (k *Dense) axpyIntC(a float32, x, w Vec, n int) {
+	c := k.Num
+	aq := quantizeScalarA(a)
+	if aq == 0 {
+		if a != 0 {
+			c.Underflows++
+		}
+		return
+	}
+	fx := k.D.Fixed()
+	fm := k.M.Fixed()
+	shift := fx.Frac + aqFrac - fm.Frac
+	for i := 0; i < n; i++ {
+		wide := int64(x.Raw(i)) * int64(aq)
+		delta := k.Q.RoundRaw(wide, shift)
+		if delta == 0 && wide != 0 {
+			c.Underflows++
+		}
+		w.SetRaw(i, fm.SaturateC(int64(w.Raw(i))+int64(delta), c))
 	}
 }
 

@@ -1,0 +1,248 @@
+package kernels
+
+import (
+	"testing"
+
+	"buckwild/internal/fixed"
+)
+
+// buildPair constructs two identical kernels over identical data, one
+// uninstrumented and one with a live NumCounts, so the counting paths can
+// be checked for bit-identical results.
+func buildPair(t *testing.T, d, m Prec, v Variant, kind QuantKind) (plain, counted *Dense, c *fixed.NumCounts) {
+	t.Helper()
+	var qp, qc *Quantizer
+	if m != F32 {
+		qp = MustQuantizer(m, kind, 8, 42)
+		qc = MustQuantizer(m, kind, 8, 42)
+	}
+	kp, err := NewDense(d, m, v, qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc, err := NewDense(d, m, v, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = &fixed.NumCounts{}
+	kc.Num = c
+	if qc != nil {
+		qc.Num = c
+	}
+	return kp, kc, c
+}
+
+// fillVecs builds matching dataset/model vector pairs at the two kernels'
+// precisions from the same real values.
+func fillVecs(d, m Prec, n int, seed uint32) (x, w1, w2 Vec) {
+	xs := randFloats(n, seed, 1.5)
+	ws := randFloats(n, seed+1, 1.5)
+	x = NewVec(d, n)
+	w1 = NewVec(m, n)
+	w2 = NewVec(m, n)
+	var qx, qw *Quantizer
+	if d != F32 {
+		qx = MustQuantizer(d, QBiased, 0, 1)
+	}
+	if m != F32 {
+		qw = MustQuantizer(m, QBiased, 0, 1)
+	}
+	for i := 0; i < n; i++ {
+		x.Set(i, xs[i], qx)
+		w1.Set(i, ws[i], qw)
+		w2.Set(i, ws[i], qw)
+	}
+	return x, w1, w2
+}
+
+func vecsEqual(m Prec, a, b Vec) bool {
+	for i := 0; i < a.Len(); i++ {
+		if m == F32 {
+			if a.F32[i] != b.F32[i] {
+				return false
+			}
+		} else if a.Raw(i) != b.Raw(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDenseCountingBitIdentical drives Dot and Axpy through the counting
+// and uninstrumented paths with lockstep random state across precisions,
+// variants and rounding kinds: the models must stay bit-identical (the
+// zero-cost-when-off contract extends to exactness-when-on).
+func TestDenseCountingBitIdentical(t *testing.T) {
+	combos := []struct {
+		d, m Prec
+		v    Variant
+		kind QuantKind
+	}{
+		{I8, I8, HandOpt, QShared},
+		{I8, I8, HandOpt, QBiased},
+		{I8, I8, Generic, QShared},
+		{I16, I16, HandOpt, QShared},
+		{I8, I16, HandOpt, QXorshift},
+		{I4, I4, HandOpt, QShared},
+		{F32, I8, HandOpt, QShared},
+		{F32, I8, Generic, QBiased},
+		{I8, F32, HandOpt, 0},
+	}
+	const n = 65 // odd, to cover the pair-loop tail
+	for _, tc := range combos {
+		kp, kc, c := buildPair(t, tc.d, tc.m, tc.v, tc.kind)
+		x, wp, wc := fillVecs(tc.d, tc.m, n, 7)
+		for step := 0; step < 50; step++ {
+			dp := kp.Dot(x, wp)
+			dc := kc.Dot(x, wc)
+			if dp != dc {
+				t.Fatalf("%v/%v %v %v: Dot diverged at step %d: %g != %g", tc.d, tc.m, tc.v, tc.kind, step, dp, dc)
+			}
+			a := float32(0.02) * float32(step%5-2)
+			kp.Axpy(a, x, wp)
+			kc.Axpy(a, x, wc)
+			if !vecsEqual(tc.m, wp, wc) {
+				t.Fatalf("%v/%v %v %v: model diverged after step %d", tc.d, tc.m, tc.v, tc.kind, step)
+			}
+		}
+		_ = c
+	}
+}
+
+// TestDenseCountingObservesSaturation drives an 8-bit model into its
+// format bound and checks the expected sites light up.
+func TestDenseCountingObservesSaturation(t *testing.T) {
+	_, kc, c := buildPair(t, I8, I8, HandOpt, QBiased)
+	const n = 32
+	x, _, w := fillVecs(I8, I8, n, 9)
+	for i := 0; i < n; i++ {
+		x.Set(i, 1, MustQuantizer(I8, QBiased, 0, 1))
+	}
+	// Large negative updates must pin every weight at the bottom bound
+	// and count SiteSaturate clamps.
+	for step := 0; step < 40; step++ {
+		kc.Axpy(-1.5, x, w)
+	}
+	if c.Sat[fixed.SiteSaturate] == 0 {
+		t.Fatalf("no model-write saturations counted: %+v", c)
+	}
+	fm := I8.Fixed()
+	for i := 0; i < n; i++ {
+		if w.Raw(i) != fm.MinInt() {
+			t.Fatalf("weight %d = %d, want pinned at %d", i, w.Raw(i), fm.MinInt())
+		}
+	}
+	// A dot over pinned-low vectors must count the vpmaddubsw pair-add
+	// site: (−128)·(−128)·2 = 32768 exceeds the int16 bound (the largest
+	// positive pair, 127·127·2 = 32258, does not — the asymmetry of
+	// two's complement is exactly what this site observes).
+	kc.Dot(w, w)
+	if c.Sat[fixed.SiteMulAdd8to16] == 0 {
+		t.Fatalf("no pair-add saturations counted: %+v", c)
+	}
+}
+
+// TestDenseCountingObservesUnderflow checks that updates too small for the
+// model grid are counted as underflows by the integer pipeline.
+func TestDenseCountingObservesUnderflow(t *testing.T) {
+	_, kc, c := buildPair(t, I8, I8, HandOpt, QBiased)
+	const n = 16
+	x, _, w := fillVecs(I8, I8, n, 13)
+	// A scalar below the a-lane quantum underflows the whole update.
+	kc.Axpy(1e-6, x, w)
+	if c.Underflows == 0 {
+		t.Fatalf("scalar underflow not counted: %+v", c)
+	}
+	// A representable scalar whose per-element products still round to
+	// zero counts per-element underflows.
+	before := c.Underflows
+	kc.Axpy(0.002, x, w)
+	if c.Underflows <= before {
+		t.Fatalf("per-element underflow not counted: %+v", c)
+	}
+}
+
+// TestSparseCountingBitIdentical mirrors the dense lockstep check for the
+// sparse kernel.
+func TestSparseCountingBitIdentical(t *testing.T) {
+	const n, nnz = 64, 9
+	for _, kind := range []QuantKind{QBiased, QShared} {
+		qp := MustQuantizer(I8, kind, 8, 5)
+		qc := MustQuantizer(I8, kind, 8, 5)
+		kp, err := NewSparse(I8, I8, HandOpt, qp, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kc, err := NewSparse(I8, I8, HandOpt, qc, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &fixed.NumCounts{}
+		kc.Num = c
+		qc.Num = c
+		x, wp, wc := fillVecs(I8, I8, nnz, 21)
+		idx := make([]int32, nnz)
+		for i := range idx {
+			idx[i] = int32(i * 7 % n)
+		}
+		wpFull, wcFull := NewVec(I8, n), NewVec(I8, n)
+		for i := 0; i < nnz; i++ {
+			wpFull.SetRaw(int(idx[i]), wp.Raw(i))
+			wcFull.SetRaw(int(idx[i]), wc.Raw(i))
+		}
+		for step := 0; step < 50; step++ {
+			dp := kp.Dot(idx, x, wpFull)
+			dc := kc.Dot(idx, x, wcFull)
+			if dp != dc {
+				t.Fatalf("%v: sparse Dot diverged at step %d: %g != %g", kind, step, dp, dc)
+			}
+			a := float32(0.03) * float32(step%7-3)
+			kp.Axpy(a, idx, x, wpFull)
+			kc.Axpy(a, idx, x, wcFull)
+			if !vecsEqual(I8, wpFull, wcFull) {
+				t.Fatalf("%v: sparse model diverged after step %d", kind, step)
+			}
+		}
+	}
+}
+
+// BenchmarkDenseAxpyNilCounts measures the uninstrumented AXPY hot path —
+// the one nil check added by health counting must not move this number.
+func BenchmarkDenseAxpyNilCounts(b *testing.B) {
+	k := MustDense(I8, I8, HandOpt, MustQuantizer(I8, QShared, 8, 1))
+	x, _, w := benchVecs(1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Axpy(0.01, x, w)
+	}
+}
+
+// BenchmarkDenseAxpyWithCounts is the same AXPY with counting on, for
+// eyeballing the instrumented path's cost (it is allowed to be slower).
+func BenchmarkDenseAxpyWithCounts(b *testing.B) {
+	q := MustQuantizer(I8, QShared, 8, 1)
+	k := MustDense(I8, I8, HandOpt, q)
+	c := &fixed.NumCounts{}
+	k.Num = c
+	q.Num = c
+	x, _, w := benchVecs(1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Axpy(0.01, x, w)
+	}
+}
+
+func benchVecs(n int) (x, w1, w2 Vec) {
+	q := MustQuantizer(I8, QBiased, 0, 1)
+	xs := randFloats(n, 3, 1)
+	ws := randFloats(n, 4, 1)
+	x, w1, w2 = NewVec(I8, n), NewVec(I8, n), NewVec(I8, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, xs[i], q)
+		w1.Set(i, ws[i], q)
+		w2.Set(i, ws[i], q)
+	}
+	return
+}

@@ -60,7 +60,12 @@ type Quantizer struct {
 	// Period is the randomness reuse period for QShared (ignored
 	// otherwise). The paper refreshes once per AXPY vector: period 8.
 	Period int
-	src    prng.Source
+	// Num, when non-nil, receives numerical-health counts (quantization
+	// clamps and the signed rounding-bias accumulator) for every value
+	// this quantizer rounds. One nil check per call is the entire cost
+	// when unset; see fixed.NumCounts for the ownership contract.
+	Num *fixed.NumCounts
+	src prng.Source
 }
 
 // NewQuantizer builds a quantizer for model precision m with the given
@@ -111,6 +116,9 @@ func (q *Quantizer) Mode() fixed.Rounding {
 
 // Quantize rounds a real value into the model format.
 func (q *Quantizer) Quantize(x float32) int32 {
+	if q.Num != nil {
+		return q.Fmt.QuantizeC(x, q.Mode(), q.src, q.Num)
+	}
 	if q.Kind.Unbiased() {
 		return q.Fmt.QuantizeUnbiased(x, q.src)
 	}
@@ -120,5 +128,8 @@ func (q *Quantizer) Quantize(x float32) int32 {
 // RoundRaw requantizes a wide raw value down by shift bits (integer AXPY
 // pipeline; see fixed.Format.RoundRaw).
 func (q *Quantizer) RoundRaw(v int64, shift uint) int32 {
+	if q.Num != nil {
+		return q.Fmt.RoundRawC(v, shift, q.Mode(), q.src, q.Num)
+	}
 	return q.Fmt.RoundRaw(v, shift, q.Mode(), q.src)
 }

@@ -1,6 +1,10 @@
 package kernels
 
-import "fmt"
+import (
+	"fmt"
+
+	"buckwild/internal/fixed"
+)
 
 // Sparse computes dot and AXPY between a sparse dataset vector, given as
 // parallel index/value arrays, and a dense model vector. Sparse kernels are
@@ -20,6 +24,9 @@ type Sparse struct {
 	// below 32 use delta encoding for models too large to index directly
 	// (paper footnote 6); the traffic model charges IdxBits per nonzero.
 	IdxBits uint
+	// Num, when non-nil, receives the worker's numerical-health counts;
+	// see Dense.Num.
+	Num *fixed.NumCounts
 }
 
 // NewSparse validates and builds a sparse kernel.
@@ -86,11 +93,25 @@ func (k *Sparse) Axpy(a float32, idx []int32, x, w Vec) {
 	case k.V != Generic && !k.D.IsFloat():
 		aq := quantizeScalarA(a)
 		if aq == 0 {
+			if c := k.Num; c != nil && a != 0 {
+				c.Underflows++
+			}
 			return
 		}
 		fx := k.D.Fixed()
 		fm := k.M.Fixed()
 		shift := fx.Frac + aqFrac - fm.Frac
+		if c := k.Num; c != nil {
+			for j, i := range idx {
+				wide := int64(x.Raw(j)) * int64(aq)
+				delta := k.Q.RoundRaw(wide, shift)
+				if delta == 0 && wide != 0 {
+					c.Underflows++
+				}
+				w.SetRaw(int(i), fm.SaturateC(int64(w.Raw(int(i)))+int64(delta), c))
+			}
+			return
+		}
 		for j, i := range idx {
 			wide := int64(x.Raw(j)) * int64(aq)
 			delta := k.Q.RoundRaw(wide, shift)
@@ -98,6 +119,17 @@ func (k *Sparse) Axpy(a float32, idx []int32, x, w Vec) {
 		}
 	case k.V != Generic: // float dataset, fixed model
 		fm := k.M.Fixed()
+		if c := k.Num; c != nil {
+			for j, i := range idx {
+				p := a * x.At(j)
+				delta := k.Q.Quantize(p)
+				if delta == 0 && p != 0 {
+					c.Underflows++
+				}
+				w.SetRaw(int(i), fm.SaturateC(int64(w.Raw(int(i)))+int64(delta), c))
+			}
+			return
+		}
 		for j, i := range idx {
 			delta := k.Q.Quantize(a * x.At(j))
 			w.SetRaw(int(i), fm.Saturate(int64(w.Raw(int(i)))+int64(delta)))

@@ -132,6 +132,52 @@ func (s HistSnapshot) MarshalJSON() ([]byte, error) {
 	return json.Marshal(a)
 }
 
+// Quantile estimates the p-quantile (p in [0, 1]) of the observed
+// values: the rank is located in the bucket list and interpolated
+// linearly within the bucket's [Lo, 2*Lo) range, so the estimate is
+// exact for the zero bucket and within a factor of two otherwise. The
+// top of the highest bucket is capped at Max, the largest value actually
+// observed. Returns 0 for an empty histogram.
+func (s HistSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	rank := p * float64(s.Count)
+	var cum float64
+	for i, b := range s.Buckets {
+		if b.N == 0 {
+			continue
+		}
+		next := cum + float64(b.N)
+		if rank <= next || i == len(s.Buckets)-1 {
+			if b.Lo == 0 {
+				return 0
+			}
+			lo, hi := float64(b.Lo), float64(2*b.Lo)
+			if hi > float64(s.Max)+1 {
+				hi = float64(s.Max) + 1
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(b.N)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return float64(s.Max)
+}
+
 // Mean returns the average observed value (0 for an empty histogram).
 func (s HistSnapshot) Mean() float64 {
 	if s.Count == 0 {

@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// This file holds the numerical-health half of the run statistics: the
+// snapshot types the engine fills from its per-worker counting shards
+// (saturation per clamp site, signed rounding bias, underflows, the
+// per-epoch weight-distribution pass), the per-epoch HealthHooks
+// callback, and the HealthWatchdog divergence detector. The paper's §3
+// argument — that saturation and rounding bias, not raw bit width, drive
+// low-precision accuracy gaps — becomes a set of live metrics here.
+
+// NumStats is the numerical-health snapshot of one training run. The
+// engine aggregates it from per-worker counting shards after the workers
+// join; Merge folds several runs together for sweep-level reports.
+type NumStats struct {
+	// SatBySite counts saturation (clamp) events by arithmetic site
+	// (fixed.Site names: "saturate" for raw model-write clamps,
+	// "muladd8to16" for the vpmaddubsw pair saturation, "quantize" for
+	// float-to-fixed conversions hitting the format bounds, ...).
+	SatBySite map[string]uint64 `json:"saturations_by_site,omitempty"`
+	// Saturations is the total across all sites.
+	Saturations uint64 `json:"saturations"`
+	// Underflows counts nonzero gradient contributions quantized to zero
+	// (dropped whole updates and per-element deltas that rounded away).
+	Underflows uint64 `json:"underflows"`
+	// Bias is the measured signed rounding error of quantized writes.
+	Bias RoundingBias `json:"rounding_bias"`
+	// Weights is the model-weight distribution at the last observed
+	// epoch boundary (nil when the run collected no weight pass).
+	Weights *WeightStats `json:"weights,omitempty"`
+}
+
+// RoundingBias accumulates the signed quantization error (rounded −
+// exact, in quanta of the destination format) over the writes that fed
+// it. Unbiased (stochastic) rounding keeps the mean near zero; biased
+// (nearest) rounding lets it drift — the paper's §3 distinction as a
+// measurement.
+type RoundingBias struct {
+	// Mode names the rounding discipline the run used (a kernels
+	// QuantKind name, or "comm-grid" for synchronous communication
+	// quantization).
+	Mode string `json:"mode,omitempty"`
+	// Samples counts the writes measured; SumQuanta is their summed
+	// signed error in quanta.
+	Samples   uint64  `json:"samples"`
+	SumQuanta float64 `json:"sum_quanta"`
+}
+
+// MeanQuanta returns the mean signed rounding error in quanta (0 when
+// nothing was measured).
+func (b RoundingBias) MeanQuanta() float64 {
+	if b.Samples == 0 {
+		return 0
+	}
+	return b.SumQuanta / float64(b.Samples)
+}
+
+// merge folds other into b, keeping the first non-empty mode name (a
+// sweep mixing modes reports the first and keeps exact totals).
+func (b *RoundingBias) merge(other RoundingBias) {
+	if b.Mode == "" {
+		b.Mode = other.Mode
+	}
+	b.Samples += other.Samples
+	b.SumQuanta += other.SumQuanta
+}
+
+// WeightStats describes the model-weight distribution at one epoch
+// boundary: extrema and mean in real units, the count of weights pinned
+// at the format bounds, and a log2-bucketed magnitude histogram in
+// quanta (float models use quanta of 2^-24).
+type WeightStats struct {
+	// Epoch is the (1-based) epoch the pass observed.
+	Epoch int `json:"epoch"`
+	// Count is the number of weights observed.
+	Count int `json:"count"`
+	// Min, Max and Mean are over the dequantized (real) weight values,
+	// skipping non-finite floats.
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+	// AtBounds counts weights sitting exactly at the format's
+	// representable extremes — saturated weights the next clamp cannot
+	// move further.
+	AtBounds uint64 `json:"at_bounds"`
+	// NonFinite counts NaN/Inf weights (float models only).
+	NonFinite uint64 `json:"non_finite,omitempty"`
+	// Magnitude is the |weight| histogram in quanta (log2 buckets).
+	Magnitude HistSnapshot `json:"magnitude"`
+}
+
+// merge folds other into w (weighted mean, component-wise extrema; Epoch
+// keeps the latest).
+func (w *WeightStats) merge(other *WeightStats) {
+	if other == nil {
+		return
+	}
+	if other.Epoch > w.Epoch {
+		w.Epoch = other.Epoch
+	}
+	if w.Count == 0 {
+		w.Min, w.Max = other.Min, other.Max
+	} else if other.Count > 0 {
+		w.Min = math.Min(w.Min, other.Min)
+		w.Max = math.Max(w.Max, other.Max)
+	}
+	if t := w.Count + other.Count; t > 0 {
+		w.Mean = (w.Mean*float64(w.Count) + other.Mean*float64(other.Count)) / float64(t)
+	}
+	w.Count += other.Count
+	w.AtBounds += other.AtBounds
+	w.NonFinite += other.NonFinite
+	w.Magnitude.Merge(other.Magnitude)
+}
+
+// Merge folds other into s.
+func (s *NumStats) Merge(other *NumStats) {
+	if other == nil {
+		return
+	}
+	if len(other.SatBySite) > 0 && s.SatBySite == nil {
+		s.SatBySite = make(map[string]uint64, len(other.SatBySite))
+	}
+	for k, v := range other.SatBySite {
+		s.SatBySite[k] += v
+	}
+	s.Saturations += other.Saturations
+	s.Underflows += other.Underflows
+	s.Bias.merge(other.Bias)
+	if other.Weights != nil {
+		if s.Weights == nil {
+			s.Weights = &WeightStats{}
+		}
+		s.Weights.merge(other.Weights)
+	}
+}
+
+// HealthInfo is the per-epoch numerical-health callback payload. All
+// counters are cumulative over the run (attempt), so rates computed from
+// one HealthInfo describe the run so far, not just the last epoch.
+type HealthInfo struct {
+	// Epoch is the number of completed epochs (1-based); Loss the
+	// full-precision training loss after it.
+	Epoch int
+	Loss  float64
+	// Steps and ModelWrites are the engine's cumulative counters.
+	Steps       uint64
+	ModelWrites uint64
+	// Saturations, Underflows and the bias accumulator mirror NumStats.
+	Saturations   uint64
+	Underflows    uint64
+	BiasSamples   uint64
+	BiasSumQuanta float64
+	// WeightsAtBounds and WeightCount come from the epoch's weight pass.
+	WeightsAtBounds uint64
+	WeightCount     int
+}
+
+// SatRate returns cumulative saturation events per model write. A dense
+// write clamps per element, so values can exceed 1; sustained rates near
+// or above one mean most writes are hitting a format bound.
+func (h HealthInfo) SatRate() float64 {
+	if h.ModelWrites == 0 {
+		return 0
+	}
+	return float64(h.Saturations) / float64(h.ModelWrites)
+}
+
+// BiasMeanQuanta returns the cumulative mean signed rounding error.
+func (h HealthInfo) BiasMeanQuanta() float64 {
+	if h.BiasSamples == 0 {
+		return 0
+	}
+	return h.BiasSumQuanta / float64(h.BiasSamples)
+}
+
+// HealthHooks is the optional numerical-health extension of Hooks: a
+// Hooks implementation that also implements HealthHooks receives
+// OnHealth after each epoch of a run collecting numerical health.
+// Extending via a separate optional interface keeps existing Hooks
+// implementations compiling unchanged (the LifecycleHooks pattern).
+type HealthHooks interface {
+	// OnHealth fires on the coordinating goroutine after OnEpoch.
+	OnHealth(HealthInfo)
+}
+
+// DivergenceInfo describes a detected numerical divergence.
+type DivergenceInfo struct {
+	// Epoch is the epoch boundary at which the detector fired.
+	Epoch int `json:"epoch"`
+	// Reason says which threshold tripped, in words.
+	Reason string `json:"reason"`
+	// Loss, SatRate and BiasMeanQuanta are the values at detection.
+	Loss           float64 `json:"loss"`
+	SatRate        float64 `json:"sat_rate"`
+	BiasMeanQuanta float64 `json:"bias_mean_quanta"`
+}
+
+// DivergenceHooks is the optional divergence extension of Hooks, fired
+// by the HealthWatchdog (same optional-interface pattern as
+// LifecycleHooks and HealthHooks).
+type DivergenceHooks interface {
+	// OnDivergence fires once, on the goroutine that detected the
+	// divergence, before the run's context is cancelled.
+	OnDivergence(DivergenceInfo)
+}
+
+// ErrDivergence is the sentinel every watchdog cancellation matches:
+// errors.Is(err, ErrDivergence) holds for the run error of a cancelled
+// run (the concrete cause is a *DivergenceError carrying the details).
+var ErrDivergence = errors.New("obs: numerical divergence detected")
+
+// DivergenceError is the context cancellation cause the HealthWatchdog
+// installs; it carries the detection details and matches ErrDivergence.
+type DivergenceError struct {
+	Info DivergenceInfo
+}
+
+// Error implements error.
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("obs: numerical divergence at epoch %d: %s", e.Info.Epoch, e.Info.Reason)
+}
+
+// Is matches the ErrDivergence sentinel.
+func (e *DivergenceError) Is(target error) bool { return target == ErrDivergence }
+
+// Default HealthWatchdog thresholds.
+const (
+	// DefaultMaxSatRate is the cumulative saturations-per-model-write
+	// threshold: half of all writes clamping is far beyond the benign
+	// occasional clamp low-precision training tolerates.
+	DefaultMaxSatRate = 0.5
+	// DefaultMaxBiasMean is the |mean signed rounding error| threshold
+	// in quanta. Unbiased rounding concentrates near 0; a sustained mean
+	// near the worst case (0.5 quanta) means systematic drift.
+	DefaultMaxBiasMean = 0.25
+)
+
+// HealthWatchdog is a Hooks middleware that detects numerical divergence
+// — NaN/Inf loss at any epoch, or saturation-rate / rounding-bias drift
+// beyond thresholds once the grace period has passed — and stops the run:
+// it fires OnDivergence on the wrapped hooks (if implemented) and cancels
+// the run's context with a *DivergenceError cause, so the training call
+// returns an error matching ErrDivergence. It fires at most once.
+//
+// The watchdog needs the run to collect numerical health (the rate
+// thresholds see only OnHealth); NaN/Inf detection works regardless.
+type HealthWatchdog struct {
+	// MaxSatRate and MaxBiasMean override the default thresholds when
+	// positive.
+	MaxSatRate  float64
+	MaxBiasMean float64
+	// MinEpochs is the grace period: rate thresholds are not checked
+	// before this many epochs completed (default 1; NaN/Inf loss always
+	// trips immediately).
+	MinEpochs int
+	// Cancel is the cancel-cause function of the run's context; required
+	// for the watchdog to actually stop the run.
+	Cancel context.CancelCauseFunc
+	// Next receives every callback unchanged (nil: none). If it also
+	// implements HealthHooks, LifecycleHooks or DivergenceHooks those
+	// are forwarded/fired too, so the watchdog can wrap e.g. a
+	// LiveMetrics without hiding its other capabilities.
+	Next Hooks
+
+	fired atomic.Bool
+}
+
+// OnEpoch checks the loss for NaN/Inf and forwards.
+func (wd *HealthWatchdog) OnEpoch(ei EpochInfo) {
+	if math.IsNaN(ei.Loss) || math.IsInf(ei.Loss, 0) {
+		wd.trip(DivergenceInfo{
+			Epoch:  ei.Epoch,
+			Reason: fmt.Sprintf("non-finite training loss %v", ei.Loss),
+			Loss:   ei.Loss,
+		})
+	}
+	if wd.Next != nil {
+		wd.Next.OnEpoch(ei)
+	}
+}
+
+// OnStep forwards.
+func (wd *HealthWatchdog) OnStep(si StepInfo) {
+	if wd.Next != nil {
+		wd.Next.OnStep(si)
+	}
+}
+
+// OnWorker forwards.
+func (wd *HealthWatchdog) OnWorker(wi WorkerInfo) {
+	if wd.Next != nil {
+		wd.Next.OnWorker(wi)
+	}
+}
+
+// OnHealth checks the rate thresholds and forwards.
+func (wd *HealthWatchdog) OnHealth(hi HealthInfo) {
+	minEpochs := wd.MinEpochs
+	if minEpochs <= 0 {
+		minEpochs = 1
+	}
+	if hi.Epoch >= minEpochs {
+		maxSat := wd.MaxSatRate
+		if maxSat <= 0 {
+			maxSat = DefaultMaxSatRate
+		}
+		maxBias := wd.MaxBiasMean
+		if maxBias <= 0 {
+			maxBias = DefaultMaxBiasMean
+		}
+		switch {
+		case hi.SatRate() > maxSat:
+			wd.trip(DivergenceInfo{
+				Epoch:          hi.Epoch,
+				Reason:         fmt.Sprintf("saturation rate %.3g per model write exceeds %.3g", hi.SatRate(), maxSat),
+				Loss:           hi.Loss,
+				SatRate:        hi.SatRate(),
+				BiasMeanQuanta: hi.BiasMeanQuanta(),
+			})
+		case math.Abs(hi.BiasMeanQuanta()) > maxBias:
+			wd.trip(DivergenceInfo{
+				Epoch:          hi.Epoch,
+				Reason:         fmt.Sprintf("mean rounding bias %.3g quanta exceeds %.3g", hi.BiasMeanQuanta(), maxBias),
+				Loss:           hi.Loss,
+				SatRate:        hi.SatRate(),
+				BiasMeanQuanta: hi.BiasMeanQuanta(),
+			})
+		}
+	}
+	if hh, ok := wd.Next.(HealthHooks); ok {
+		hh.OnHealth(hi)
+	}
+}
+
+// OnCheckpoint forwards the lifecycle event to the wrapped hooks.
+func (wd *HealthWatchdog) OnCheckpoint(ci CheckpointInfo) {
+	if lh, ok := wd.Next.(LifecycleHooks); ok {
+		lh.OnCheckpoint(ci)
+	}
+}
+
+// OnRetry forwards the lifecycle event to the wrapped hooks.
+func (wd *HealthWatchdog) OnRetry(ri RetryInfo) {
+	if lh, ok := wd.Next.(LifecycleHooks); ok {
+		lh.OnRetry(ri)
+	}
+}
+
+// Fired reports whether the watchdog has detected a divergence.
+func (wd *HealthWatchdog) Fired() bool { return wd.fired.Load() }
+
+// trip fires the divergence exactly once: OnDivergence on the wrapped
+// hooks, then the context cancellation with the diagnostic cause.
+func (wd *HealthWatchdog) trip(di DivergenceInfo) {
+	if !wd.fired.CompareAndSwap(false, true) {
+		return
+	}
+	if dh, ok := wd.Next.(DivergenceHooks); ok {
+		dh.OnDivergence(di)
+	}
+	if wd.Cancel != nil {
+		wd.Cancel(&DivergenceError{Info: di})
+	}
+}

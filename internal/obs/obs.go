@@ -103,6 +103,12 @@ type Observer struct {
 	// (loss, throughput, staleness and gradient-magnitude sub-aggregates
 	// per window). Nil is free: the sampled path skips it with one check.
 	Series *Series
+	// NumHealth, when true, collects numerical-health telemetry:
+	// saturation events per clamp site, the signed rounding-bias
+	// accumulator, underflow counts, and a per-epoch weight-distribution
+	// pass (see NumStats). Off is free on the hot paths: the kernels pay
+	// one nil check per call.
+	NumHealth bool
 }
 
 // SamplePeriod returns the effective step sampling period.
@@ -137,6 +143,9 @@ type RunStats struct {
 	// sampled step, the number of model writes by other workers between
 	// the step's model read and its own write.
 	Staleness HistSnapshot `json:"staleness"`
+	// NumHealth is the run's numerical-health snapshot; nil unless the
+	// Observer enabled NumHealth collection.
+	NumHealth *NumStats `json:"num_health,omitempty"`
 }
 
 // Merge folds other into s.
@@ -155,4 +164,10 @@ func (s *RunStats) Merge(other *RunStats) {
 		s.ModelWrites[k] += v
 	}
 	s.Staleness.Merge(other.Staleness)
+	if other.NumHealth != nil {
+		if s.NumHealth == nil {
+			s.NumHealth = &NumStats{}
+		}
+		s.NumHealth.Merge(other.NumHealth)
+	}
 }

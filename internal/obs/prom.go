@@ -114,6 +114,30 @@ func WriteRunStatsProm(w io.Writer, rs *RunStats, ss *SupervisorStats) error {
 			}
 		}
 		p.histogram("buckwild_staleness", "Sampled write-read staleness (model writes by other workers).", rs.Staleness)
+		if ns := rs.NumHealth; ns != nil {
+			p.metric("buckwild_num_saturations_total", "counter", "Saturation (clamp) events across all sites.", float64(ns.Saturations))
+			if len(ns.SatBySite) > 0 {
+				p.header("buckwild_num_site_saturations_total", "counter", "Saturation events by arithmetic site.")
+				sites := make([]string, 0, len(ns.SatBySite))
+				for s := range ns.SatBySite {
+					sites = append(sites, s)
+				}
+				sort.Strings(sites)
+				for _, s := range sites {
+					p.printf("buckwild_num_site_saturations_total{site=%q} %d\n", s, ns.SatBySite[s])
+				}
+			}
+			p.metric("buckwild_num_underflows_total", "counter", "Nonzero gradient contributions quantized to zero.", float64(ns.Underflows))
+			p.metric("buckwild_rounding_bias_samples_total", "counter", "Quantized writes measured for rounding bias.", float64(ns.Bias.Samples))
+			p.metric("buckwild_rounding_bias_mean_quanta", "gauge", "Mean signed rounding error of quantized writes, in quanta.", ns.Bias.MeanQuanta())
+			if ws := ns.Weights; ws != nil {
+				p.metric("buckwild_weights_at_bounds", "gauge", "Model weights pinned at the format bounds at the last epoch.", float64(ws.AtBounds))
+				p.metric("buckwild_weight_min", "gauge", "Smallest model weight at the last epoch.", ws.Min)
+				p.metric("buckwild_weight_max", "gauge", "Largest model weight at the last epoch.", ws.Max)
+				p.metric("buckwild_weight_mean", "gauge", "Mean model weight at the last epoch.", ws.Mean)
+				p.histogram("buckwild_weight_magnitude", "Model weight magnitudes in quanta at the last epoch.", ws.Magnitude)
+			}
+		}
 	}
 	if ss != nil {
 		p.metric("buckwild_supervisor_attempts_total", "counter", "Training attempts, including the successful one.", float64(ss.Attempts))
@@ -147,6 +171,17 @@ type LiveMetrics struct {
 	checkpointBytes atomic.Int64
 	retries         atomic.Int64
 	resumeEpoch     atomic.Int64
+
+	// Numerical-health gauges, fed by OnHealth/OnDivergence; emitted
+	// only once a health callback arrived (healthSeen).
+	healthSeen     atomic.Bool
+	healthSat      atomic.Uint64
+	healthUnder    atomic.Uint64
+	healthBiasN    atomic.Uint64
+	healthBiasBits atomic.Uint64
+	healthAtBounds atomic.Uint64
+	diverged       atomic.Bool
+	divergedEpoch  atomic.Int64
 
 	// final, when set via SetFinal, adds the finished run's full counter
 	// snapshot to subsequent scrapes.
@@ -186,6 +221,23 @@ func (m *LiveMetrics) OnRetry(ri RetryInfo) {
 	m.resumeEpoch.Store(int64(ri.ResumeEpoch))
 }
 
+// OnHealth implements HealthHooks: the cumulative numerical-health
+// counters become live gauges.
+func (m *LiveMetrics) OnHealth(hi HealthInfo) {
+	m.healthSat.Store(hi.Saturations)
+	m.healthUnder.Store(hi.Underflows)
+	m.healthBiasN.Store(hi.BiasSamples)
+	m.healthBiasBits.Store(math.Float64bits(hi.BiasSumQuanta))
+	m.healthAtBounds.Store(hi.WeightsAtBounds)
+	m.healthSeen.Store(true)
+}
+
+// OnDivergence implements DivergenceHooks.
+func (m *LiveMetrics) OnDivergence(di DivergenceInfo) {
+	m.diverged.Store(true)
+	m.divergedEpoch.Store(int64(di.Epoch))
+}
+
 // SetFinal attaches the finished run's counter snapshots, so scrapes
 // after completion also serve the authoritative totals.
 func (m *LiveMetrics) SetFinal(run *RunStats, sup *SupervisorStats) {
@@ -205,6 +257,22 @@ func (m *LiveMetrics) WriteProm(w io.Writer) error {
 	p.metric("buckwild_retries_total", "counter", "Supervisor retries so far.", float64(m.retries.Load()))
 	p.metric("buckwild_resume_epoch", "gauge", "Epoch the latest retry resumed from.", float64(m.resumeEpoch.Load()))
 	p.histogram("buckwild_live_staleness", "Sampled write-read staleness, live.", m.stale.Snapshot())
+	if m.healthSeen.Load() {
+		p.metric("buckwild_live_saturations_total", "counter", "Saturation events so far.", float64(m.healthSat.Load()))
+		p.metric("buckwild_live_underflows_total", "counter", "Gradient underflows so far.", float64(m.healthUnder.Load()))
+		biasMean := 0.0
+		if n := m.healthBiasN.Load(); n > 0 {
+			biasMean = math.Float64frombits(m.healthBiasBits.Load()) / float64(n)
+		}
+		p.metric("buckwild_live_rounding_bias_mean_quanta", "gauge", "Mean signed rounding error so far, in quanta.", biasMean)
+		p.metric("buckwild_live_weights_at_bounds", "gauge", "Weights pinned at the format bounds at the last epoch.", float64(m.healthAtBounds.Load()))
+	}
+	divergedVal := 0.0
+	if m.diverged.Load() {
+		divergedVal = 1
+		p.metric("buckwild_diverged_epoch", "gauge", "Epoch at which the health watchdog fired.", float64(m.divergedEpoch.Load()))
+	}
+	p.metric("buckwild_diverged", "gauge", "1 if the health watchdog detected numerical divergence.", divergedVal)
 	if win := m.Series.Snapshot().Final(); win != nil {
 		p.metric("buckwild_window_steps_per_sec", "gauge", "Throughput of the newest time-series window.", win.StepsPerSec)
 		p.metric("buckwild_window_loss", "gauge", "Loss of the newest time-series window.", win.Loss)

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -165,5 +166,153 @@ func TestHistogramConcurrentMerge(t *testing.T) {
 	}
 	if n != acc.Count {
 		t.Errorf("bucket sum %d != count %d", n, acc.Count)
+	}
+}
+
+// TestWriteRunStatsPromNumHealth checks the numerical-health exposition:
+// metric presence, site-label escaping, and header uniqueness.
+func TestWriteRunStatsPromNumHealth(t *testing.T) {
+	rs := &RunStats{
+		Steps: 10,
+		NumHealth: &NumStats{
+			SatBySite: map[string]uint64{
+				"saturate":    7,
+				`odd"site\2`:  1, // exercises label escaping
+				"muladd8to16": 2,
+			},
+			Saturations: 10,
+			Underflows:  4,
+			Bias:        RoundingBias{Mode: "biased", Samples: 8, SumQuanta: -2},
+			Weights:     &WeightStats{Epoch: 3, Count: 100, Min: -2, Max: 1.5, Mean: 0.25, AtBounds: 6},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteRunStatsProm(&buf, rs, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE buckwild_num_saturations_total counter",
+		"buckwild_num_saturations_total 10",
+		`buckwild_num_site_saturations_total{site="saturate"} 7`,
+		// %q escaping: the quote and backslash in the label must come out
+		// escaped, per the exposition format.
+		`buckwild_num_site_saturations_total{site="odd\"site\\2"} 1`,
+		"buckwild_num_underflows_total 4",
+		"buckwild_rounding_bias_samples_total 8",
+		"# TYPE buckwild_rounding_bias_mean_quanta gauge",
+		"buckwild_rounding_bias_mean_quanta -0.25",
+		"buckwild_weights_at_bounds 6",
+		"buckwild_weight_min -2",
+		"buckwild_weight_max 1.5",
+		"buckwild_weight_mean 0.25",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE buckwild_num_site_saturations_total"); n != 1 {
+		t.Errorf("site TYPE header appears %d times", n)
+	}
+	// Without NumHealth the health family is absent entirely.
+	buf.Reset()
+	if err := WriteRunStatsProm(&buf, &RunStats{Steps: 10}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "buckwild_num_") || strings.Contains(buf.String(), "buckwild_rounding_bias") {
+		t.Error("health metrics emitted without NumHealth")
+	}
+}
+
+// TestPromHistogramCumulativeMonotone renders a multi-bucket histogram and
+// walks its _bucket lines: le bounds must strictly increase and cumulative
+// counts must be non-decreasing, ending at the +Inf count.
+func TestPromHistogramCumulativeMonotone(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 0, 1, 2, 3, 5, 9, 17, 400, 70000} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	p := newPromWriter(&buf)
+	p.histogram("h", "test histogram", h.Snapshot())
+	if p.err != nil {
+		t.Fatal(p.err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	prevLe, prevCum := -1.0, uint64(0)
+	var sawInf bool
+	var infCum, count uint64
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, `h_bucket{le="+Inf"}`):
+			sawInf = true
+			fmt.Sscanf(line, `h_bucket{le="+Inf"} %d`, &infCum)
+			if infCum < prevCum {
+				t.Errorf("+Inf count %d below last bucket %d", infCum, prevCum)
+			}
+		case strings.HasPrefix(line, "h_bucket{le="):
+			var le float64
+			var cum uint64
+			if _, err := fmt.Sscanf(line, `h_bucket{le="%g"} %d`, &le, &cum); err != nil {
+				t.Fatalf("unparseable bucket line %q: %v", line, err)
+			}
+			if le <= prevLe {
+				t.Errorf("le bounds not increasing: %g after %g", le, prevLe)
+			}
+			if cum < prevCum {
+				t.Errorf("cumulative count decreased: %d after %d", cum, prevCum)
+			}
+			prevLe, prevCum = le, cum
+		case strings.HasPrefix(line, "h_count "):
+			fmt.Sscanf(line, "h_count %d", &count)
+		}
+	}
+	if !sawInf {
+		t.Fatal("no +Inf bucket emitted")
+	}
+	if count != 10 || infCum != count {
+		t.Errorf("count %d, +Inf %d, want both 10", count, infCum)
+	}
+}
+
+// TestLiveMetricsHealth checks that the live health gauges appear only
+// after a health callback, and the divergence gauges after OnDivergence.
+func TestLiveMetricsHealth(t *testing.T) {
+	m := &LiveMetrics{}
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "buckwild_live_saturations_total") {
+		t.Error("live health gauges emitted before any OnHealth")
+	}
+	if !strings.Contains(out, "buckwild_diverged 0") {
+		t.Error("buckwild_diverged should always be scrapeable")
+	}
+	if strings.Contains(out, "buckwild_diverged_epoch") {
+		t.Error("diverged_epoch emitted before divergence")
+	}
+
+	var hh HealthHooks = m
+	hh.OnHealth(HealthInfo{Epoch: 2, ModelWrites: 100, Saturations: 12, Underflows: 3, BiasSamples: 8, BiasSumQuanta: 2, WeightsAtBounds: 5})
+	var dh DivergenceHooks = m
+	dh.OnDivergence(DivergenceInfo{Epoch: 2, Reason: "test"})
+	buf.Reset()
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, want := range []string{
+		"buckwild_live_saturations_total 12",
+		"buckwild_live_underflows_total 3",
+		"buckwild_live_rounding_bias_mean_quanta 0.25",
+		"buckwild_live_weights_at_bounds 5",
+		"buckwild_diverged 1",
+		"buckwild_diverged_epoch 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q\n%s", want, out)
+		}
 	}
 }

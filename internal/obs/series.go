@@ -50,6 +50,13 @@ type SeriesWindow struct {
 	// Staleness is the window's sampled write–read staleness
 	// sub-histogram.
 	Staleness HistSnapshot `json:"staleness"`
+	// SatEvents, Underflows and the bias accumulator are the window's
+	// share of the run's numerical-health counters (present only when
+	// the run collects numerical health).
+	SatEvents     uint64  `json:"sat_events,omitempty"`
+	Underflows    uint64  `json:"underflows,omitempty"`
+	BiasSamples   uint64  `json:"bias_samples,omitempty"`
+	BiasSumQuanta float64 `json:"bias_sum_quanta,omitempty"`
 }
 
 // GradAbsMean returns the window's mean sampled gradient magnitude.
@@ -58,6 +65,14 @@ func (w *SeriesWindow) GradAbsMean() float64 {
 		return 0
 	}
 	return w.GradAbsSum / float64(w.GradSamples)
+}
+
+// BiasMeanQuanta returns the window's mean signed rounding error.
+func (w *SeriesWindow) BiasMeanQuanta() float64 {
+	if w.BiasSamples == 0 {
+		return 0
+	}
+	return w.BiasSumQuanta / float64(w.BiasSamples)
 }
 
 // merge folds other (the later window) into w.
@@ -70,6 +85,10 @@ func (w *SeriesWindow) merge(other *SeriesWindow) {
 	w.GradSamples += other.GradSamples
 	w.MutexWaits += other.MutexWaits
 	w.Staleness.Merge(other.Staleness)
+	w.SatEvents += other.SatEvents
+	w.Underflows += other.Underflows
+	w.BiasSamples += other.BiasSamples
+	w.BiasSumQuanta += other.BiasSumQuanta
 }
 
 // Series records windowed training time-series under a fixed memory
@@ -94,6 +113,11 @@ type Series struct {
 	// baseline resets.
 	lastSteps uint64
 	lastWaits uint64
+	// Numerical-health baselines for HealthTick, same delta discipline.
+	lastSat     uint64
+	lastUnder   uint64
+	lastBiasN   uint64
+	lastBiasSum float64
 }
 
 // NewSeries returns a recorder keeping at most budget windows; budget <=
@@ -200,6 +224,28 @@ func (s *Series) EpochTick(epoch int, loss float64, steps, mutexWaits uint64) {
 	s.mu.Unlock()
 }
 
+// HealthTick attributes the numerical-health counter deltas since the
+// previous tick to the open window. The arguments are the run's
+// cumulative counters, like EpochTick's; call it just before the epoch's
+// EpochTick so both land in the same window. A counter moving backwards
+// (attempt restart) resets the baselines.
+func (s *Series) HealthTick(saturations, underflows, biasSamples uint64, biasSumQuanta float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	w := s.open()
+	if saturations < s.lastSat || underflows < s.lastUnder || biasSamples < s.lastBiasN {
+		s.lastSat, s.lastUnder, s.lastBiasN, s.lastBiasSum = 0, 0, 0, 0
+	}
+	w.SatEvents += saturations - s.lastSat
+	w.Underflows += underflows - s.lastUnder
+	w.BiasSamples += biasSamples - s.lastBiasN
+	w.BiasSumQuanta += biasSumQuanta - s.lastBiasSum
+	s.lastSat, s.lastUnder, s.lastBiasN, s.lastBiasSum = saturations, underflows, biasSamples, biasSumQuanta
+	s.mu.Unlock()
+}
+
 // SeriesSnapshot is the exportable form of a Series.
 type SeriesSnapshot struct {
 	// Budget is the window budget; EpochsPerWindow the stride the run
@@ -245,6 +291,7 @@ func (sn *SeriesSnapshot) WriteCSV(w io.Writer) error {
 		"start_epoch", "end_epoch", "start_seconds", "end_seconds",
 		"steps", "steps_per_sec", "loss", "grad_abs_mean", "mutex_waits",
 		"stale_samples", "stale_mean", "stale_max",
+		"sat_events", "underflows", "bias_mean_quanta",
 	}); err != nil {
 		return err
 	}
@@ -259,6 +306,8 @@ func (sn *SeriesSnapshot) WriteCSV(w io.Writer) error {
 				fmt.Sprint(win.MutexWaits),
 				fmt.Sprint(win.Staleness.Count), fmt.Sprintf("%.4f", win.Staleness.Mean()),
 				fmt.Sprint(win.Staleness.Max),
+				fmt.Sprint(win.SatEvents), fmt.Sprint(win.Underflows),
+				fmt.Sprintf("%.6g", win.BiasMeanQuanta()),
 			}); err != nil {
 				return err
 			}

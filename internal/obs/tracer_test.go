@@ -187,3 +187,28 @@ func TestTracerContext(t *testing.T) {
 		t.Error("attaching a nil tracer should leave the context unchanged")
 	}
 }
+
+// TestSummarizeTraceErrors pins the CLI-facing failure messages for the
+// degenerate trace files a user actually produces: an empty file (run
+// never wrote), a truncated document (run killed mid-write), corrupt
+// bytes, and a valid document with no events.
+func TestSummarizeTraceErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, want string
+	}{
+		{"empty", "", "trace file is empty"},
+		{"truncated", `{"traceEvents":[{"ph":"X","cat":"core",`, "trace file is truncated"},
+		{"corrupt", `{"traceEvents":} oops`, "corrupt at byte"},
+		{"no events", `{"traceEvents":[]}`, "contains no events"},
+		{"metadata only", `{"traceEvents":null,"displayTimeUnit":"ms"}`, "contains no events"},
+	} {
+		_, err := SummarizeTrace(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -35,7 +36,24 @@ func (p PhaseSummary) Mean() time.Duration {
 func SummarizeTrace(r io.Reader) ([]PhaseSummary, error) {
 	var doc chromeTrace
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		// Distinguish the common file-level failure modes so the CLI can
+		// report them plainly instead of a zero-filled summary: a raw EOF
+		// is an empty file, an unexpected EOF a truncated one (a run
+		// killed mid-write), and a syntax error names the corrupt byte.
+		switch {
+		case errors.Is(err, io.EOF):
+			return nil, errors.New("obs: trace file is empty")
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			return nil, fmt.Errorf("obs: trace file is truncated: %w", err)
+		}
+		var syn *json.SyntaxError
+		if errors.As(err, &syn) {
+			return nil, fmt.Errorf("obs: trace file is corrupt at byte %d: %w", syn.Offset, err)
+		}
 		return nil, fmt.Errorf("obs: parsing trace: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return nil, errors.New("obs: trace file contains no events (empty or truncated trace?)")
 	}
 	byPhase := make(map[string]*PhaseSummary)
 	var order []string

@@ -57,6 +57,11 @@ type Config struct {
 	Hooks        obs.Hooks
 	CollectStats bool
 	StepSample   int
+	// NumHealth is forwarded to the engine Observer: collect
+	// numerical-health counters (saturation, rounding bias, underflow,
+	// weight distribution) for every attempt. If Hooks implements
+	// obs.HealthHooks it receives the per-epoch health snapshots.
+	NumHealth bool
 	// Tracer, when non-nil, records the supervisor's lifecycle as trace
 	// spans — attempts, checkpoint saves, resume decisions, backoff
 	// waits — and is forwarded to the engine so epochs appear nested
@@ -327,8 +332,8 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 func attemptObserver(cfg *Config, inj *injector, hooks *attemptHooks) *obs.Observer {
 	needHooks := cfg.Hooks != nil || cfg.Faults.hasStepFaults() || cfg.StallTimeout > 0
 	if !needHooks {
-		if cfg.CollectStats || cfg.Tracer != nil || cfg.Series != nil {
-			return &obs.Observer{StepSample: cfg.StepSample, Tracer: cfg.Tracer, Series: cfg.Series}
+		if cfg.CollectStats || cfg.Tracer != nil || cfg.Series != nil || cfg.NumHealth {
+			return &obs.Observer{StepSample: cfg.StepSample, Tracer: cfg.Tracer, Series: cfg.Series, NumHealth: cfg.NumHealth}
 		}
 		return nil
 	}
@@ -338,7 +343,7 @@ func attemptObserver(cfg *Config, inj *injector, hooks *attemptHooks) *obs.Obser
 		// skip the scheduled one.
 		sample = 1
 	}
-	return &obs.Observer{Hooks: hooks, StepSample: sample, Tracer: cfg.Tracer, Series: cfg.Series}
+	return &obs.Observer{Hooks: hooks, StepSample: sample, Tracer: cfg.Tracer, Series: cfg.Series, NumHealth: cfg.NumHealth}
 }
 
 // stitchLoss joins a checkpoint's loss history [0..resume] with an
@@ -399,6 +404,16 @@ func (h *attemptHooks) OnWorker(wi obs.WorkerInfo) {
 	h.progress.Add(1)
 	if h.inner != nil {
 		h.inner.OnWorker(wi)
+	}
+}
+
+// OnHealth forwards the engine's per-epoch numerical-health snapshot to
+// the user's hooks when they care (e.g. an obs.HealthWatchdog chained in
+// front of live metrics).
+func (h *attemptHooks) OnHealth(hi obs.HealthInfo) {
+	h.progress.Add(1)
+	if hh, ok := h.inner.(obs.HealthHooks); ok {
+		hh.OnHealth(hi)
 	}
 }
 

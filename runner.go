@@ -106,6 +106,7 @@ func (rc RunConfig) internal(cfg Config) run.Config {
 		Hooks:        cfg.Hooks,
 		CollectStats: cfg.CollectStats,
 		StepSample:   cfg.StepSample,
+		NumHealth:    cfg.NumHealth,
 		Tracer:       cfg.Tracer,
 		Series:       cfg.TimeSeries,
 	}

@@ -27,6 +27,10 @@ type SyncConfig struct {
 	// communication round, and cancellation returns the context's cause
 	// with the "buckwild:" prefix.
 	Context context.Context
+	// NumHealth collects communication-quantizer numerical health
+	// (underflowed coordinates and grid rounding bias) on
+	// Result.NumStats.
+	NumHealth bool
 }
 
 // TrainSync runs the synchronous quantized-communication engine on a dense
@@ -45,15 +49,16 @@ func TrainSync(cfg SyncConfig, ds *DenseDataset) (*Result, error) {
 		step = 0.1
 	}
 	res, err := core.TrainSyncDense(core.SyncConfig{
-		Problem:        prob,
-		CommBits:       cfg.CommBits,
-		Workers:        cfg.Workers,
-		BatchPerWorker: cfg.BatchPerWorker,
-		ErrorFeedback:  cfg.ErrorFeedback,
-		StepSize:       step,
-		Epochs:         cfg.Epochs,
-		Seed:           cfg.Seed,
-		Ctx:            cfg.Context,
+		Problem:          prob,
+		CommBits:         cfg.CommBits,
+		Workers:          cfg.Workers,
+		BatchPerWorker:   cfg.BatchPerWorker,
+		ErrorFeedback:    cfg.ErrorFeedback,
+		StepSize:         step,
+		Epochs:           cfg.Epochs,
+		Seed:             cfg.Seed,
+		Ctx:              cfg.Context,
+		CollectNumHealth: cfg.NumHealth,
 	}, ds)
 	return res, wrapErr(err)
 }
