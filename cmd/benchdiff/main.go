@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 )
 
@@ -50,6 +51,15 @@ func (d delta) pct() float64 {
 		return 0
 	}
 	return (d.Fresh/d.Base - 1) * 100
+}
+
+// ratio is the wall-clock speedup base/fresh: above 1x the fresh run is
+// faster, below 1x it is slower.
+func (d delta) ratio() float64 {
+	if d.Fresh == 0 {
+		return 0
+	}
+	return d.Base / d.Fresh
 }
 
 // diff compares the two files. tolPct is the allowed slowdown in
@@ -124,24 +134,48 @@ func main() {
 	os.Exit(2)
 }
 
-// report prints the comparison table and returns the exit status.
+// report prints the comparison table and returns the exit status. Every
+// compared row carries its speedup ratio (base/fresh; above 1x the fresh
+// run is faster), and a closing summary line states the verdict plus the
+// geometric mean of the per-experiment ratios, so a green run still shows
+// how much was won or lost instead of exiting silently.
 func report(ds []delta, tolPct float64) int {
-	fmt.Printf("%-10s %12s %12s %9s\n", "experiment", "base (s)", "fresh (s)", "delta")
+	fmt.Printf("%-10s %12s %12s %9s %9s\n", "experiment", "base (s)", "fresh (s)", "delta", "speedup")
 	status := 0
+	compared, regressions := 0, 0
+	logSum := 0.0
 	for _, d := range ds {
 		switch {
 		case d.FreshOnly:
-			fmt.Printf("%-10s %12s %12.3f %9s  new (no baseline)\n", d.ID, "-", d.Fresh, "-")
+			fmt.Printf("%-10s %12s %12.3f %9s %9s  new (no baseline)\n", d.ID, "-", d.Fresh, "-", "-")
 		case d.BaselineOnly:
-			fmt.Printf("%-10s %12.3f %12s %9s  missing from fresh run\n", d.ID, d.Base, "-", "-")
+			fmt.Printf("%-10s %12.3f %12s %9s %9s  missing from fresh run\n", d.ID, d.Base, "-", "-", "-")
 		default:
 			note := ""
 			if d.Regressed {
 				note = fmt.Sprintf("  REGRESSION (> +%g%%)", tolPct)
 				status = 1
 			}
-			fmt.Printf("%-10s %12.3f %12.3f %+8.1f%%%s\n", d.ID, d.Base, d.Fresh, d.pct(), note)
+			fmt.Printf("%-10s %12.3f %12.3f %+8.1f%% %8.2fx%s\n", d.ID, d.Base, d.Fresh, d.pct(), d.ratio(), note)
+			if d.ID != "TOTAL" {
+				compared++
+				if d.Regressed {
+					regressions++
+				}
+				if r := d.ratio(); r > 0 {
+					logSum += math.Log(r)
+				}
+			}
 		}
+	}
+	geo := 0.0
+	if compared > 0 {
+		geo = math.Exp(logSum / float64(compared))
+	}
+	if status == 0 {
+		fmt.Printf("OK: %d experiments compared, geomean speedup %.2fx, no regressions (tolerance +%g%%)\n", compared, geo, tolPct)
+	} else {
+		fmt.Printf("FAIL: %d of %d experiments regressed (tolerance +%g%%), geomean speedup %.2fx\n", regressions, compared, tolPct, geo)
 	}
 	return status
 }

@@ -97,6 +97,23 @@ func TestLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRatio(t *testing.T) {
+	cases := []struct {
+		d    delta
+		want float64
+	}{
+		{delta{Base: 10, Fresh: 5}, 2},   // 2x faster
+		{delta{Base: 5, Fresh: 10}, 0.5}, // 2x slower
+		{delta{Base: 3, Fresh: 3}, 1},    // unchanged
+		{delta{Base: 10, Fresh: 0}, 0},   // degenerate fresh time
+	}
+	for _, c := range cases {
+		if got := c.d.ratio(); got != c.want {
+			t.Errorf("ratio(base=%g, fresh=%g) = %g, want %g", c.d.Base, c.d.Fresh, got, c.want)
+		}
+	}
+}
+
 func TestReportExitStatus(t *testing.T) {
 	ok := []delta{{ID: "a", Base: 1, Fresh: 1}}
 	if got := report(ok, 25); got != 0 {

@@ -144,16 +144,16 @@ type Stats struct {
 	Cycles uint64
 }
 
-// invalidTag marks an empty way. No reachable address maps to it (it would
-// require a byte address beyond 2^64), so lookup needs only one tag compare
-// per way instead of a state check plus a tag check.
-const invalidTag = ^uint64(0)
-
 // line is one cache way, packed into 16 bytes so a 4-way L1 set is exactly
 // one host cache line and the 45 MB simulated L3 array stays half the size
 // it would be with naturally-padded fields.
 type line struct {
-	tag uint64
+	// tag1 is 1 + the line address, so the zero value marks an empty way
+	// and a freshly made([]line) level is valid without an init pass over
+	// the 737280-line L3 array (hierarchies are built per simulation
+	// point, so that pass used to be hot). Lookup still needs only one
+	// compare per way: no reachable line address collides with tag1 == 0.
+	tag1 uint64
 	// lru is a per-level use counter (see level.renormalize for wrap).
 	lru   uint32
 	state State
@@ -163,6 +163,9 @@ type line struct {
 	// and not yet demanded.
 	model, stale, prefetched bool
 }
+
+// addr recovers the line address of a valid (tag1 != 0) way.
+func (ln *line) addr() uint64 { return ln.tag1 - 1 }
 
 // level is one set-associative cache array.
 type level struct {
@@ -186,16 +189,12 @@ func newLevel(size, assoc, lineSize, lat int) (*level, error) {
 	for sets&(sets-1) != 0 {
 		sets--
 	}
-	l := &level{
+	return &level{
 		setMask: sets - 1,
 		assoc:   assoc,
 		lines:   make([]line, sets*assoc),
 		lat:     lat,
-	}
-	for i := range l.lines {
-		l.lines[i].tag = invalidTag
-	}
-	return l, nil
+	}, nil
 }
 
 // setOf returns the slice of ways for the address's set.
@@ -207,8 +206,9 @@ func (l *level) setOf(lineAddr uint64) []line {
 // lookup returns the way holding lineAddr, or nil.
 func (l *level) lookup(lineAddr uint64) *line {
 	set := l.setOf(lineAddr)
+	t := lineAddr + 1
 	for i := range set {
-		if set[i].tag == lineAddr {
+		if set[i].tag1 == t {
 			return &set[i]
 		}
 	}
@@ -216,26 +216,27 @@ func (l *level) lookup(lineAddr uint64) *line {
 }
 
 // insert fills lineAddr, evicting the LRU way. It returns a pointer to the
-// filled way, the evicted line (by value) and whether an eviction of a
-// valid line occurred.
-func (l *level) insert(lineAddr uint64, st State, model bool) (filled *line, evicted line, hadVictim bool) {
-	set := l.setOf(lineAddr)
+// filled way, the way's index in the level's line array (the handle stored
+// in lineState.l3way1 for O(1) shared-level hits), the evicted line (by
+// value) and whether an eviction of a valid line occurred.
+func (l *level) insert(lineAddr uint64, st State, model bool) (filled *line, way uint32, evicted line, hadVictim bool) {
+	s := int(lineAddr) & l.setMask
+	set := l.lines[s*l.assoc : (s+1)*l.assoc]
+	// Empty ways always carry lru == 0 (tick counts from 1 and invalidate
+	// resets the field), so a plain min-LRU scan selects the first empty
+	// way when one exists — the same victim the explicit Invalid check
+	// used to pick — with one branch per way instead of two.
 	victim := 0
-	for i := range set {
-		if set[i].state == Invalid {
-			victim = i
-			hadVictim = false
-			goto fill
-		}
-		if set[i].lru < set[victim].lru {
-			victim = i
+	min := set[0].lru
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < min {
+			min, victim = set[i].lru, i
 		}
 	}
 	evicted = set[victim]
-	hadVictim = true
-fill:
-	set[victim] = line{tag: lineAddr, state: st, lru: l.tick(), model: model}
-	return &set[victim], evicted, hadVictim
+	hadVictim = evicted.state != Invalid
+	set[victim] = line{tag1: lineAddr + 1, state: st, lru: l.tick(), model: model}
+	return &set[victim], uint32(s*l.assoc + victim), evicted, hadVictim
 }
 
 // touch refreshes LRU for a hit way.
@@ -284,7 +285,8 @@ func (l *level) invalidate(lineAddr uint64) State {
 	if ln := l.lookup(lineAddr); ln != nil {
 		st := ln.state
 		ln.state = Invalid
-		ln.tag = invalidTag
+		ln.tag1 = 0
+		ln.lru = 0 // keep the empty-way ⇒ lru == 0 invariant for insert
 		return st
 	}
 	return Invalid

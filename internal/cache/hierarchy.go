@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"buckwild/internal/prng"
 )
@@ -166,8 +167,11 @@ func (h *Hierarchy) AccessInfo(core int, addr uint64, write, model bool) (lat in
 }
 
 func (h *Hierarchy) read(core int, la uint64, model bool) (int, bool) {
-	l1, l2 := h.l1[core], h.l2[core]
-	if ln := l1.lookup(la); ln != nil {
+	ls := h.table.get(la)
+	bit := uint32(1) << uint(core)
+	if ls.l1p&bit != 0 {
+		l1 := h.l1[core]
+		ln := l1.lookup(la)
 		l1.touch(ln)
 		if ln.stale {
 			h.stats.StaleReads++
@@ -175,53 +179,65 @@ func (h *Hierarchy) read(core int, la uint64, model bool) (int, bool) {
 		h.stats.L1Hits++
 		return h.cfg.L1Lat, false
 	}
-	if ln := l2.lookup(la); ln != nil {
+	if ls.l2p&bit != 0 {
+		l2 := h.l2[core]
+		ln := l2.lookup(la)
 		l2.touch(ln)
 		if ln.prefetched {
 			ln.prefetched = false
 			h.stats.PrefetchUseful++
 		}
 		st, stale := ln.state, ln.stale
-		h.fillL1(core, la, st, model, stale)
+		h.fillL1(core, la, st, model, stale, ls)
 		h.stats.L2Hits++
 		return h.cfg.L2Lat, false
 	}
 	// Private miss: consult the shared level.
-	lat, coh := h.fetchShared(core, la, h.table.get(la), model, false)
+	lat, coh := h.fetchShared(core, la, ls, model, false)
 	h.maybePrefetch(core, la, model)
 	return lat, coh
 }
 
 func (h *Hierarchy) write(core int, la uint64, model bool) (int, bool) {
-	l1 := h.l1[core]
 	ls := h.table.get(la)
-	if ln := l1.lookup(la); ln != nil && (ln.state == Modified || ln.state == Exclusive) {
-		l1.touch(ln)
-		ln.state = Modified
-		ln.stale = false
-		h.stats.L1Hits++
-		ls.owner = uint8(core + 1)
-		return h.cfg.L1Lat, false
+	bit := uint32(1) << uint(core)
+	var ln *line
+	if ls.l1p&bit != 0 {
+		l1 := h.l1[core]
+		ln = l1.lookup(la)
+		if ln.state == Modified || ln.state == Exclusive {
+			l1.touch(ln)
+			ln.state = Modified
+			ln.stale = false
+			h.stats.L1Hits++
+			ls.owner = uint8(core + 1)
+			return h.cfg.L1Lat, false
+		}
 	}
 	// Shared or absent: an upgrade or fetch-for-ownership must go
 	// through the shared level and invalidate remote copies.
 	dropped, invLat := h.invalidateOthers(core, la, ls, model)
 	lat, coh := 0, dropped > 0
-	if ln := l1.lookup(la); ln != nil { // held in S: upgrade
+	if ln != nil {
+		// Held in S: upgrade. The pointer from the first probe is still
+		// valid because invalidateOthers never touches the writer's own
+		// caches.
 		ln.state = Modified
 		ln.stale = false
-		l1.touch(ln)
+		h.l1[core].touch(ln)
 		h.stats.Upgrades++
 		lat = h.cfg.L3Lat
-	} else if ln := h.l2[core].lookup(la); ln != nil {
-		ln.state = Modified
-		ln.stale = false
-		if ln.prefetched {
-			ln.prefetched = false
+	} else if ls.l2p&bit != 0 {
+		l2 := h.l2[core]
+		ln2 := l2.lookup(la)
+		ln2.state = Modified
+		ln2.stale = false
+		if ln2.prefetched {
+			ln2.prefetched = false
 			h.stats.PrefetchUseful++
 		}
-		h.l2[core].touch(ln)
-		h.fillL1(core, la, Modified, model, false)
+		l2.touch(ln2)
+		h.fillL1(core, la, Modified, model, false, ls)
 		h.stats.Upgrades++
 		lat = h.cfg.L3Lat
 	} else {
@@ -248,45 +264,46 @@ func (h *Hierarchy) write(core int, la uint64, model bool) (int, bool) {
 func (h *Hierarchy) fetchShared(core int, la uint64, ls *lineState, model, forOwnership bool) (int, bool) {
 	lat := h.cfg.L3Lat
 	coh := false
-	if o := int(ls.owner) - 1; o >= 0 && o != core && h.holdsModified(o, la) {
+	if o := int(ls.owner) - 1; o >= 0 && o != core && ls.present(o) && h.holdsModified(o, la) {
 		// Dirty-remote transfer: the owner's copy is downgraded (or
 		// invalidated below, for ownership) and forwarded. Crossing a
 		// socket boundary pays the QPI round trip.
 		lat = h.cohLat(core, o)
 		coh = true
-		h.downgradeCore(o, la)
+		h.downgradeCore(o, la, ls)
 		ls.owner = 0
 		h.stats.DirtyTransfers++
 		h.stats.L3Hits++
 		if model {
 			h.contend(ls, lat)
 		}
-	} else if ln := h.l3.lookup(la); ln == nil {
+	} else if ls.l3way1 == 0 {
 		lat = h.cfg.DRAMLat
 		h.stats.DRAMFills++
 		h.stats.DRAMBytes += uint64(h.cfg.LineSize)
-		h.insertL3(la, model)
+		h.insertL3(la, model, ls)
 	} else {
-		h.l3.touch(ln)
+		h.l3.touch(&h.l3.lines[ls.l3way1-1])
 		h.stats.L3Hits++
 	}
 	st := Shared
 	if forOwnership {
 		st = Modified
-	} else if h.othersHolding(core, la, ls) == 0 {
+	} else if h.othersHolding(core, ls) == 0 {
 		st = Exclusive
 	} else {
 		// MESI: a read while another core holds the line in E or M
 		// downgrades the remote copies to S.
 		h.downgradeOthers(core, la, ls)
 	}
-	h.fillL2(core, la, st, model)
-	h.fillL1(core, la, st, model, false)
+	h.fillL2(core, la, st, model, ls)
+	h.fillL1(core, la, st, model, false, ls)
 	ls.sharers |= 1 << uint(core)
 	return lat, coh
 }
 
-// holdsModified reports whether core c holds la in Modified state.
+// holdsModified reports whether core c holds la in Modified state. Callers
+// gate it on ls.present(c), so the set scans nearly always hit.
 func (h *Hierarchy) holdsModified(c int, la uint64) bool {
 	if ln := h.l1[c].lookup(la); ln != nil && ln.state == Modified {
 		return true
@@ -297,20 +314,14 @@ func (h *Hierarchy) holdsModified(c int, la uint64) bool {
 	return false
 }
 
-// othersHolding returns a mask of other cores that actually hold la,
-// scrubbing stale directory bits as a side effect.
-func (h *Hierarchy) othersHolding(core int, la uint64, ls *lineState) uint32 {
-	sharers := ls.sharers
-	var actual uint32
-	for c := 0; c < h.cfg.Cores; c++ {
-		if c == core || sharers&(1<<uint(c)) == 0 {
-			continue
-		}
-		if h.l1[c].lookup(la) != nil || h.l2[c].lookup(la) != nil {
-			actual |= 1 << uint(c)
-		}
-	}
-	ls.sharers = actual | (sharers & (1 << uint(core)))
+// othersHolding returns a mask of other cores that actually hold the line,
+// scrubbing stale directory bits as a side effect. The exact presence masks
+// make this one intersection; it is equivalent to probing every sharer's
+// L1 and L2 as the pre-presence code did.
+func (h *Hierarchy) othersHolding(core int, ls *lineState) uint32 {
+	bit := uint32(1) << uint(core)
+	actual := ls.sharers & (ls.l1p | ls.l2p) &^ bit
+	ls.sharers = actual | (ls.sharers & bit)
 	return actual
 }
 
@@ -320,24 +331,25 @@ func (h *Hierarchy) othersHolding(core int, la uint64, ls *lineState) uint32 {
 // With probability q an invalidate for a model line is ignored and the
 // remote copy retained (stale) in Shared state — the obstinate cache.
 func (h *Hierarchy) invalidateOthers(writer int, la uint64, ls *lineState, model bool) (dropped, lat int) {
-	actual := h.othersHolding(writer, la, ls)
+	actual := h.othersHolding(writer, ls)
 	if actual == 0 {
 		return 0, 0
 	}
-	for c := 0; c < h.cfg.Cores; c++ {
-		if c == writer || actual&(1<<uint(c)) == 0 {
-			continue
-		}
+	// Iterate cores in ascending order (TrailingZeros walks the mask
+	// lowest bit first) so the obstinacy random draws happen in the same
+	// order as the pre-presence per-core loop.
+	for m := actual; m != 0; m &= m - 1 {
+		c := bits.TrailingZeros32(m)
 		if model && h.cfg.Obstinacy > 0 && h.randFloat() < h.cfg.Obstinacy {
 			h.stats.InvalidatesIgnored++
 			// The remote copy survives in S, now stale. The
 			// directory forgets it, exactly like a cache that
 			// acked the invalidate without acting on it.
-			h.markStale(c, la)
+			h.markStale(c, la, ls)
 			continue
 		}
 		h.stats.Invalidates++
-		h.dropLine(c, la)
+		h.dropLine(c, la, ls)
 		dropped++
 		if l := h.cohLat(writer, c); l > lat {
 			lat = l
@@ -353,12 +365,9 @@ func (h *Hierarchy) invalidateOthers(writer int, la uint64, ls *lineState, model
 // downgradeOthers moves every other core's E/M copy of la to S (dirty data
 // is considered written back to the shared level).
 func (h *Hierarchy) downgradeOthers(reader int, la uint64, ls *lineState) {
-	sharers := ls.sharers
-	for c := 0; c < h.cfg.Cores; c++ {
-		if c == reader || sharers&(1<<uint(c)) == 0 {
-			continue
-		}
-		h.downgradeCore(c, la)
+	m := ls.sharers & (ls.l1p | ls.l2p) &^ (1 << uint(reader))
+	for ; m != 0; m &= m - 1 {
+		h.downgradeCore(bits.TrailingZeros32(m), la, ls)
 	}
 	if o := int(ls.owner) - 1; o >= 0 && o != reader {
 		ls.owner = 0
@@ -366,34 +375,56 @@ func (h *Hierarchy) downgradeOthers(reader int, la uint64, ls *lineState) {
 }
 
 // downgradeCore moves core c's copy of la to S.
-func (h *Hierarchy) downgradeCore(c int, la uint64) {
-	if ln := h.l1[c].lookup(la); ln != nil && ln.state != Shared {
-		ln.state = Shared
+func (h *Hierarchy) downgradeCore(c int, la uint64, ls *lineState) {
+	bit := uint32(1) << uint(c)
+	if ls.l1p&bit != 0 {
+		if ln := h.l1[c].lookup(la); ln.state != Shared {
+			ln.state = Shared
+		}
 	}
-	if ln := h.l2[c].lookup(la); ln != nil && ln.state != Shared {
-		ln.state = Shared
+	if ls.l2p&bit != 0 {
+		if ln := h.l2[c].lookup(la); ln.state != Shared {
+			ln.state = Shared
+		}
 	}
 }
 
 // markStale downgrades core c's copy of la to a stale Shared line.
-func (h *Hierarchy) markStale(c int, la uint64) {
-	if ln := h.l1[c].lookup(la); ln != nil {
+func (h *Hierarchy) markStale(c int, la uint64, ls *lineState) {
+	bit := uint32(1) << uint(c)
+	if ls.l1p&bit != 0 {
+		ln := h.l1[c].lookup(la)
 		ln.state = Shared
 		ln.stale = true
 	}
-	if ln := h.l2[c].lookup(la); ln != nil {
+	if ls.l2p&bit != 0 {
+		ln := h.l2[c].lookup(la)
 		ln.state = Shared
 		ln.stale = true
 	}
 }
 
-// dropLine removes la from core c's private caches.
-func (h *Hierarchy) dropLine(c int, la uint64) {
-	if ln := h.l2[c].lookup(la); ln != nil && ln.prefetched {
-		h.stats.PrefetchInvalidated++
+// dropLine removes la from core c's private caches, clearing its presence
+// bits.
+func (h *Hierarchy) dropLine(c int, la uint64, ls *lineState) {
+	bit := uint32(1) << uint(c)
+	if ls.l2p&bit != 0 {
+		ln := h.l2[c].lookup(la)
+		if ln.prefetched {
+			h.stats.PrefetchInvalidated++
+		}
+		ln.state = Invalid
+		ln.tag1 = 0
+		ln.lru = 0
+		ls.l2p &^= bit
 	}
-	h.l1[c].invalidate(la)
-	h.l2[c].invalidate(la)
+	if ls.l1p&bit != 0 {
+		ln := h.l1[c].lookup(la)
+		ln.state = Invalid
+		ln.tag1 = 0
+		ln.lru = 0
+		ls.l1p &^= bit
+	}
 }
 
 // maybePrefetch issues sequential prefetches after a demand miss.
@@ -401,18 +432,19 @@ func (h *Hierarchy) maybePrefetch(core int, la uint64, model bool) {
 	if !h.cfg.Prefetch || h.cfg.PrefetchDegree <= 0 {
 		return
 	}
+	bit := uint32(1) << uint(core)
 	l2 := h.l2[core]
 	for k := 1; k <= h.cfg.PrefetchDegree; k++ {
 		pa := la + uint64(k)
-		if l2.lookup(pa) != nil || h.l1[core].lookup(pa) != nil {
+		ps := h.table.get(pa)
+		if (ps.l1p|ps.l2p)&bit != 0 {
 			continue
 		}
 		h.stats.PrefetchIssued++
 		if model {
 			h.stats.PrefetchIssuedModel++
 		}
-		ps := h.table.get(pa)
-		if o := int(ps.owner) - 1; o >= 0 && o != core && h.holdsModified(o, pa) {
+		if o := int(ps.owner) - 1; o >= 0 && o != core && ps.present(o) && h.holdsModified(o, pa) {
 			// The line is being actively written by another core:
 			// any prefetched copy is invalidated before use, so
 			// the prefetch achieves nothing but snoop traffic on
@@ -424,67 +456,84 @@ func (h *Hierarchy) maybePrefetch(core int, la uint64, model bool) {
 			}
 			continue
 		}
-		if h.l3.lookup(pa) == nil {
+		if ps.l3way1 == 0 {
 			h.stats.DRAMBytes += uint64(h.cfg.LineSize)
-			h.insertL3(pa, model)
+			h.insertL3(pa, model, ps)
 		}
-		ln, ev, had := l2.insert(pa, Shared, model)
+		ln, _, ev, had := l2.insert(pa, Shared, model)
 		if had {
-			h.handleL2Eviction(core, ev)
+			h.evictedL2(core, ev)
 		}
 		ln.prefetched = true
-		ps.sharers |= 1 << uint(core)
+		ps.l2p |= bit
+		ps.sharers |= bit
 	}
 }
 
-// fillL1 inserts la into core's L1, handling the eviction.
-func (h *Hierarchy) fillL1(core int, la uint64, st State, model, stale bool) {
-	ln, ev, had := h.l1[core].insert(la, st, model)
+// fillL1 inserts la into core's L1, handling the eviction. ls is la's
+// coherence record (presence bookkeeping).
+func (h *Hierarchy) fillL1(core int, la uint64, st State, model, stale bool, ls *lineState) {
+	bit := uint32(1) << uint(core)
+	ln, _, ev, had := h.l1[core].insert(la, st, model)
 	ln.stale = stale
-	if had && ev.state == Modified {
-		// Dirty L1 victim falls back to L2.
-		if ln := h.l2[core].lookup(ev.tag); ln != nil {
-			ln.state = Modified
-		} else {
-			_, ev2, had2 := h.l2[core].insert(ev.tag, Modified, ev.model)
-			if had2 {
-				h.handleL2Eviction(core, ev2)
+	ls.l1p |= bit
+	if had {
+		evAddr := ev.addr()
+		es := h.table.get(evAddr)
+		es.l1p &^= bit
+		if ev.state == Modified {
+			// Dirty L1 victim falls back to L2.
+			if es.l2p&bit != 0 {
+				h.l2[core].lookup(evAddr).state = Modified
+			} else {
+				_, _, ev2, had2 := h.l2[core].insert(evAddr, Modified, ev.model)
+				es.l2p |= bit
+				if had2 {
+					h.evictedL2(core, ev2)
+				}
 			}
 		}
 	}
 }
 
 // fillL2 inserts la into core's L2, handling the eviction.
-func (h *Hierarchy) fillL2(core int, la uint64, st State, model bool) {
-	_, ev, had := h.l2[core].insert(la, st, model)
+func (h *Hierarchy) fillL2(core int, la uint64, st State, model bool, ls *lineState) {
+	_, _, ev, had := h.l2[core].insert(la, st, model)
+	ls.l2p |= 1 << uint(core)
 	if had {
-		h.handleL2Eviction(core, ev)
+		h.evictedL2(core, ev)
 	}
 }
 
-// handleL2Eviction writes back dirty L2 victims into L3.
-func (h *Hierarchy) handleL2Eviction(core int, ev line) {
-	if ev.state == Modified {
-		if h.l3.lookup(ev.tag) == nil {
-			h.insertL3(ev.tag, ev.model)
-		}
+// evictedL2 clears presence for an L2 victim and writes dirty victims back
+// into the shared level.
+func (h *Hierarchy) evictedL2(core int, ev line) {
+	evAddr := ev.addr()
+	es := h.table.get(evAddr)
+	es.l2p &^= 1 << uint(core)
+	if ev.state == Modified && es.l3way1 == 0 {
+		h.insertL3(evAddr, ev.model, es)
 	}
 }
 
 // insertL3 fills la into the shared level, writing back dirty victims to
-// memory.
-func (h *Hierarchy) insertL3(la uint64, model bool) {
-	_, ev, had := h.l3.insert(la, Shared, model)
+// memory. ls is la's coherence record; its l3way1 handle is set here.
+func (h *Hierarchy) insertL3(la uint64, model bool, ls *lineState) {
+	_, way, ev, had := h.l3.insert(la, Shared, model)
+	ls.l3way1 = way + 1
 	if had {
 		if ev.state == Modified {
 			h.stats.Writebacks++
 			h.stats.DRAMBytes += uint64(h.cfg.LineSize)
 		}
-		// The line left the shared level: forget its directory and
-		// dirty-owner state (contention history survives the window).
-		es := h.table.get(ev.tag)
+		// The line left the shared level: forget its directory,
+		// dirty-owner and L3-position state (contention history
+		// survives the window). Presence in private caches is real and
+		// stays: this hierarchy is non-inclusive.
+		es := h.table.get(ev.addr())
 		es.sharers = 0
 		es.owner = 0
+		es.l3way1 = 0
 	}
 }
 

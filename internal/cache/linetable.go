@@ -2,8 +2,19 @@ package cache
 
 // lineState folds the per-line coherence metadata that used to live in
 // three separate map[uint64] tables (sharer directory, dirty owner and the
-// contention window) into one 16-byte record, so the per-access hot path
-// touches a single memory location instead of paying three hash lookups.
+// contention window) into one record, so the per-access hot path touches a
+// single memory location instead of paying three hash lookups.
+//
+// Besides the directory, the record carries *exact* presence information —
+// which private caches hold the line right now, and where it sits in the
+// shared level — maintained at every fill, eviction and invalidation. The
+// hierarchy uses it to skip set scans that are guaranteed to miss (the
+// dominant cost of the simulator before this existed) and to answer
+// othersHolding with one mask intersection instead of 2×Cores probes.
+// Presence is distinct from the sharers directory on purpose: the directory
+// is allowed to be forgetful (an obstinate cache that ignored an invalidate
+// is deliberately dropped from it while still holding the line), so the two
+// cannot be merged without changing coherence behaviour.
 type lineState struct {
 	// sharers is the directory: a bit per core that may hold the line.
 	// Bits can be stale after silent evictions; writers verify actual
@@ -15,9 +26,22 @@ type lineState struct {
 	// the hierarchy's has logically-zero contention.
 	contention uint32
 	epoch      uint32
+	// l1p and l2p are exact presence masks: bit c is set iff core c's
+	// L1 (resp. L2) holds the line in a non-Invalid state right now.
+	l1p uint32
+	l2p uint32
+	// l3way1 is 1 + the line's way index in the shared level's line
+	// array when the line is present there, else 0. It turns L3 hits
+	// into a direct array access instead of a 20-way set scan.
+	l3way1 uint32
 	// owner is 1+core of the core holding the line in Modified state, or
 	// 0 when none, so the zero value is an empty record.
 	owner uint8
+}
+
+// present reports whether core c's private caches hold the line.
+func (ls *lineState) present(c int) bool {
+	return (ls.l1p|ls.l2p)&(1<<uint(c)) != 0
 }
 
 const (

@@ -203,18 +203,36 @@ func quantizeComm(g, residual []float32, bits uint, errorFeedback bool, nc *fixe
 	if scale == 0 {
 		return g
 	}
-	levels := float32(int32(1)<<(bits-1)) - 1 // e.g. 127 for 8 bits
-	for j, v := range g {
-		var q float32
-		if bits == 1 {
-			if v >= 0 {
-				q = scale
-			} else {
+	if bits == 1 {
+		for j, v := range g {
+			q := scale
+			if v < 0 {
 				q = -scale
 			}
-		} else {
+			if errorFeedback {
+				residual[j] = v - q
+			}
+			g[j] = q
+		}
+		return g
+	}
+	levels := float32(int32(1)<<(bits-1)) - 1 // e.g. 127 for 8 bits
+	// Grid rounding proceeds one cache line of gradient at a time —
+	// 16 float32 values — mirroring the kernels' word-blocked layout: the
+	// loop-invariant scale/levels work is hoisted out of the element loop
+	// and each block is rounded, residual-corrected and health-counted as
+	// a unit. The per-element arithmetic is unchanged, so quantized values
+	// are bit-identical to the former elementwise loop.
+	const lineFloats = 16
+	for base := 0; base < len(g); base += lineFloats {
+		end := base + lineFloats
+		if end > len(g) {
+			end = len(g)
+		}
+		blk := g[base:end]
+		for o, v := range blk {
 			r := v / scale * levels
-			q = float32(math.Round(float64(r))) / levels * scale
+			q := float32(math.Round(float64(r))) / levels * scale
 			if nc != nil {
 				if v != 0 && q == 0 {
 					nc.Underflows++
@@ -224,11 +242,11 @@ func quantizeComm(g, residual []float32, bits uint, errorFeedback bool, nc *fixe
 				nc.BiasN++
 				nc.BiasSumQ += float64(q-v) * float64(levels) / float64(scale)
 			}
+			if errorFeedback {
+				residual[base+o] = v - q
+			}
+			blk[o] = q
 		}
-		if errorFeedback {
-			residual[j] = v - q
-		}
-		g[j] = q
 	}
 	return g
 }

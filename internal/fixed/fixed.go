@@ -231,20 +231,32 @@ func (f Format) QuantizeSlice(dst []int32, src []float32, mode Rounding, rs Rand
 // result is computed at higher precision and then rounded into the model
 // format). shift is src.Frac - f.Frac and must be non-negative.
 func (f Format) RoundRaw(v int64, shift uint, mode Rounding, rs RandSource) int32 {
+	var u uint32
+	if mode == Unbiased && shift != 0 {
+		u = rs.Uint32()
+	}
+	return f.RoundRawU(v, shift, mode, u)
+}
+
+// RoundRawU is RoundRaw with the random word supplied by the caller instead
+// of drawn from a source. It is the pure core of the rounding pipeline: the
+// batched paths draw one 64-bit word per eight values, fan it out into lane
+// words, and feed each lane here, producing results bit-identical to
+// RoundRaw fed the same words one at a time. u is ignored for Biased mode
+// and when shift is zero (exactly the cases RoundRaw does not draw).
+func (f Format) RoundRawU(v int64, shift uint, mode Rounding, u uint32) int32 {
 	if shift == 0 {
 		return f.Saturate(v)
 	}
-	half := int64(1) << (shift - 1)
 	mask := int64(1)<<shift - 1
 	var r int64
-	switch mode {
-	case Unbiased:
+	if mode == Unbiased {
 		// floor((v + u) / 2^shift) with u uniform on [0, 2^shift).
-		u := int64(rs.Uint32()) & mask
-		r = (v + u) >> shift
-	default:
+		r = (v + int64(u)&mask) >> shift
+	} else {
 		// Round to nearest; ties away from zero for non-negative,
 		// which matches the float path closely enough for SGD.
+		half := int64(1) << (shift - 1)
 		r = (v + half) >> shift
 	}
 	return f.Saturate(r)

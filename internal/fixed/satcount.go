@@ -326,8 +326,20 @@ func (f Format) countQuant(scaled float64, out int32, c *NumCounts) {
 // error of the rounded (pre-saturation) result feeds the bias
 // accumulator, and a clamped result counts a SiteSaturate event instead.
 func (f Format) RoundRawC(v int64, shift uint, mode Rounding, rs RandSource, c *NumCounts) int32 {
+	var u uint32
+	if mode == Unbiased && shift != 0 {
+		u = rs.Uint32()
+	}
+	return f.RoundRawUC(v, shift, mode, u, c)
+}
+
+// RoundRawUC is RoundRawU with saturation counting and rounding-bias
+// accumulation; it draws nothing, so counted and uncounted runs consume a
+// randomness stream identically (the lockstep invariant the differential
+// tests pin down).
+func (f Format) RoundRawUC(v int64, shift uint, mode Rounding, u uint32, c *NumCounts) int32 {
 	if c == nil {
-		return f.RoundRaw(v, shift, mode, rs)
+		return f.RoundRawU(v, shift, mode, u)
 	}
 	if shift == 0 {
 		out := f.SaturateC(v, c)
@@ -336,14 +348,12 @@ func (f Format) RoundRawC(v int64, shift uint, mode Rounding, rs RandSource, c *
 		}
 		return out
 	}
-	half := int64(1) << (shift - 1)
 	mask := int64(1)<<shift - 1
 	var r int64
-	switch mode {
-	case Unbiased:
-		u := int64(rs.Uint32()) & mask
-		r = (v + u) >> shift
-	default:
+	if mode == Unbiased {
+		r = (v + int64(u)&mask) >> shift
+	} else {
+		half := int64(1) << (shift - 1)
 		r = (v + half) >> shift
 	}
 	out := f.SaturateC(r, c)

@@ -1,0 +1,107 @@
+package kernels
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Microbenchmarks for the host-path kernels across precision, variant and
+// rounding kind. CI uploads the output as an informational artifact; they
+// gate nothing. The vector length matches fig2's simulated model size
+// order of magnitude while staying L1-resident, so the numbers measure
+// arithmetic, not memory.
+const benchN = 4096
+
+func benchKernel(b *testing.B, d, m Prec, v Variant, kind QuantKind) (*Dense, Vec, Vec) {
+	b.Helper()
+	var q *Quantizer
+	if m != F32 {
+		q = MustQuantizer(m, kind, 0, 42)
+	}
+	k := MustDense(d, m, v, q)
+	x := NewVec(d, benchN)
+	w := NewVec(m, benchN)
+	fillRawVec(x, 7)
+	fillRawVec(w, 11)
+	return k, x, w
+}
+
+func benchGrid(b *testing.B, f func(b *testing.B, d, m Prec, v Variant, kind QuantKind)) {
+	b.Helper()
+	for _, d := range []Prec{I8, I16} {
+		for _, v := range []Variant{Generic, HandOpt} {
+			for _, kind := range []QuantKind{QBiased, QXorshift, QShared} {
+				d, v, kind := d, v, kind
+				b.Run(fmt.Sprintf("D%v/M%v/%v/%v", d, d, v, kind), func(b *testing.B) {
+					f(b, d, d, v, kind)
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	benchGrid(b, func(b *testing.B, d, m Prec, v Variant, kind QuantKind) {
+		k, x, w := benchKernel(b, d, m, v, kind)
+		b.SetBytes(int64(float64(benchN) * (d.Bytes() + m.Bytes())))
+		var sink float32
+		for i := 0; i < b.N; i++ {
+			sink += k.Dot(x, w)
+		}
+		_ = sink
+	})
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	benchGrid(b, func(b *testing.B, d, m Prec, v Variant, kind QuantKind) {
+		k, x, w := benchKernel(b, d, m, v, kind)
+		b.SetBytes(int64(float64(benchN) * (d.Bytes() + 2*m.Bytes())))
+		for i := 0; i < b.N; i++ {
+			k.Axpy(0.0371, x, w)
+		}
+	})
+}
+
+func BenchmarkQuantize(b *testing.B) {
+	xs := randFloats(benchN, 3, 1.8)
+	out := make([]int32, benchN)
+	for _, m := range []Prec{I8, I16} {
+		for _, kind := range []QuantKind{QBiased, QMersenne, QXorshift, QShared} {
+			m, kind := m, kind
+			b.Run(fmt.Sprintf("M%v/%v", m, kind), func(b *testing.B) {
+				q := MustQuantizer(m, kind, 0, 42)
+				b.SetBytes(int64(benchN) * 4)
+				for i := 0; i < b.N; i++ {
+					q.QuantizeBlock(xs, out)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkRoundRaw(b *testing.B) {
+	var vals [8]int64
+	for i := range vals {
+		vals[i] = int64(i*7919-31000) << 10
+	}
+	for _, m := range []Prec{I8, I16} {
+		for _, kind := range []QuantKind{QBiased, QMersenne, QXorshift, QShared} {
+			m, kind := m, kind
+			b.Run(fmt.Sprintf("M%v/%v/scalar", m, kind), func(b *testing.B) {
+				q := MustQuantizer(m, kind, 0, 42)
+				var sink int32
+				for i := 0; i < b.N; i++ {
+					sink += q.RoundRaw(vals[i&7], 14)
+				}
+				_ = sink
+			})
+			b.Run(fmt.Sprintf("M%v/%v/vec8", m, kind), func(b *testing.B) {
+				q := MustQuantizer(m, kind, 0, 42)
+				var out [8]int32
+				for i := 0; i < b.N; i++ {
+					q.RoundRaw8(&vals, 14, &out)
+				}
+			})
+		}
+	}
+}

@@ -114,8 +114,16 @@ func (k *Dense) dotInt(x, w Vec, n int) float32 {
 	}
 	var acc int64
 	if k.D.Bits() <= 8 && k.M.Bits() <= 8 {
-		// vpmaddubsw: pairwise 8x8->16 with saturating pair add.
+		// vpmaddubsw: pairwise 8x8->16 with saturating pair add. Whole
+		// words go through the SWAR body (four pairs per uint64 load);
+		// word boundaries fall on pair boundaries, so the ragged tail
+		// continues the identical pairing.
 		i := 0
+		if swarOn && k.D == I8 && k.M == I8 && x.w64 != nil && w.w64 != nil {
+			nw := n >> 3
+			acc = dotSwar8(x.w64[:nw], w.w64[:nw])
+			i = nw << 3
+		}
 		for ; i+1 < n; i += 2 {
 			p0 := int32(x.Raw(i)) * int32(w.Raw(i))
 			p1 := int32(x.Raw(i+1)) * int32(w.Raw(i+1))
@@ -130,6 +138,15 @@ func (k *Dense) dotInt(x, w Vec, n int) float32 {
 		if i < n {
 			acc += int64(int32(x.Raw(i)) * int32(w.Raw(i)))
 		}
+	} else if swarOn && k.D == I16 && k.M == I16 && x.w64 != nil && w.w64 != nil {
+		// vpmaddwd over words: four exact 16x16->32 products per load,
+		// accumulated exactly (order-independent, so bit-identity with
+		// the scalar loop is structural).
+		nw := n >> 2
+		acc = dotSwar16(x.w64[:nw], w.w64[:nw])
+		for i := nw << 2; i < n; i++ {
+			acc += int64(x.Raw(i)) * int64(w.Raw(i))
+		}
 	} else {
 		// vpmaddwd path (covers I16xI16 and mixed I8/I16): products are
 		// exact in 32 bits and pair sums are exact in 32 bits.
@@ -138,6 +155,48 @@ func (k *Dense) dotInt(x, w Vec, n int) float32 {
 		}
 	}
 	return float32(acc) * k.D.Fixed().Quantum() * k.M.Fixed().Quantum()
+}
+
+// dotSwar8 is the word-parallel body of the 8-bit dot pipeline: each
+// uint64 holds eight int8 lanes, i.e. four vpmaddubsw pairs. Lanes are
+// extracted by shifts, pair products widen exactly into 32 bits, and the
+// pair sum saturates at int16 exactly as the scalar reference does.
+func dotSwar8(xw, ww []uint64) int64 {
+	var acc int64
+	for i, a := range xw {
+		b := ww[i]
+		s0 := clampPair(int32(int8(a))*int32(int8(b)) + int32(int8(a>>8))*int32(int8(b>>8)))
+		s1 := clampPair(int32(int8(a>>16))*int32(int8(b>>16)) + int32(int8(a>>24))*int32(int8(b>>24)))
+		s2 := clampPair(int32(int8(a>>32))*int32(int8(b>>32)) + int32(int8(a>>40))*int32(int8(b>>40)))
+		s3 := clampPair(int32(int8(a>>48))*int32(int8(b>>48)) + int32(int8(a>>56))*int32(int8(b>>56)))
+		acc += int64(s0) + int64(s1) + int64(s2) + int64(s3)
+	}
+	return acc
+}
+
+// clampPair saturates a vpmaddubsw pair sum at the int16 bounds.
+func clampPair(s int32) int32 {
+	if s > 32767 {
+		return 32767
+	}
+	if s < -32768 {
+		return -32768
+	}
+	return s
+}
+
+// dotSwar16 is the word-parallel body of the 16-bit dot pipeline: four
+// int16 lanes per uint64, exact products, exact accumulation.
+func dotSwar16(xw, ww []uint64) int64 {
+	var acc int64
+	for i, a := range xw {
+		b := ww[i]
+		acc += int64(int16(a))*int64(int16(b)) +
+			int64(int16(a>>16))*int64(int16(b>>16)) +
+			int64(int16(a>>32))*int64(int16(b>>32)) +
+			int64(int16(a>>48))*int64(int16(b>>48))
+	}
+	return acc
 }
 
 // dotIntC mirrors dotInt with saturation counting: the 8-bit pair add is
@@ -226,11 +285,65 @@ func (k *Dense) axpyInt(a float32, x, w Vec, n int) {
 	fx := k.D.Fixed()
 	fm := k.M.Fixed()
 	shift := fx.Frac + aqFrac - fm.Frac
-	for i := 0; i < n; i++ {
+	i := 0
+	if swarOn && x.w64 != nil && w.w64 != nil &&
+		(k.D == I8 || k.D == I16) && (k.M == I8 || k.M == I16) {
+		i = k.axpySwar(int64(aq), shift, x, w, n)
+	}
+	// Scalar reference loop; also finishes the ragged tail (n mod 8) of
+	// the word path, popping the same rounding-lane stream the vector
+	// entry point would.
+	for ; i < n; i++ {
 		wide := int64(x.Raw(i)) * int64(aq)
 		delta := k.Q.RoundRaw(wide, shift)
 		w.SetRaw(i, fm.Saturate(int64(w.Raw(i))+int64(delta)))
 	}
+}
+
+// axpySwar is the word-parallel body of the integer AXPY pipeline: eight
+// elements per iteration are loaded with word accesses, multiplied wide by
+// the broadcast scalar, rounded through the quantizer's vector entry point
+// (which consumes rounding randomness in scalar lane order), packed back
+// into lane words and added to the model with the word-parallel saturating
+// adds. RoundRaw8 already saturates every delta into the model format, so
+// the packed lanes are exact and the final add is the only clamp — the
+// same two-stage structure as the scalar loop, hence bit-identical. It
+// returns how many elements it processed (a multiple of 8).
+func (k *Dense) axpySwar(a64 int64, shift uint, x, w Vec, n int) int {
+	n8 := n &^ 7
+	var xv [8]int32
+	var wide [8]int64
+	var delta [8]int32
+	for i := 0; i < n8; i += 8 {
+		x.lanes8(i>>3, &xv)
+		for l := range wide {
+			wide[l] = int64(xv[l]) * a64
+		}
+		k.Q.RoundRaw8(&wide, shift, &delta)
+		if k.M == I8 {
+			dw := uint64(uint8(delta[0])) |
+				uint64(uint8(delta[1]))<<8 |
+				uint64(uint8(delta[2]))<<16 |
+				uint64(uint8(delta[3]))<<24 |
+				uint64(uint8(delta[4]))<<32 |
+				uint64(uint8(delta[5]))<<40 |
+				uint64(uint8(delta[6]))<<48 |
+				uint64(uint8(delta[7]))<<56
+			w.w64[i>>3] = fixed.AddSat8x8(w.w64[i>>3], dw)
+		} else {
+			d0 := uint64(uint16(delta[0])) |
+				uint64(uint16(delta[1]))<<16 |
+				uint64(uint16(delta[2]))<<32 |
+				uint64(uint16(delta[3]))<<48
+			d1 := uint64(uint16(delta[4])) |
+				uint64(uint16(delta[5]))<<16 |
+				uint64(uint16(delta[6]))<<32 |
+				uint64(uint16(delta[7]))<<48
+			w.w64[i>>2] = fixed.AddSat16x4(w.w64[i>>2], d0)
+			w.w64[i>>2+1] = fixed.AddSat16x4(w.w64[i>>2+1], d1)
+		}
+	}
+	return n8
 }
 
 // axpyIntC mirrors axpyInt with health counting: a dropped whole update
@@ -260,7 +373,13 @@ func (k *Dense) axpyIntC(a float32, x, w Vec, n int) {
 }
 
 // quantizeScalarA rounds the AXPY scalar into its 16-bit broadcast lane
-// (frac aqFrac), saturating at the lane bounds.
+// (frac aqFrac), saturating at the lane bounds. Ties round half away from
+// zero: the scale by 2^aqFrac is exact in float64 for every float32 input,
+// so a value landing exactly on k+0.5 lane quanta becomes k+1 (positive)
+// or -(k+1) (negative) with no double-rounding — the same conversion the
+// hand-optimized AVX2 kernel performs on the host when it prepares the
+// broadcast lane, which is why this helper is shared by every integer
+// AXPY variant. TestQuantizeScalarABoundaries pins the boundary cases.
 func quantizeScalarA(a float32) int32 {
 	scaled := float64(a) * float64(int64(1)<<aqFrac)
 	if scaled >= 0 {

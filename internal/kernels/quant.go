@@ -66,6 +66,20 @@ type Quantizer struct {
 	// when unset; see fixed.NumCounts for the ownership contract.
 	Num *fixed.NumCounts
 	src prng.Source
+	// src64 is non-nil for the batched kinds (QXorshift, QHardware),
+	// whose rounding words come from the lane buffer below: one 64-bit
+	// draw refills all eight lanes (the paper's §4 trick of stretching
+	// few fresh random bits across a vector of roundings). QMersenne and
+	// QShared keep one source draw per value — their defining cost/reuse
+	// behaviour — merely staged through the same buffer-free path.
+	src64 prng.Source64
+	// rbuf holds buffered rounding words; rpos is the next unconsumed
+	// lane. Scalar and vector rounding entry points pop lanes strictly in
+	// order, so the stream a value sees never depends on how values were
+	// grouped into calls — the lockstep invariant the SWAR kernels rely
+	// on for bit-identity with the scalar reference.
+	rbuf [prng.BatchLanes]uint32
+	rpos int
 }
 
 // NewQuantizer builds a quantizer for model precision m with the given
@@ -74,13 +88,15 @@ func NewQuantizer(m Prec, kind QuantKind, period int, seed uint64) (*Quantizer, 
 	if m == F32 {
 		return nil, fmt.Errorf("kernels: float model needs no quantizer")
 	}
-	q := &Quantizer{Fmt: m.Fixed(), Kind: kind, Period: period}
+	q := &Quantizer{Fmt: m.Fixed(), Kind: kind, Period: period, rpos: prng.BatchLanes}
 	switch kind {
 	case QBiased:
 	case QMersenne:
 		q.src = prng.NewMT19937(uint32(seed) | 1)
 	case QXorshift, QHardware:
-		q.src = prng.NewBatch(seed)
+		b := prng.NewBatch(seed)
+		q.src = b
+		q.src64 = b
 	case QShared:
 		if period < 1 {
 			period = prng.BatchLanes
@@ -114,22 +130,123 @@ func (q *Quantizer) Mode() fixed.Rounding {
 	return fixed.Biased
 }
 
+// refill reloads the rounding-lane buffer from one 64-bit generator draw:
+// byte i of the draw is replicated across all four bytes of lane i, so any
+// low-bit mask a rounding shift applies (6, 14 or 22 bits in the AXPY
+// pipeline) still sees a uniform 256-level dither. Spending 8 fresh bits
+// per rounding instead of 32 is the §4 hardware-efficiency trade; each
+// individual rounding remains unbiased to within the dither granularity.
+func (q *Quantizer) refill() {
+	w := q.src64.Uint64()
+	for i := range q.rbuf {
+		q.rbuf[i] = uint32(byte(w>>(8*uint(i)))) * 0x01010101
+	}
+	q.rpos = 0
+}
+
+// rand returns the next rounding word: through the lane buffer for batched
+// kinds, straight from the source otherwise.
+func (q *Quantizer) rand() uint32 {
+	if q.src64 == nil {
+		return q.src.Uint32()
+	}
+	if q.rpos >= prng.BatchLanes {
+		q.refill()
+	}
+	u := q.rbuf[q.rpos]
+	q.rpos++
+	return u
+}
+
+// Uint32 makes the quantizer its own fixed.RandSource, drawing through the
+// rounding-lane buffer so every path — scalar or vector, counted or not —
+// consumes the identical lane stream.
+func (q *Quantizer) Uint32() uint32 { return q.rand() }
+
+// Rand8 fills dst with the next eight rounding words — exactly the words
+// eight successive scalar roundings would consume.
+func (q *Quantizer) Rand8(dst *[prng.BatchLanes]uint32) {
+	if q.src64 != nil {
+		if q.rpos >= prng.BatchLanes {
+			q.refill()
+		}
+		if q.rpos == 0 {
+			*dst = q.rbuf
+			q.rpos = prng.BatchLanes
+			return
+		}
+	}
+	for i := range dst {
+		dst[i] = q.rand()
+	}
+}
+
 // Quantize rounds a real value into the model format.
 func (q *Quantizer) Quantize(x float32) int32 {
 	if q.Num != nil {
-		return q.Fmt.QuantizeC(x, q.Mode(), q.src, q.Num)
+		return q.Fmt.QuantizeC(x, q.Mode(), q, q.Num)
 	}
 	if q.Kind.Unbiased() {
-		return q.Fmt.QuantizeUnbiased(x, q.src)
+		return q.Fmt.QuantizeUnbiased(x, q)
 	}
 	return q.Fmt.QuantizeBiased(x)
+}
+
+// QuantizeBlock quantizes a block of reals into raw model values,
+// consuming rounding randomness in the same lane order as per-value
+// Quantize calls (so blocked and elementwise quantization are
+// interchangeable bit-for-bit). Sized calls of 16 values — one 64-byte
+// cache line of float32 gradient — cost two 64-bit draws on the batched
+// kinds instead of sixteen generator calls.
+func (q *Quantizer) QuantizeBlock(xs []float32, out []int32) {
+	if len(out) != len(xs) {
+		panic(fmt.Sprintf("kernels: QuantizeBlock length mismatch %d != %d", len(out), len(xs)))
+	}
+	for i, x := range xs {
+		out[i] = q.Quantize(x)
+	}
 }
 
 // RoundRaw requantizes a wide raw value down by shift bits (integer AXPY
 // pipeline; see fixed.Format.RoundRaw).
 func (q *Quantizer) RoundRaw(v int64, shift uint) int32 {
-	if q.Num != nil {
-		return q.Fmt.RoundRawC(v, shift, q.Mode(), q.src, q.Num)
+	var u uint32
+	if q.Kind.Unbiased() && shift != 0 {
+		u = q.rand()
 	}
-	return q.Fmt.RoundRaw(v, shift, q.Mode(), q.src)
+	if q.Num != nil {
+		return q.Fmt.RoundRawUC(v, shift, q.Mode(), u, q.Num)
+	}
+	return q.Fmt.RoundRawU(v, shift, q.Mode(), u)
+}
+
+// RoundRaw8 rounds eight wide raw values by shift in one call — the vector
+// half of the integer AXPY pipeline. It consumes exactly the rounding
+// words eight scalar RoundRaw calls would, in lane order, so the SWAR and
+// scalar kernels stay bit-identical for any grouping of elements.
+func (q *Quantizer) RoundRaw8(v *[8]int64, shift uint, out *[8]int32) {
+	mode := q.Mode()
+	if mode == fixed.Unbiased && shift != 0 {
+		var u [prng.BatchLanes]uint32
+		q.Rand8(&u)
+		if q.Num != nil {
+			for i := range v {
+				out[i] = q.Fmt.RoundRawUC(v[i], shift, mode, u[i], q.Num)
+			}
+			return
+		}
+		for i := range v {
+			out[i] = q.Fmt.RoundRawU(v[i], shift, mode, u[i])
+		}
+		return
+	}
+	if q.Num != nil {
+		for i := range v {
+			out[i] = q.Fmt.RoundRawUC(v[i], shift, mode, 0, q.Num)
+		}
+		return
+	}
+	for i := range v {
+		out[i] = q.Fmt.RoundRawU(v[i], shift, mode, 0)
+	}
 }

@@ -65,10 +65,46 @@ func (k *Sparse) Dot(idx []int32, x, w Vec) float32 {
 		// Integer gather pipeline: exact widening multiplies, wide
 		// accumulation (the gathered model values cannot use the
 		// paired vpmadd instructions, so products accumulate
-		// individually).
+		// individually). The nonzero values are stored densely, so the
+		// word path loads them eight lanes at a time and gathers the
+		// model through the typed slice, skipping the per-element
+		// precision dispatch; accumulation order is unchanged, so the
+		// sum is bit-identical to the scalar reference.
 		var acc int64
-		for j, i := range idx {
-			acc += int64(x.Raw(j)) * int64(w.Raw(int(i)))
+		j := 0
+		if swarOn && x.w64 != nil && (k.D == I8 || k.D == I16) && (k.M == I8 || k.M == I16) {
+			n8 := len(idx) &^ 7
+			var xv [8]int32
+			if k.M == I8 {
+				wr := w.I8
+				for ; j < n8; j += 8 {
+					x.lanes8(j>>3, &xv)
+					acc += int64(xv[0])*int64(wr[idx[j]]) +
+						int64(xv[1])*int64(wr[idx[j+1]]) +
+						int64(xv[2])*int64(wr[idx[j+2]]) +
+						int64(xv[3])*int64(wr[idx[j+3]]) +
+						int64(xv[4])*int64(wr[idx[j+4]]) +
+						int64(xv[5])*int64(wr[idx[j+5]]) +
+						int64(xv[6])*int64(wr[idx[j+6]]) +
+						int64(xv[7])*int64(wr[idx[j+7]])
+				}
+			} else {
+				wr := w.I16
+				for ; j < n8; j += 8 {
+					x.lanes8(j>>3, &xv)
+					acc += int64(xv[0])*int64(wr[idx[j]]) +
+						int64(xv[1])*int64(wr[idx[j+1]]) +
+						int64(xv[2])*int64(wr[idx[j+2]]) +
+						int64(xv[3])*int64(wr[idx[j+3]]) +
+						int64(xv[4])*int64(wr[idx[j+4]]) +
+						int64(xv[5])*int64(wr[idx[j+5]]) +
+						int64(xv[6])*int64(wr[idx[j+6]]) +
+						int64(xv[7])*int64(wr[idx[j+7]])
+				}
+			}
+		}
+		for ; j < len(idx); j++ {
+			acc += int64(x.Raw(j)) * int64(w.Raw(int(idx[j])))
 		}
 		return float32(acc) * k.D.Fixed().Quantum() * k.M.Fixed().Quantum()
 	}
@@ -112,7 +148,13 @@ func (k *Sparse) Axpy(a float32, idx []int32, x, w Vec) {
 			}
 			return
 		}
-		for j, i := range idx {
+		j := 0
+		if swarOn && x.w64 != nil && (k.D == I8 || k.D == I16) && (k.M == I8 || k.M == I16) {
+			j = k.axpySwar(int64(aq), shift, idx, x, w)
+		}
+		// Scalar reference loop; also the ragged tail of the word path.
+		for ; j < len(idx); j++ {
+			i := idx[j]
 			wide := int64(x.Raw(j)) * int64(aq)
 			delta := k.Q.RoundRaw(wide, shift)
 			w.SetRaw(int(i), fm.Saturate(int64(w.Raw(int(i)))+int64(delta)))
@@ -139,4 +181,39 @@ func (k *Sparse) Axpy(a float32, idx []int32, x, w Vec) {
 			w.Set(int(i), w.At(int(i))+a*x.At(j), k.Q)
 		}
 	}
+}
+
+// axpySwar is the word-parallel body of the sparse integer AXPY: the dense
+// nonzero values are loaded eight lanes per word access and rounded
+// through the quantizer's vector entry point (same rounding-lane order as
+// the scalar loop), while the scattered model updates stay elementwise —
+// duplicate indices inside a block must read each other's writes, exactly
+// as the scalar reference does. Returns the nonzero count processed.
+func (k *Sparse) axpySwar(a64 int64, shift uint, idx []int32, x, w Vec) int {
+	fm := k.M.Fixed()
+	n8 := len(idx) &^ 7
+	var xv [8]int32
+	var wide [8]int64
+	var delta [8]int32
+	for j := 0; j < n8; j += 8 {
+		x.lanes8(j>>3, &xv)
+		for l := range wide {
+			wide[l] = int64(xv[l]) * a64
+		}
+		k.Q.RoundRaw8(&wide, shift, &delta)
+		if k.M == I8 {
+			wr := w.I8
+			for l := 0; l < 8; l++ {
+				t := idx[j+l]
+				wr[t] = int8(fm.Saturate(int64(wr[t]) + int64(delta[l])))
+			}
+		} else {
+			wr := w.I16
+			for l := 0; l < 8; l++ {
+				t := idx[j+l]
+				wr[t] = int16(fm.Saturate(int64(wr[t]) + int64(delta[l])))
+			}
+		}
+	}
+	return n8
 }

@@ -21,9 +21,25 @@ package kernels
 
 import (
 	"fmt"
+	"unsafe"
 
 	"buckwild/internal/fixed"
 )
+
+// swarLE reports whether the host stores uint64 words little-endian, so
+// that lane i of a packed word is element 8*w+i (int8) or 4*w+i (int16) of
+// the element view — the layout the SWAR kernels assume. On big-endian
+// hosts vectors simply carry no word view and every kernel takes the
+// scalar reference path.
+var swarLE = func() bool {
+	x := uint64(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// swarOn is the kill switch for the SWAR fast paths, true in production.
+// The differential tests flip it to force the scalar reference loops over
+// identical inputs and compare bit-for-bit.
+var swarOn = true
 
 // Prec is a storage precision for dataset or model numbers.
 type Prec int
@@ -113,11 +129,21 @@ func ParsePrec(s string) (Prec, error) {
 // Vec is a vector stored at one of the supported precisions. Exactly one of
 // the backing slices is non-nil, selected by P. I4 values live in I8 with
 // each element restricted to [-8, 7].
+//
+// For the fixed-point precisions NewVec allocates the storage as a
+// []uint64 word array and exposes the element slice as an unsafe view into
+// it, so the SWAR kernels can load and store eight int8 (or four int16)
+// lanes with one word access. w64 is that word array — ceil(n*size/8)
+// words, zero-padded past n — or nil when the vector was built from a bare
+// element slice or the host is big-endian; kernels treat nil as "scalar
+// path only". The element slices and w64 alias the same memory, so scalar
+// tail code and word code interleave safely.
 type Vec struct {
 	P   Prec
 	F32 []float32
 	I16 []int16
 	I8  []int8
+	w64 []uint64
 }
 
 // NewVec allocates a zero vector of length n at precision p.
@@ -127,13 +153,53 @@ func NewVec(p Prec, n int) Vec {
 	case F32:
 		v.F32 = make([]float32, n)
 	case I16:
-		v.I16 = make([]int16, n)
+		if swarLE && n > 0 {
+			words := (n + 3) / 4
+			v.w64 = make([]uint64, words)
+			v.I16 = unsafe.Slice((*int16)(unsafe.Pointer(&v.w64[0])), words*4)[:n]
+		} else {
+			v.I16 = make([]int16, n)
+		}
 	case I8, I4:
-		v.I8 = make([]int8, n)
+		if swarLE && n > 0 {
+			words := (n + 7) / 8
+			v.w64 = make([]uint64, words)
+			v.I8 = unsafe.Slice((*int8)(unsafe.Pointer(&v.w64[0])), words*8)[:n]
+		} else {
+			v.I8 = make([]int8, n)
+		}
 	default:
 		panic(fmt.Sprintf("kernels: NewVec: invalid Prec(%d)", int(p)))
 	}
 	return v
+}
+
+// lanes8 loads the raw values of elements 8*blk .. 8*blk+7 into dst with
+// word accesses (one uint64 load for I8/I4, two for I16). The caller
+// guarantees the vector has a word view and the block is fully in range.
+func (v Vec) lanes8(blk int, dst *[8]int32) {
+	if v.P == I16 {
+		w0 := v.w64[2*blk]
+		w1 := v.w64[2*blk+1]
+		dst[0] = int32(int16(w0))
+		dst[1] = int32(int16(w0 >> 16))
+		dst[2] = int32(int16(w0 >> 32))
+		dst[3] = int32(int16(w0 >> 48))
+		dst[4] = int32(int16(w1))
+		dst[5] = int32(int16(w1 >> 16))
+		dst[6] = int32(int16(w1 >> 32))
+		dst[7] = int32(int16(w1 >> 48))
+		return
+	}
+	w := v.w64[blk]
+	dst[0] = int32(int8(w))
+	dst[1] = int32(int8(w >> 8))
+	dst[2] = int32(int8(w >> 16))
+	dst[3] = int32(int8(w >> 24))
+	dst[4] = int32(int8(w >> 32))
+	dst[5] = int32(int8(w >> 40))
+	dst[6] = int32(int8(w >> 48))
+	dst[7] = int32(int8(w >> 56))
 }
 
 // Len returns the vector length.

@@ -30,7 +30,6 @@ import (
 
 	"buckwild/internal/cache"
 	"buckwild/internal/kernels"
-	"buckwild/internal/obs"
 	"buckwild/internal/prng"
 	"buckwild/internal/simd"
 	"buckwild/internal/trace"
@@ -228,64 +227,21 @@ func SimulateCtx(ctx context.Context, mc Config, w Workload) (*Result, error) {
 	if sockets > 1 {
 		cc.CoresPerSocket = (w.Threads + sockets - 1) / sockets
 	}
-	h, err := cache.New(cc)
-	if err != nil {
-		return nil, err
-	}
-
 	elemsPerStep, compute, err := computeCycles(mc, w, simN)
 	if err != nil {
 		return nil, err
 	}
 
-	snk := &sink{
-		l1Lat:  cc.L1Lat,
-		mlp:    mc.MLP,
-		cycles: make([]float64, w.Threads),
-		coh:    make([]float64, w.Threads),
+	// The memory phase is memoized across workloads that share a trace
+	// (see memKey): the kernel variant and rounding strategy only affect
+	// the compute side above, so e.g. a Generic/HandOpt pair replays one
+	// cache simulation.
+	mem, err := memSimulate(ctx, w, cc, mc.MLP, simN)
+	if err != nil {
+		return nil, err
 	}
-	rng := prng.NewXorshift64(w.Seed ^ 0x5EED)
 
-	var offset uint64
-	runRound := func() error {
-		if ctx != nil && ctx.Err() != nil {
-			return context.Cause(ctx)
-		}
-		for c := 0; c < w.Threads; c++ {
-			if err := runStep(h, snk, c, w, simN, offset, rng); err != nil {
-				return err
-			}
-		}
-		offset += stepStreamBytes(w, simN)
-		return nil
-	}
-	// Phase spans land on the track the bounding context designates (the
-	// sweep pool assigns one per worker); a context without a tracer
-	// records nothing.
-	tracer := obs.TracerFrom(ctx)
-	tid := obs.TraceTID(ctx)
-	warmSpan := tracer.Begin("machine", "sim-warmup", tid)
-	for r := 0; r < warmRounds; r++ {
-		if err := runRound(); err != nil {
-			return nil, err
-		}
-	}
-	warmSpan.End()
-	h.ResetStats()
-	snk.access.Reset()
-	for i := range snk.cycles {
-		snk.cycles[i] = 0
-		snk.coh[i] = 0
-	}
-	measSpan := tracer.Begin("machine", "sim-measure", tid)
-	for r := 0; r < measRounds; r++ {
-		if err := runRound(); err != nil {
-			return nil, err
-		}
-	}
-	measSpan.EndArgs(map[string]string{"threads": fmt.Sprint(w.Threads)})
-
-	st := h.Stats()
+	st := mem.stats
 
 	// A single core cannot stream its dataset faster than its private
 	// bandwidth allows.
@@ -293,11 +249,11 @@ func SimulateCtx(ctx context.Context, mc Config, w Workload) (*Result, error) {
 
 	// Per-core step time: compute and memory overlap imperfectly.
 	var maxStep, memPerStep, cohPerStep float64
-	for c, cyc := range snk.cycles {
-		mem := cyc / measRounds
-		memPerStep += mem / float64(w.Threads)
-		cohPerStep += snk.coh[c] / measRounds / float64(w.Threads)
-		stp := overlap(compute, mem)
+	for c, cyc := range mem.cycles {
+		memc := cyc / measRounds
+		memPerStep += memc / float64(w.Threads)
+		cohPerStep += mem.coh[c] / measRounds / float64(w.Threads)
+		stp := overlap(compute, memc)
 		if stp < coreBWFloor {
 			stp = coreBWFloor
 		}
@@ -316,7 +272,7 @@ func SimulateCtx(ctx context.Context, mc Config, w Workload) (*Result, error) {
 	// cache line serialize, so a round cannot beat the hottest line's
 	// accumulated transaction latency. This is the floor that makes
 	// small shared models slow (Section 4's communication-bound regime).
-	pingPong := float64(h.MaxLineContention()) / measRounds
+	pingPong := float64(mem.maxContention) / measRounds
 
 	round := maxStep
 	bound := "memory"
@@ -348,7 +304,7 @@ func SimulateCtx(ctx context.Context, mc Config, w Workload) (*Result, error) {
 		CoherenceCyclesPerStep:  cohPerStep * scale,
 		Bound:                   bound,
 		Stats:                   st,
-		Access:                  snk.access,
+		Access:                  mem.access,
 		CoherenceEvents:         st.DirtyTransfers + st.Invalidates,
 		ObstinateRejects:        st.InvalidatesIgnored,
 		MeasuredSteps:           measRounds * w.Threads,

@@ -1,0 +1,131 @@
+package machine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"buckwild/internal/cache"
+	"buckwild/internal/obs"
+	"buckwild/internal/prng"
+	"buckwild/internal/trace"
+)
+
+// memKey identifies one memory-trace simulation: every input the cache
+// hierarchy's behaviour depends on. The kernel Variant and quantizer kind
+// are deliberately absent — they change the instruction stream (costed by
+// computeCycles) but not a single memory access, so sweep points that pair
+// Generic with HandOpt, or compare rounding strategies at fixed layout,
+// share one cache simulation. The reuse is bit-exact: the trace generators
+// and the hierarchy are deterministic functions of exactly these fields.
+type memKey struct {
+	// cc is the fully resolved hierarchy configuration (geometry, thread
+	// count, prefetch, obstinacy, NUMA split and seed), comparable by
+	// value.
+	cc       cache.Config
+	sparse   bool
+	dBytes   float64
+	idxBytes float64
+	mBytes   float64
+	simN     int
+	nnz      int
+	mini     int
+	seed     uint64
+}
+
+// memVal carries the measurement-window outputs of one memory simulation.
+// The slices are shared across Simulate calls and must be treated as
+// read-only by consumers.
+type memVal struct {
+	cycles        []float64
+	coh           []float64
+	access        trace.AccessStats
+	stats         cache.Stats
+	maxContention uint32
+}
+
+// memCache memoizes memSimulate across Simulate calls, mirroring
+// streamCache: written once per key, read many times, safe under the sweep
+// worker pool.
+var memCache sync.Map
+
+// memSimulate runs (or replays) the memory-trace phase of a workload:
+// warmup rounds, stats reset, measurement rounds. Results are memoized per
+// memKey; a hit skips hierarchy construction entirely.
+func memSimulate(ctx context.Context, w Workload, cc cache.Config, mlp float64, simN int) (*memVal, error) {
+	key := memKey{
+		cc:       cc,
+		sparse:   w.Sparse,
+		dBytes:   w.D.Bytes(),
+		idxBytes: float64(w.IdxBits) / 8,
+		mBytes:   w.M.Bytes(),
+		simN:     simN,
+		nnz:      workloadNNZ(w, simN),
+		mini:     w.MiniBatch,
+		seed:     w.Seed,
+	}
+	if v, ok := memCache.Load(key); ok {
+		return v.(*memVal), nil
+	}
+	h, err := cache.New(cc)
+	if err != nil {
+		return nil, err
+	}
+	snk := &sink{
+		l1Lat:  cc.L1Lat,
+		mlp:    mlp,
+		cycles: make([]float64, w.Threads),
+		coh:    make([]float64, w.Threads),
+	}
+	rng := prng.NewXorshift64(w.Seed ^ 0x5EED)
+
+	var offset uint64
+	runRound := func() error {
+		if ctx != nil && ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		for c := 0; c < w.Threads; c++ {
+			if err := runStep(h, snk, c, w, simN, offset, rng); err != nil {
+				return err
+			}
+		}
+		offset += stepStreamBytes(w, simN)
+		return nil
+	}
+	// Phase spans land on the track the bounding context designates (the
+	// sweep pool assigns one per worker); a context without a tracer
+	// records nothing. Replayed (memoized) simulations emit no spans —
+	// there is no work to time.
+	tracer := obs.TracerFrom(ctx)
+	tid := obs.TraceTID(ctx)
+	warmSpan := tracer.Begin("machine", "sim-warmup", tid)
+	for r := 0; r < warmRounds; r++ {
+		if err := runRound(); err != nil {
+			return nil, err
+		}
+	}
+	warmSpan.End()
+	h.ResetStats()
+	snk.access.Reset()
+	for i := range snk.cycles {
+		snk.cycles[i] = 0
+		snk.coh[i] = 0
+	}
+	measSpan := tracer.Begin("machine", "sim-measure", tid)
+	for r := 0; r < measRounds; r++ {
+		if err := runRound(); err != nil {
+			return nil, err
+		}
+	}
+	measSpan.EndArgs(map[string]string{"threads": fmt.Sprint(w.Threads)})
+
+	mv := &memVal{
+		cycles:        snk.cycles,
+		coh:           snk.coh,
+		access:        snk.access,
+		stats:         h.Stats(),
+		maxContention: h.MaxLineContention(),
+	}
+	memCache.Store(key, mv)
+	return mv, nil
+}

@@ -24,6 +24,17 @@ type Source interface {
 	Uint32() uint32
 }
 
+// Source64 is a Source that can also hand out 64 bits in one draw. The
+// batched rounding paths use it to pull one wide word and stretch it across
+// eight packed values (Section 4's "generate fewer random bits" strategy);
+// Batch implements it by draining two buffered lane words per call.
+type Source64 interface {
+	Source
+	// Uint64 returns the next 64 uniformly distributed random bits,
+	// consuming the stream exactly as two consecutive Uint32 calls would.
+	Uint64() uint64
+}
+
 // Float32 derives a uniform float in [0, 1) from a source word.
 func Float32(s Source) float32 {
 	return float32(s.Uint32()>>8) * (1.0 / (1 << 24))
@@ -172,6 +183,22 @@ func (b *Batch) Uint32() uint32 {
 	v := b.buf[b.pos]
 	b.pos++
 	return v
+}
+
+// Uint64 returns the next 64 buffered random bits — two consecutive lane
+// words, identical to two Uint32 calls. One Uint64 is the block draw behind
+// batched stochastic rounding: its eight bytes seed the rounding words for
+// eight packed values (see kernels.Quantizer), so a full lane refill pays
+// for 32 roundings instead of 8.
+func (b *Batch) Uint64() uint64 {
+	if b.pos+2 <= BatchLanes {
+		v := uint64(b.buf[b.pos])<<32 | uint64(b.buf[b.pos+1])
+		b.pos += 2
+		return v
+	}
+	hi := b.Uint32()
+	lo := b.Uint32()
+	return uint64(hi)<<32 | uint64(lo)
 }
 
 // Words returns the current buffered words without consuming them,

@@ -207,3 +207,42 @@ func TestXorshift128FullPeriodSmoke(t *testing.T) {
 		seen[v] = i
 	}
 }
+
+func TestBatchUint64(t *testing.T) {
+	// Uint64 must consume the lane stream exactly as two Uint32 calls,
+	// from any buffer alignment (including straddling a refill).
+	ref := NewBatch(77)
+	var words []uint32
+	for i := 0; i < 40; i++ {
+		words = append(words, ref.Uint32())
+	}
+
+	b := NewBatch(77)
+	pos := 0
+	take32 := func() uint32 {
+		w := b.Uint32()
+		if w != words[pos] {
+			t.Fatalf("word %d: Uint32 = %#x, want %#x", pos, w, words[pos])
+		}
+		pos++
+		return w
+	}
+	take64 := func() {
+		w := b.Uint64()
+		want := uint64(words[pos])<<32 | uint64(words[pos+1])
+		if w != want {
+			t.Fatalf("word %d: Uint64 = %#x, want %#x", pos, w, want)
+		}
+		pos += 2
+	}
+	take64() // aligned
+	take32() // odd position
+	take64() // misaligned
+	for pos < 7 {
+		take32()
+	}
+	take64() // straddles the lane refill at word 8
+	for i := 0; i < 5; i++ {
+		take64()
+	}
+}
