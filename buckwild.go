@@ -16,6 +16,10 @@
 //   - synchronous quantized-gradient training with error feedback
 //     (TrainSync), LIBSVM input (LoadLibSVM) and model persistence
 //     (SaveModelFile / LoadModelFile);
+//   - a simulated multi-node cluster tier (Config.Cluster): a parameter
+//     server and a pipelined all-reduce over a latency/bandwidth-modeled
+//     interconnect, with gradients wire-quantized at the communication
+//     precision and every wire byte counted exactly (Result.Cluster);
 //   - run-level observability: training hooks, per-run counters and a
 //     sampled write–read staleness histogram (Hooks, RunStats), collected
 //     only when requested and free otherwise.
@@ -38,7 +42,6 @@ import (
 	"buckwild/internal/dmgc"
 	"buckwild/internal/fixed"
 	"buckwild/internal/kernels"
-	"buckwild/internal/machine"
 	"buckwild/internal/obs"
 )
 
@@ -278,6 +281,12 @@ type Config struct {
 	// facade's "buckwild:" prefix — errors.Is still matches. Nil means
 	// the run is unbounded, at no per-step cost.
 	Context context.Context
+
+	// Cluster extends the run across a simulated multi-node cluster. The
+	// zero value keeps single-machine training exactly as before; with
+	// Nodes >= 2, dense runs go through the cluster tier (see
+	// ClusterConfig) and Result.Cluster reports the exact wire bytes.
+	Cluster ClusterConfig
 }
 
 // Validate checks the configuration without running anything. Every
@@ -314,14 +323,14 @@ func (c Config) Validate() error {
 	if c.StepSample < 0 {
 		return fmt.Errorf("buckwild: negative step-sample period %d", c.StepSample)
 	}
-	return nil
+	return c.Cluster.Validate()
 }
 
 // internalPrefixes are the error prefixes of the internal packages; the
 // facade rewrites them to its own uniform prefix.
 var internalPrefixes = []string{
 	"core: ", "dataset: ", "run: ", "dmgc: ", "machine: ",
-	"kernels: ", "fixed: ", "obs: ", "sweep: ",
+	"kernels: ", "fixed: ", "obs: ", "sweep: ", "cluster: ",
 }
 
 // wrapErr gives every error that crosses the facade the uniform
@@ -465,39 +474,6 @@ func precOf(bits uint, isFloat bool) (kernels.Prec, error) {
 	return 0, fmt.Errorf("buckwild: unsupported precision %d (use 4, 8, 16 or 32f)", bits)
 }
 
-// TrainDense runs Buckwild! SGD on a dense dataset. The dataset must be
-// stored at the signature's dataset precision (see GenerateDense).
-func TrainDense(cfg Config, ds *DenseDataset) (*Result, error) {
-	cc, err := cfg.coreConfig(false, 0)
-	if err != nil {
-		return nil, err
-	}
-	if ds == nil || ds.Len() == 0 {
-		return nil, fmt.Errorf("buckwild: empty dataset")
-	}
-	if ds.X[0].P != cc.D {
-		return nil, fmt.Errorf("buckwild: dataset stored at %v but signature wants %v", ds.X[0].P, cc.D)
-	}
-	res, err := core.TrainDense(cc, ds)
-	return res, wrapErr(err)
-}
-
-// TrainSparse runs Buckwild! SGD on a sparse dataset.
-func TrainSparse(cfg Config, ds *SparseDataset) (*Result, error) {
-	if ds == nil || ds.Len() == 0 {
-		return nil, fmt.Errorf("buckwild: empty dataset")
-	}
-	cc, err := cfg.coreConfig(true, ds.IdxBits)
-	if err != nil {
-		return nil, err
-	}
-	if ds.Val[0].P != cc.D {
-		return nil, fmt.Errorf("buckwild: dataset stored at %v but signature wants %v", ds.Val[0].P, cc.D)
-	}
-	res, err := core.TrainSparse(cc, ds)
-	return res, wrapErr(err)
-}
-
 // GenerateDense samples a dense logistic-regression dataset from the
 // paper's generative model, quantized at the signature's dataset
 // precision.
@@ -551,143 +527,4 @@ func orDefault(s, def string) string {
 		return def
 	}
 	return s
-}
-
-// MachineResult re-exports the simulated-machine result.
-type MachineResult = machine.Result
-
-// Toggle is a three-state boolean whose zero value means "use the
-// default", so SimOptions' zero value changes nothing.
-type Toggle int
-
-// Toggle states.
-const (
-	// DefaultToggle keeps the option's documented default.
-	DefaultToggle Toggle = iota
-	// On and Off force the option.
-	On
-	Off
-)
-
-// enabled resolves the toggle against its default.
-func (t Toggle) enabled(def bool) bool {
-	switch t {
-	case On:
-		return true
-	case Off:
-		return false
-	}
-	return def
-}
-
-// SimOptions customizes SimulateThroughput's workload. The zero value
-// reproduces the historical hard-coded behaviour exactly:
-//
-//	Variant  ""  → hand-optimized kernels; the Section 6.1 proposed
-//	               instructions when either precision is 4-bit
-//	Rounding ""  → UnbiasedShared with the paper's reuse period of 8
-//	Density  0   → 0.03 (sparse workloads only)
-//	Prefetch 0   → on (DefaultToggle)
-//	Seed     0   → 1
-type SimOptions struct {
-	// Variant is "handopt", "generic" or "newinsn"; empty selects the
-	// precision-appropriate default above.
-	Variant string
-	// Rounding selects the simulated rounding strategy; UnbiasedHardware
-	// models the proposed QAXPY instructions.
-	Rounding Rounding
-	// Density is the sparse nonzero fraction.
-	Density float64
-	// Prefetch toggles the hardware prefetcher (Section 5.3).
-	Prefetch Toggle
-	// Seed seeds the simulated cache and trace randomness.
-	Seed uint64
-	// Context, when non-nil, bounds the simulation: it is checked between
-	// simulated rounds, and cancellation returns the context's cause with
-	// the "buckwild:" prefix.
-	Context context.Context
-	// Tracer, when non-nil, records the simulation's warm-up and
-	// measurement phases as trace spans. Nil traces nothing at no cost.
-	Tracer *Tracer
-}
-
-func (o SimOptions) variant(d, m kernels.Prec) (kernels.Variant, error) {
-	switch o.Variant {
-	case "":
-		if d == kernels.I4 || m == kernels.I4 {
-			return kernels.NewInsn, nil
-		}
-		return kernels.HandOpt, nil
-	case "handopt":
-		return kernels.HandOpt, nil
-	case "generic":
-		return kernels.Generic, nil
-	case "newinsn":
-		return kernels.NewInsn, nil
-	}
-	return 0, fmt.Errorf("buckwild: unknown kernel variant %q (use handopt, generic or newinsn)", o.Variant)
-}
-
-// SimulateThroughput runs the simulated Xeon on an SGD workload with the
-// given signature and returns its predicted hardware efficiency. It is
-// the programmatic interface to the Table 2 / Figure 2 experiments;
-// cmd/experiments exposes the full sweeps. At most one SimOptions may be
-// given; omitting it (or passing its zero value) keeps the historical
-// workload documented on SimOptions.
-func SimulateThroughput(sigText string, modelSize, threads int, opts ...SimOptions) (*MachineResult, error) {
-	var o SimOptions
-	switch len(opts) {
-	case 0:
-	case 1:
-		o = opts[0]
-	default:
-		return nil, fmt.Errorf("buckwild: at most one SimOptions, got %d", len(opts))
-	}
-	sig, err := dmgc.Parse(sigText)
-	if err != nil {
-		return nil, wrapErr(err)
-	}
-	d, err := precOf(sig.DatasetBits(), sig.D.Float || !sig.D.Present)
-	if err != nil {
-		return nil, err
-	}
-	m, err := precOf(sig.ModelBits(), sig.M.Float || !sig.M.Present)
-	if err != nil {
-		return nil, err
-	}
-	variant, err := o.variant(d, m)
-	if err != nil {
-		return nil, err
-	}
-	quant, err := o.Rounding.kind()
-	if err != nil {
-		return nil, err
-	}
-	density := o.Density
-	if density == 0 {
-		density = 0.03
-	}
-	if density < 0 || density > 1 {
-		return nil, fmt.Errorf("buckwild: density %v out of (0, 1]", density)
-	}
-	seed := o.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	w := machine.Workload{
-		Sparse:      sig.Sparse(),
-		D:           d,
-		M:           m,
-		IdxBits:     sig.IndexBits(),
-		Variant:     variant,
-		Quant:       quant,
-		QuantPeriod: 8,
-		ModelSize:   modelSize,
-		Density:     density,
-		Threads:     threads,
-		Prefetch:    o.Prefetch.enabled(true),
-		Seed:        seed,
-	}
-	res, err := machine.SimulateCtx(obs.ContextWithTracer(o.Context, o.Tracer), machine.Xeon(), w)
-	return res, wrapErr(err)
 }

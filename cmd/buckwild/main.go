@@ -7,6 +7,14 @@
 //
 // Sparse signatures (with an "i" index term) require -sparse.
 //
+// -nodes >= 2 trains on a simulated multi-node cluster instead of the
+// shared-memory engine (dense datasets only): discrete-event simulated
+// machines over a latency/bandwidth-modeled interconnect, gradients
+// wire-quantized to the signature's C term or the explicit -wire-bits:
+//
+//	buckwild -sig D32fM32fC8 -nodes 4 -cluster-protocol all-reduce
+//	buckwild -nodes 8 -wire-bits 8 -staleness-comp 0.3 -stats
+//
 // With -checkpoint-dir the run is supervised: it checkpoints
 // periodically, resumes from the newest valid checkpoint after a crash
 // or a detected stall (including across process restarts — rerun the
@@ -147,6 +155,11 @@ func main() {
 		seriesPath   = flag.String("series", "", "write the windowed training time-series to this file (.csv for CSV, otherwise JSON)")
 		seriesBudget = flag.Int("series-budget", 0, "time-series window budget (0 = default)")
 
+		nodes     = flag.Int("nodes", 0, "simulated cluster size; >= 2 trains on a simulated multi-node interconnect (dense only)")
+		proto     = flag.String("cluster-protocol", "", "cluster protocol: param-server or all-reduce (with -nodes; default param-server)")
+		wireBits  = flag.Uint("wire-bits", 0, "gradient wire precision in bits: 4, 8, 16 or 32 (0 = the signature's C term; with -nodes)")
+		staleComp = flag.Float64("staleness-comp", 0, "staleness compensation alpha: stale updates apply eta/(1+alpha*staleness) (with -nodes)")
+
 		ckptDir   = flag.String("checkpoint-dir", "", "supervise the run: checkpoint here, resume and retry on failure")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint period in epochs (with -checkpoint-dir)")
 		retries   = flag.Int("retries", 3, "max retries after crashes or detected stalls (with -checkpoint-dir)")
@@ -187,6 +200,14 @@ func main() {
 		CollectStats:   *stats || *report != "",
 		NumHealth:      *stats || *report != "" || *healthW || *httpAddr != "",
 		Context:        ctx,
+		Cluster: buckwild.ClusterConfig{
+			Nodes:          *nodes,
+			Protocol:       buckwild.ClusterProtocol(*proto),
+			WireBits:       *wireBits,
+			ErrorFeedback:  true,
+			BatchPerNode:   *batch,
+			StalenessAlpha: *staleComp,
+		},
 	}
 	if *tracePath != "" {
 		cfg.Tracer = buckwild.NewTracer(*traceCap)
@@ -199,6 +220,9 @@ func main() {
 	}
 
 	supervised := *ckptDir != ""
+	if *nodes >= 2 && supervised {
+		fatal(fmt.Errorf("-checkpoint-dir does not support cluster runs (drop -nodes or the checkpoint dir)"))
+	}
 	var plan *buckwild.FaultPlan
 	if *faultSpec != "" {
 		if !supervised {
@@ -302,8 +326,21 @@ func main() {
 	for e, l := range res.TrainLoss {
 		fmt.Printf("%-8d%.6f\n", e, l)
 	}
-	fmt.Printf("\n%d updates in %v (%.1f M numbers/s on this host)\n",
-		res.Steps, res.Elapsed.Round(1e6), res.NumbersPerSec/1e6)
+	if c := res.Cluster; c != nil {
+		fmt.Printf("\n%d updates in %.4f simulated seconds (%.3g examples/sim-s)\n",
+			res.Steps, c.SimSeconds, c.ExamplesPerSimSec)
+		fmt.Printf("cluster: %d nodes, %s protocol, C%d wire\n", c.Nodes, c.Protocol, c.WireBits)
+		fmt.Printf("  %d messages (%d gradient pushes, %d model pulls): %d wire bytes = %d header + %d gradient + %d model\n",
+			c.Messages, c.GradPushes, c.ModelPulls,
+			c.WireBytes, c.HeaderBytes, c.GradBytes, c.ModelBytes)
+		fmt.Printf("  simulated compute %.4fs, comm %.4fs, %.4fs hidden by overlap\n",
+			c.ComputeSeconds, c.CommSeconds, c.OverlapSavedSeconds)
+		fmt.Printf("  update staleness: mean %.2f, p99 %.0f, max %d; %d compensated updates\n",
+			c.Staleness.Mean(), c.Staleness.Quantile(0.99), c.Staleness.Max, c.CompensatedUpdates)
+	} else {
+		fmt.Printf("\n%d updates in %v (%.1f M numbers/s on this host)\n",
+			res.Steps, res.Elapsed.Round(1e6), res.NumbersPerSec/1e6)
+	}
 
 	if live != nil {
 		var sup *buckwild.SupervisorStats
@@ -392,11 +429,13 @@ func main() {
 			StalenessP50 float64                   `json:"staleness_p50"`
 			StalenessP99 float64                   `json:"staleness_p99"`
 			Series       *buckwild.SeriesSnapshot  `json:"series,omitempty"`
+			Cluster      *buckwild.ClusterStats    `json:"cluster,omitempty"`
 			Supervisor   *buckwild.SupervisorStats `json:"supervisor,omitempty"`
 			Checkpoint   string                    `json:"checkpoint,omitempty"`
 		}{Signature: *sig, Problem: cfg.Problem.String(), Rounding: *rounding,
 			Threads: *threads, MiniBatch: *batch, Epochs: *epochs,
-			TrainLoss: res.TrainLoss, Stats: res.Stats, Series: res.Series}
+			TrainLoss: res.TrainLoss, Stats: res.Stats, Series: res.Series,
+			Cluster: res.Cluster}
 		if res.Stats != nil {
 			out.StalenessP50 = res.Stats.Staleness.Quantile(0.5)
 			out.StalenessP99 = res.Stats.Staleness.Quantile(0.99)

@@ -173,7 +173,7 @@ func simulate(args []string) {
 	if err := fs.Parse(args[1:]); err != nil {
 		log.Fatal(err)
 	}
-	r, err := buckwild.SimulateThroughput(sigText, *n, *threads)
+	r, err := buckwild.SimulateThroughputOpts(sigText, *n, *threads, buckwild.SimOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,96 @@
+package main
+
+// cluster extends the paper's communication-precision argument (the
+// DMGC C term) across a simulated multi-node interconnect: the same training problem swept
+// over node count × gradient wire precision × protocol (asynchronous
+// parameter server vs double-buffered pipelined all-reduce), reporting
+// simulated throughput, exact wire bytes and final loss. Low-precision
+// wires buy bandwidth almost for free statistically, while the
+// protocols trade staleness against communication overlap.
+
+import (
+	"fmt"
+
+	"buckwild/internal/cluster"
+	"buckwild/internal/core"
+	"buckwild/internal/dataset"
+	"buckwild/internal/kernels"
+	"buckwild/internal/obs"
+	"buckwild/internal/sweep"
+)
+
+func init() {
+	register("cluster", "simulated multi-node training: parameter server vs pipelined all-reduce across wire precisions", runCluster)
+}
+
+type clusterPoint struct {
+	nodes    int
+	wireBits uint
+	proto    cluster.Protocol
+}
+
+func runCluster(quick bool) error {
+	m, epochs := 4096, 4
+	nodeCounts := []int{2, 4, 8}
+	wires := []uint{4, 8, 32}
+	if quick {
+		m, epochs = 1024, 2
+		nodeCounts = []int{2, 4}
+		wires = []uint{8, 32}
+	}
+	ds, err := dataset.GenDense(dataset.DenseConfig{N: 64, M: m, P: kernels.F32, Seed: 77})
+	if err != nil {
+		return err
+	}
+	var points []clusterPoint
+	for _, proto := range []cluster.Protocol{cluster.ParamServer, cluster.AllReduce} {
+		for _, nodes := range nodeCounts {
+			for _, bits := range wires {
+				points = append(points, clusterPoint{nodes, bits, proto})
+			}
+		}
+	}
+	// Each point is a single-goroutine discrete-event simulation, fully
+	// deterministic under its seed, so the sweep parallelizes without
+	// changing a byte of any point's accounting.
+	tstats := make([]*obs.RunStats, len(points))
+	cstats := make([]*obs.ClusterStats, len(points))
+	finals, err := sweep.Map(*workers, len(points), func(i int) (float64, error) {
+		p := points[i]
+		var o *obs.Observer
+		if report != nil {
+			o = &obs.Observer{NumHealth: true}
+		}
+		res, err := cluster.Train(cluster.Config{
+			Problem: core.Logistic, Nodes: p.nodes, Protocol: p.proto,
+			WireBits: p.wireBits, Quant: kernels.QShared, ErrorFeedback: true,
+			StepSize: 0.1, Epochs: epochs, Seed: 7, Observer: o,
+		}, ds)
+		if err != nil {
+			return 0, err
+		}
+		tstats[i] = res.Stats
+		cstats[i] = res.Cluster
+		return res.TrainLoss[len(res.TrainLoss)-1], nil
+	})
+	if err != nil {
+		return err
+	}
+	reportTrain(tstats...)
+	reportCluster(cstats...)
+	header("protocol", "nodes", "wire", "final loss", "ex/sim-s", "wire MB", "grad MB", "stale p50", "overlap ms")
+	for i, p := range points {
+		c := cstats[i]
+		row(c.Protocol, p.nodes, fmt.Sprintf("C%d", p.wireBits), finals[i],
+			fmt.Sprintf("%.3g", c.ExamplesPerSimSec),
+			fmt.Sprintf("%.2f", float64(c.WireBytes)/1e6),
+			fmt.Sprintf("%.2f", float64(c.GradBytes)/1e6),
+			c.Staleness.Quantile(0.5),
+			fmt.Sprintf("%.2f", c.OverlapSavedSeconds*1e3))
+	}
+	fmt.Println("\nthe 8-bit wire moves ~4x fewer gradient bytes than C32 at nearly the same")
+	fmt.Println("final loss (error feedback carries the residual); the parameter server's")
+	fmt.Println("staleness grows with node count while the pipelined all-reduce holds it at")
+	fmt.Println("one round and hides its communication behind compute")
+	return nil
+}

@@ -50,6 +50,10 @@ type reportExperiment struct {
 	// Supervisor totals the retry/checkpoint counters of the experiment's
 	// supervised runs; absent when no supervisor ran.
 	Supervisor *obs.SupervisorStats `json:"supervisor,omitempty"`
+	// Cluster totals the simulated-interconnect accounting of the
+	// experiment's cluster runs (exact wire bytes, simulated seconds,
+	// update staleness); absent when no cluster run happened.
+	Cluster *obs.ClusterStats `json:"cluster,omitempty"`
 }
 
 // runReport is the top-level -report document.
@@ -147,6 +151,24 @@ func reportTrain(stats ...*obs.RunStats) {
 			currentRpt.Train = &obs.RunStats{}
 		}
 		currentRpt.Train.Merge(s)
+	}
+}
+
+// reportCluster merges cluster-run accounting (one per sweep point; nil
+// entries are skipped) into the running entry. Call it after sweep.Map
+// returns — not from inside worker closures.
+func reportCluster(stats ...*obs.ClusterStats) {
+	if currentRpt == nil {
+		return
+	}
+	for _, s := range stats {
+		if s == nil {
+			continue
+		}
+		if currentRpt.Cluster == nil {
+			currentRpt.Cluster = &obs.ClusterStats{}
+		}
+		currentRpt.Cluster.Merge(s)
 	}
 }
 

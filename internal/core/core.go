@@ -249,6 +249,10 @@ type Result struct {
 	// NumStats is the run's numerical-health snapshot (also reachable as
 	// Stats.NumHealth); nil unless the Observer enabled NumHealth.
 	NumStats *obs.NumStats
+	// Cluster is the simulated-interconnect snapshot (exact wire bytes,
+	// simulated time, update staleness); nil unless the run went through
+	// the internal/cluster tier.
+	Cluster *obs.ClusterStats
 }
 
 // TrainDense runs Buckwild! SGD on a dense dataset.
@@ -504,7 +508,7 @@ func (dw *denseWorker) step(ds *dataset.DenseSet, w kernels.Vec, eta float32, i 
 		view = dw.obstinateView(w)
 	}
 	d := dw.quantGrad(dw.kernel.Dot(x, view))
-	a := dw.quantGrad(gradScale(dw.cfg.Problem, d, ds.Y[i], eta))
+	a := dw.quantGrad(GradScale(dw.cfg.Problem, d, ds.Y[i], eta))
 	wrote := a != 0
 	if wrote {
 		dw.kernel.Axpy(a, x, w)
@@ -580,7 +584,7 @@ func (dw *denseWorker) batchStep(ds *dataset.DenseSet, w kernels.Vec, eta float3
 	var gradAbs float32
 	for i := lo; i < hi; i++ {
 		d := dw.quantGrad(dw.kernel.Dot(ds.X[i], w))
-		a := dw.quantGrad(gradScale(dw.cfg.Problem, d, ds.Y[i], eta) / float32(hi-lo))
+		a := dw.quantGrad(GradScale(dw.cfg.Problem, d, ds.Y[i], eta) / float32(hi-lo))
 		if a == 0 {
 			continue
 		}
@@ -611,9 +615,11 @@ func (dw *denseWorker) batchStep(ds *dataset.DenseSet, w kernels.Vec, eta float3
 	}
 }
 
-// gradScale returns the AXPY scalar a such that the SGD update is
-// w <- w + a*x.
-func gradScale(p Problem, dot, y, eta float32) float32 {
+// GradScale returns the AXPY scalar a such that the SGD update is
+// w <- w + a*x. It is exported for the engines layered on top of the
+// per-step kernels (the synchronous C-term engine here and the cluster
+// tier in internal/cluster), so every engine shares one gradient rule.
+func GradScale(p Problem, dot, y, eta float32) float32 {
 	switch p {
 	case Logistic:
 		// -grad = y * sigmoid(-y (w.x)) * x

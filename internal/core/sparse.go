@@ -154,7 +154,7 @@ func runSparseEpoch(cfg Config, ds *dataset.SparseSet, w kernels.Vec, eta float3
 					readClock, sampled = ro.stepBegin(t)
 				}
 				d := quant(k.Dot(ds.Idx[i], ds.Val[i], w))
-				a := quant(gradScale(cfg.Problem, d, ds.Y[i], eta))
+				a := quant(GradScale(cfg.Problem, d, ds.Y[i], eta))
 				wrote := a != 0
 				if wrote {
 					k.Axpy(a, ds.Idx[i], ds.Val[i], w)

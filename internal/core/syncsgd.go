@@ -116,7 +116,7 @@ func TrainSyncDense(cfg SyncConfig, ds *dataset.DenseSet) (*Result, error) {
 					for j := 0; j < n; j++ {
 						dot += ds.Raw[i][j] * w[j]
 					}
-					a := gradScale(cfg.Problem, dot, ds.Y[i], 1) / float32(cfg.BatchPerWorker)
+					a := GradScale(cfg.Problem, dot, ds.Y[i], 1) / float32(cfg.BatchPerWorker)
 					if a == 0 {
 						continue
 					}

@@ -57,6 +57,9 @@ type DenseSet struct {
 // Len returns the number of examples.
 func (d *DenseSet) Len() int { return len(d.X) }
 
+// Dim returns the model dimension.
+func (d *DenseSet) Dim() int { return d.N }
+
 // GenDense samples a dense dataset from the logistic generative model.
 func GenDense(cfg DenseConfig) (*DenseSet, error) {
 	if cfg.N <= 0 || cfg.M <= 0 {
@@ -133,6 +136,9 @@ type SparseSet struct {
 
 // Len returns the number of examples.
 func (d *SparseSet) Len() int { return len(d.Idx) }
+
+// Dim returns the model dimension.
+func (d *SparseSet) Dim() int { return d.N }
 
 // NNZ returns the total number of nonzeros across all examples.
 func (d *SparseSet) NNZ() int {

@@ -1,0 +1,75 @@
+package obs
+
+// ClusterStats is the communication snapshot of one simulated multi-node
+// training run (internal/cluster): exact wire-byte accounting, the
+// simulated time split between compute and communication, and the
+// observed update staleness. The byte counters follow the wire-format
+// contract of DESIGN.md §11: every message is header + payload, and
+//
+//	WireBytes == HeaderBytes + GradBytes + ModelBytes
+//
+// holds exactly, so a report consumer can attribute every byte.
+type ClusterStats struct {
+	// Nodes is the simulated machine count; Protocol names the
+	// communication protocol ("param-server" or "all-reduce").
+	Nodes    int    `json:"nodes"`
+	Protocol string `json:"protocol"`
+	// WireBits is the gradient wire precision (the DMGC C term carried
+	// across the interconnect; 32 means full-precision gradients).
+	WireBits uint `json:"wire_bits"`
+	// Messages counts every simulated message; GradPushes of them carried
+	// a gradient payload and ModelPulls a model payload (parameter-server
+	// pull responses only).
+	Messages   uint64 `json:"messages"`
+	GradPushes uint64 `json:"grad_pushes"`
+	ModelPulls uint64 `json:"model_pulls,omitempty"`
+	// WireBytes is the total bytes put on the interconnect, split exactly
+	// into header, gradient-payload and model-payload bytes.
+	WireBytes   uint64 `json:"wire_bytes"`
+	HeaderBytes uint64 `json:"header_bytes"`
+	GradBytes   uint64 `json:"grad_bytes"`
+	ModelBytes  uint64 `json:"model_bytes,omitempty"`
+	// SimSeconds is the simulated wall-clock of the run under the
+	// latency/bandwidth network model; ComputeSeconds and CommSeconds are
+	// the per-component totals (they can sum past SimSeconds when the
+	// protocol overlaps them; OverlapSavedSeconds is the simulated time
+	// the pipelined protocols hid).
+	SimSeconds          float64 `json:"sim_seconds"`
+	ComputeSeconds      float64 `json:"compute_seconds"`
+	CommSeconds         float64 `json:"comm_seconds"`
+	OverlapSavedSeconds float64 `json:"overlap_saved_seconds,omitempty"`
+	// ExamplesPerSimSec is the simulated training throughput.
+	ExamplesPerSimSec float64 `json:"examples_per_sim_sec,omitempty"`
+	// Staleness is the per-update staleness histogram: how many model
+	// updates landed between an update's model read and its application.
+	Staleness HistSnapshot `json:"staleness"`
+	// CompensatedUpdates counts updates whose learning rate was scaled
+	// down by the staleness compensation rule.
+	CompensatedUpdates uint64 `json:"compensated_updates,omitempty"`
+}
+
+// Merge folds other into s for sweep-level aggregation. Scalar identity
+// fields (Nodes, Protocol, WireBits) take other's values when s is still
+// zero; throughput is recomputed from the merged totals.
+func (s *ClusterStats) Merge(other *ClusterStats) {
+	if other == nil {
+		return
+	}
+	if s.Nodes == 0 {
+		s.Nodes, s.Protocol, s.WireBits = other.Nodes, other.Protocol, other.WireBits
+	}
+	s.Messages += other.Messages
+	s.GradPushes += other.GradPushes
+	s.ModelPulls += other.ModelPulls
+	s.WireBytes += other.WireBytes
+	s.HeaderBytes += other.HeaderBytes
+	s.GradBytes += other.GradBytes
+	s.ModelBytes += other.ModelBytes
+	s.SimSeconds += other.SimSeconds
+	s.ComputeSeconds += other.ComputeSeconds
+	s.CommSeconds += other.CommSeconds
+	s.OverlapSavedSeconds += other.OverlapSavedSeconds
+	s.CompensatedUpdates += other.CompensatedUpdates
+	s.Staleness.Merge(other.Staleness)
+	s.ExamplesPerSimSec = 0 // meaningless across merged runs of different shapes
+}

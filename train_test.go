@@ -1,0 +1,270 @@
+package buckwild
+
+import (
+	"strings"
+	"testing"
+)
+
+// sameResult asserts two results are bit-identical in model and losses.
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.W) != len(b.W) || len(a.TrainLoss) != len(b.TrainLoss) {
+		t.Fatalf("%s: result shapes differ", label)
+	}
+	for j := range a.W {
+		if a.W[j] != b.W[j] {
+			t.Fatalf("%s: W[%d] = %v vs %v", label, j, a.W[j], b.W[j])
+		}
+	}
+	for i := range a.TrainLoss {
+		if a.TrainLoss[i] != b.TrainLoss[i] {
+			t.Fatalf("%s: loss[%d] = %v vs %v", label, i, a.TrainLoss[i], b.TrainLoss[i])
+		}
+	}
+	if a.Steps != b.Steps {
+		t.Fatalf("%s: steps %d vs %d", label, a.Steps, b.Steps)
+	}
+}
+
+// TestTrainUnifiesEntryPoints pins the satellite contract: the unified
+// Train and the historical wrappers produce bit-identical results for the
+// same config and seed.
+func TestTrainUnifiesEntryPoints(t *testing.T) {
+	dense, err := GenerateDense("D8M8", 64, 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Signature: "D8M8", Epochs: 3, Seed: 7, Threads: 1}
+	viaWrapper, err := TrainDense(cfg, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTrain, err := Train(cfg, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "dense", viaWrapper, viaTrain)
+
+	sparse, err := GenerateSparse("D8i16M8", 256, 600, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := Config{Signature: "D8i16M8", Epochs: 3, Seed: 7, Threads: 1}
+	sWrapper, err := TrainSparse(scfg, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sTrain, err := Train(scfg, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "sparse", sWrapper, sTrain)
+}
+
+func TestTrainRejectsOtherDatasets(t *testing.T) {
+	if _, err := Train(Config{}, nil); err == nil || err.Error() != "buckwild: nil dataset" {
+		t.Errorf("nil dataset: %v", err)
+	}
+	if _, err := Train(Config{}, fakeDataset{}); err == nil ||
+		!strings.Contains(err.Error(), "unsupported dataset type") {
+		t.Errorf("foreign dataset: %v", err)
+	}
+	// A typed-nil dense dataset behaves exactly like the old wrapper: the
+	// config is validated first, then the empty-dataset check fires.
+	var dense *DenseDataset
+	if _, err := Train(Config{}, dense); err == nil || err.Error() != "buckwild: empty dataset" {
+		t.Errorf("typed-nil dense: %v", err)
+	}
+}
+
+type fakeDataset struct{}
+
+func (fakeDataset) Len() int { return 1 }
+func (fakeDataset) Dim() int { return 1 }
+
+// TestValidateErrorTextUnchanged pins the exact historical error strings
+// of Config.Validate — the facade redesign must not reword them.
+func TestValidateErrorTextUnchanged(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Problem: "ridge"}, `buckwild: unknown problem "ridge"`},
+		{Config{Rounding: "unbiased-quantum"}, `buckwild: unknown rounding "unbiased-quantum"`},
+		{Config{Threads: -1}, "buckwild: negative thread count -1"},
+		{Config{MiniBatch: -2}, "buckwild: negative mini-batch size -2"},
+		{Config{Epochs: -1}, "buckwild: negative epoch count -1"},
+		{Config{StepSize: -0.5}, "buckwild: negative step size -0.5"},
+		{Config{StepDecay: -1}, "buckwild: negative step decay -1"},
+		{Config{StepSample: -3}, "buckwild: negative step-sample period -3"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if err == nil || err.Error() != c.want {
+			t.Errorf("Validate(%+v) = %v, want %q", c.cfg, err, c.want)
+		}
+	}
+}
+
+func TestClusterConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Cluster: ClusterConfig{Nodes: -1}},
+		{Cluster: ClusterConfig{Nodes: 2, Protocol: "ring"}},
+		{Cluster: ClusterConfig{Nodes: 2, WireBits: 7}},
+		{Cluster: ClusterConfig{Nodes: 2, BatchPerNode: -1}},
+		{Cluster: ClusterConfig{Nodes: 2, StalenessAlpha: -1}},
+		{Cluster: ClusterConfig{Nodes: 2, LatencySec: -1}},
+		{Cluster: ClusterConfig{Nodes: 2, BandwidthBps: -1}},
+		{Cluster: ClusterConfig{Nodes: 2, HeaderBytes: -1}},
+		{Cluster: ClusterConfig{Nodes: 2, ComputeGNPS: -1}},
+	}
+	for i, cfg := range bad {
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("case %d: bad cluster config accepted: %+v", i, cfg.Cluster)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "buckwild:") {
+			t.Errorf("case %d: error %q lacks the buckwild: prefix", i, err)
+		}
+	}
+	// The zero value means "no cluster" and must validate.
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config: %v", err)
+	}
+	if err := (Config{Cluster: ClusterConfig{Nodes: 1}}).Validate(); err != nil {
+		t.Errorf("single node: %v", err)
+	}
+}
+
+func TestClusterFacadeRouting(t *testing.T) {
+	ds, err := GenerateDense("", 48, 512, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero cluster config: today's behavior, no cluster stats.
+	solo, err := Train(Config{Epochs: 2, Seed: 3}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Cluster != nil {
+		t.Fatal("single-machine run reported cluster stats")
+	}
+
+	cfg := Config{
+		Epochs: 2, Seed: 3,
+		Cluster: ClusterConfig{
+			Nodes: 4, Protocol: AllReduceProtocol, WireBits: 8, ErrorFeedback: true,
+		},
+	}
+	res, err := Train(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cluster
+	if c == nil {
+		t.Fatal("cluster run reported no cluster stats")
+	}
+	if c.Nodes != 4 || c.Protocol != "all-reduce" || c.WireBits != 8 {
+		t.Errorf("cluster identity: %+v", c)
+	}
+	if c.WireBytes == 0 || c.WireBytes != c.HeaderBytes+c.GradBytes+c.ModelBytes {
+		t.Errorf("wire accounting: %+v", c)
+	}
+	if last := res.TrainLoss[len(res.TrainLoss)-1]; last >= res.TrainLoss[0] {
+		t.Errorf("cluster run did not improve: %v", res.TrainLoss)
+	}
+
+	// Deterministic through the facade.
+	again, err := Train(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "cluster rerun", res, again)
+
+	// TrainDense routes identically.
+	wrapped, err := TrainDense(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "cluster wrapper", res, wrapped)
+}
+
+func TestClusterWireBitsFromSignature(t *testing.T) {
+	ds, err := GenerateDense("D32fM32fC8", 32, 256, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(Config{
+		Signature: "D32fM32fC8", Epochs: 1,
+		Cluster: ClusterConfig{Nodes: 2},
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cluster.WireBits != 8 {
+		t.Errorf("wire bits %d, want 8 from the signature's C term", res.Cluster.WireBits)
+	}
+	// No C term: full-precision wire.
+	plain, err := Train(Config{Epochs: 1, Cluster: ClusterConfig{Nodes: 2}}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cluster.WireBits != 32 {
+		t.Errorf("wire bits %d, want 32 without a C term", plain.Cluster.WireBits)
+	}
+}
+
+func TestClusterSparseRejected(t *testing.T) {
+	sds, err := GenerateSparse("D8i16M8", 64, 128, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Signature: "D8i16M8", Cluster: ClusterConfig{Nodes: 2}}
+	_, err = Train(cfg, sds)
+	if err == nil || !strings.Contains(err.Error(), "dense datasets only") {
+		t.Errorf("sparse cluster run: %v", err)
+	}
+}
+
+func TestClusterStalenessCompensationThroughFacade(t *testing.T) {
+	ds, err := GenerateDense("", 32, 512, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(Config{
+		Epochs: 2,
+		Cluster: ClusterConfig{
+			Nodes: 6, Protocol: ParameterServer, StalenessAlpha: 0.4,
+		},
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cluster.CompensatedUpdates == 0 {
+		t.Errorf("no compensated updates on a 6-node parameter server: %+v", res.Cluster)
+	}
+	if res.Cluster.Staleness.Count == 0 {
+		t.Error("staleness histogram empty")
+	}
+}
+
+// TestSimulateThroughputOptsMatchesVariadic pins that the explicit form
+// and the deprecated variadic form are the same simulation.
+func TestSimulateThroughputOptsMatchesVariadic(t *testing.T) {
+	opt := SimOptions{Variant: "generic", Seed: 5}
+	a, err := SimulateThroughputOpts("D8M8", 1<<12, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateThroughput("D8M8", 1<<12, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GNPS != b.GNPS {
+		t.Errorf("variadic GNPS %v != explicit %v", b.GNPS, a.GNPS)
+	}
+	if _, err := SimulateThroughput("D8M8", 1<<12, 1, SimOptions{}, SimOptions{}); err == nil {
+		t.Error("two SimOptions should fail")
+	}
+}
