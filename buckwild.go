@@ -250,10 +250,14 @@ type Config struct {
 	Seed      uint64
 
 	// Hooks, when non-nil, receives per-epoch, sampled per-step and
-	// per-worker callbacks during training. CollectStats requests
-	// Result.Stats without hooks. When both are unset the engine runs the
-	// bare algorithm — the only residual cost is one nil check per step.
-	Hooks        Hooks
+	// per-worker callbacks during training, and makes the engine fill
+	// Result.Stats. When unset the engine runs the bare algorithm — the
+	// only residual cost is one nil check per step.
+	Hooks Hooks
+	// CollectStats requests Result.Stats without hooks.
+	//
+	// Deprecated: set Hooks instead — NopHooks{} alone makes the engine
+	// fill Result.Stats.
 	CollectStats bool
 	// StepSample is the per-step sampling period for hooks and the
 	// staleness histogram; 0 means the default (see obs.DefaultStepSample),
@@ -330,7 +334,7 @@ func (c Config) Validate() error {
 // facade rewrites them to its own uniform prefix.
 var internalPrefixes = []string{
 	"core: ", "dataset: ", "run: ", "dmgc: ", "machine: ",
-	"kernels: ", "fixed: ", "obs: ", "sweep: ", "cluster: ",
+	"kernels: ", "fixed: ", "obs: ", "sweep: ", "cluster: ", "serve: ",
 }
 
 // wrapErr gives every error that crosses the facade the uniform

@@ -35,6 +35,13 @@
 // per-phase wall-clock breakdown of such a file. -series records the
 // windowed training time-series (JSON, or CSV with a .csv path). -http
 // additionally serves live Prometheus metrics at /metrics.
+//
+// "buckwild serve" runs the long-lived training-and-inference daemon:
+// POST /predict answers off an atomically-swapped immutable model while
+// a supervised training loop hot-promotes every checkpoint into
+// serving. See serve.go and the README's Serving section.
+//
+//	buckwild serve -addr :8372 -sig D8M8 -n 1024 -threads 4
 package main
 
 import (
@@ -126,6 +133,10 @@ func main() {
 		traceSummary(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveCmd(os.Args[2:])
+		return
+	}
 	var (
 		sig      = flag.String("sig", "D8M8", "DMGC signature (e.g. D8M8, D16M16, D32fM32f, D8i16M8)")
 		problem  = flag.String("problem", "logistic", "problem: logistic, linear or svm")
@@ -197,7 +208,6 @@ func main() {
 		StepDecay:      float32(*decay),
 		Epochs:         *epochs,
 		Seed:           *seed,
-		CollectStats:   *stats || *report != "",
 		NumHealth:      *stats || *report != "" || *healthW || *httpAddr != "",
 		Context:        ctx,
 		Cluster: buckwild.ClusterConfig{
@@ -247,7 +257,7 @@ func main() {
 	var supRep *buckwild.RunReport
 	trainDense := func(ds *buckwild.DenseDataset) (*buckwild.Result, error) {
 		if !supervised {
-			return buckwild.TrainDense(cfg, ds)
+			return buckwild.Train(cfg, ds)
 		}
 		rep, err := buckwild.RunDense(cfg, rc, ds)
 		if err != nil {
@@ -258,7 +268,7 @@ func main() {
 	}
 	trainSparse := func(ds *buckwild.SparseDataset) (*buckwild.Result, error) {
 		if !supervised {
-			return buckwild.TrainSparse(cfg, ds)
+			return buckwild.Train(cfg, ds)
 		}
 		rep, err := buckwild.RunSparse(cfg, rc, ds)
 		if err != nil {
@@ -283,6 +293,11 @@ func main() {
 		// The watchdog wraps whatever hooks are already installed (live
 		// metrics included) so it adds detection without hiding them.
 		cfg.Hooks = &buckwild.HealthWatchdog{Cancel: healthCancel, Next: cfg.Hooks}
+	}
+	if (*stats || *report != "") && cfg.Hooks == nil {
+		// Result.Stats is wanted but no live consumer is installed; the
+		// nop hook alone switches the engine's counters on.
+		cfg.Hooks = buckwild.NopHooks{}
 	}
 
 	var res *buckwild.Result

@@ -30,13 +30,13 @@ func ExamplePredictThroughput() {
 	// 18 threads: 9.1x faster
 }
 
-// ExampleTrainDense trains 8-bit Buckwild! on synthetic data.
-func ExampleTrainDense() {
+// ExampleTrain trains 8-bit Buckwild! on synthetic data.
+func ExampleTrain() {
 	ds, err := buckwild.GenerateDense("D8M8", 64, 2000, 42)
 	if err != nil {
 		panic(err)
 	}
-	res, err := buckwild.TrainDense(buckwild.Config{
+	res, err := buckwild.Train(buckwild.Config{
 		Signature: "D8M8",
 		Threads:   2,
 		Epochs:    5,

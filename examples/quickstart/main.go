@@ -28,7 +28,7 @@ func main() {
 	}
 
 	train := func(sig string, ds *buckwild.DenseDataset) *buckwild.Result {
-		res, err := buckwild.TrainDense(buckwild.Config{
+		res, err := buckwild.Train(buckwild.Config{
 			Signature: sig,
 			Threads:   4, // lock-free asynchronous workers
 			Epochs:    8,

@@ -28,7 +28,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, locked := range []bool{false, true} {
-		res, err := buckwild.TrainSparse(buckwild.Config{
+		res, err := buckwild.Train(buckwild.Config{
 			Signature: "D8i16M8",
 			Threads:   4,
 			Locked:    locked,

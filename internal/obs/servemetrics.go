@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// ServeMetrics is the serving tier's counter set: every field is an
+// atomic or a lock-free Histogram, so the daemon's request path records
+// into it without taking a lock and a /metrics scrape never blocks a
+// predict. One instance is shared by the HTTP front end (requests,
+// rejections, latency), the batcher (batch sizes) and the promotion path
+// (promotions, refusals, model epoch).
+type ServeMetrics struct {
+	// Request accounting. Requests counts HTTP predict requests;
+	// Examples counts the individual examples inside them (a batched
+	// request contributes its batch size).
+	requests    atomic.Uint64
+	examples    atomic.Uint64
+	rejected    atomic.Uint64 // admission control: queue full -> 429
+	unavailable atomic.Uint64 // no model yet, or draining -> 503
+	badRequests atomic.Uint64 // malformed JSON / predict errors -> 400
+	inFlight    atomic.Int64
+
+	// Latency is measured request-in to response-written, in
+	// microseconds (power-of-two buckets resolve the microsecond to
+	// second range well).
+	latencyUS Histogram
+	// BatchSize records the number of examples the batcher handed to
+	// each predict call.
+	batchSize Histogram
+
+	// Promotion accounting.
+	promotions        atomic.Uint64
+	promotionsRefused atomic.Uint64
+	modelEpoch        atomic.Int64
+	modelLossBits     atomic.Uint64
+
+	draining atomic.Bool
+}
+
+// Request records one accepted predict request carrying n examples and
+// its end-to-end latency in microseconds.
+func (m *ServeMetrics) Request(n int, latencyUS uint64) {
+	m.requests.Add(1)
+	m.examples.Add(uint64(n))
+	m.latencyUS.Observe(latencyUS)
+}
+
+// Rejected records one request turned away by admission control (429).
+func (m *ServeMetrics) Rejected() { m.rejected.Add(1) }
+
+// Unavailable records one request refused because no model is promoted
+// yet or the server is draining (503).
+func (m *ServeMetrics) Unavailable() { m.unavailable.Add(1) }
+
+// BadRequest records one malformed request (400).
+func (m *ServeMetrics) BadRequest() { m.badRequests.Add(1) }
+
+// Batch records one predict batch of n examples.
+func (m *ServeMetrics) Batch(n int) { m.batchSize.Observe(uint64(n)) }
+
+// InFlight adjusts the in-flight request gauge by d (+1 on admit, -1 on
+// response).
+func (m *ServeMetrics) InFlight(d int64) { m.inFlight.Add(d) }
+
+// Promoted records a successful model promotion at the given cumulative
+// epoch with the given training loss.
+func (m *ServeMetrics) Promoted(epoch int, lossBits uint64) {
+	m.promotions.Add(1)
+	m.modelEpoch.Store(int64(epoch))
+	m.modelLossBits.Store(lossBits)
+}
+
+// PromotionRefused records a promotion attempt turned away by the
+// divergence gate.
+func (m *ServeMetrics) PromotionRefused() { m.promotionsRefused.Add(1) }
+
+// SetDraining flips the draining gauge.
+func (m *ServeMetrics) SetDraining(v bool) { m.draining.Store(v) }
+
+// ServeStats is the exportable snapshot of a ServeMetrics: the report
+// form the servload experiment and -report emit.
+type ServeStats struct {
+	Requests          uint64       `json:"requests"`
+	Examples          uint64       `json:"examples"`
+	Rejected          uint64       `json:"rejected"`
+	Unavailable       uint64       `json:"unavailable"`
+	BadRequests       uint64       `json:"bad_requests"`
+	LatencyUS         HistSnapshot `json:"latency_us"`
+	BatchSize         HistSnapshot `json:"batch_size"`
+	Promotions        uint64       `json:"promotions"`
+	PromotionsRefused uint64       `json:"promotions_refused"`
+	ModelEpoch        int64        `json:"model_epoch"`
+	InFlight          int64        `json:"in_flight,omitempty"`
+}
+
+// Snapshot returns the current counters in exportable form.
+func (m *ServeMetrics) Snapshot() *ServeStats {
+	return &ServeStats{
+		Requests:          m.requests.Load(),
+		Examples:          m.examples.Load(),
+		Rejected:          m.rejected.Load(),
+		Unavailable:       m.unavailable.Load(),
+		BadRequests:       m.badRequests.Load(),
+		LatencyUS:         m.latencyUS.Snapshot(),
+		BatchSize:         m.batchSize.Snapshot(),
+		Promotions:        m.promotions.Load(),
+		PromotionsRefused: m.promotionsRefused.Load(),
+		ModelEpoch:        m.modelEpoch.Load(),
+		InFlight:          m.inFlight.Load(),
+	}
+}
+
+// Merge folds other into s (the report helpers merge per-experiment
+// snapshots the same way RunStats and ClusterStats merge).
+func (s *ServeStats) Merge(other *ServeStats) {
+	if other == nil {
+		return
+	}
+	s.Requests += other.Requests
+	s.Examples += other.Examples
+	s.Rejected += other.Rejected
+	s.Unavailable += other.Unavailable
+	s.BadRequests += other.BadRequests
+	s.LatencyUS.Merge(other.LatencyUS)
+	s.BatchSize.Merge(other.BatchSize)
+	s.Promotions += other.Promotions
+	s.PromotionsRefused += other.PromotionsRefused
+	if other.ModelEpoch > s.ModelEpoch {
+		s.ModelEpoch = other.ModelEpoch
+	}
+}
+
+// WriteProm renders the serving counters in the Prometheus text format;
+// the daemon's /metrics endpoint serves this ahead of the training-side
+// exposition.
+func (m *ServeMetrics) WriteProm(w io.Writer) error {
+	p := newPromWriter(w)
+	p.metric("buckwild_serve_requests_total", "counter", "Predict requests accepted.", float64(m.requests.Load()))
+	p.metric("buckwild_serve_examples_total", "counter", "Examples predicted (batched requests count each example).", float64(m.examples.Load()))
+	p.metric("buckwild_serve_rejected_total", "counter", "Requests rejected by admission control (429).", float64(m.rejected.Load()))
+	p.metric("buckwild_serve_unavailable_total", "counter", "Requests refused with no model or while draining (503).", float64(m.unavailable.Load()))
+	p.metric("buckwild_serve_bad_requests_total", "counter", "Malformed predict requests (400).", float64(m.badRequests.Load()))
+	p.metric("buckwild_serve_in_flight", "gauge", "Requests currently being served.", float64(m.inFlight.Load()))
+	p.histogram("buckwild_serve_latency_us", "Predict request latency, request-in to response-written, microseconds.", m.latencyUS.Snapshot())
+	p.histogram("buckwild_serve_batch_size", "Examples per predict batch.", m.batchSize.Snapshot())
+	p.metric("buckwild_serve_promotions_total", "counter", "Model snapshots promoted into serving.", float64(m.promotions.Load()))
+	p.metric("buckwild_serve_promotions_refused_total", "counter", "Promotions refused by the divergence gate.", float64(m.promotionsRefused.Load()))
+	p.metric("buckwild_serve_model_epoch", "gauge", "Cumulative training epoch of the serving model.", float64(m.modelEpoch.Load()))
+	draining := 0.0
+	if m.draining.Load() {
+		draining = 1
+	}
+	p.metric("buckwild_serve_draining", "gauge", "1 while the server drains after SIGTERM.", draining)
+	return p.err
+}

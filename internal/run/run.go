@@ -71,6 +71,12 @@ type Config struct {
 	// windowed time-series spans the whole supervised run (the recorder
 	// detects each attempt's counter restart and keeps accumulating).
 	Series *obs.Series
+	// Snapshot, when non-nil, receives a promotable copy of the model at
+	// every checkpoint boundary, after the checkpoint file is durably on
+	// disk — the serving tier's hot-promotion feed. The weights slice is
+	// a fresh dequantized copy the receiver owns. Called on the training
+	// run's coordinating goroutine, so a slow receiver delays training.
+	Snapshot func(epoch int, loss float64, weights []float32)
 	// Sleep replaces time.Sleep for the backoff waits (tests inject a
 	// no-op); nil uses time.Sleep.
 	Sleep func(time.Duration)
@@ -248,6 +254,9 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 			pruneCheckpoints(cfg.Dir, cfg.Keep)
 			if lifecycle != nil {
 				lifecycle.OnCheckpoint(obs.CheckpointInfo{Epoch: st.Epoch, Path: path, Bytes: n})
+			}
+			if cfg.Snapshot != nil {
+				cfg.Snapshot(st.Epoch, st.Loss, st.W.Floats())
 			}
 			return nil
 		}

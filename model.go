@@ -1,0 +1,164 @@
+package buckwild
+
+// This file is the serving half of the facade's model API: Model is the
+// immutable predict handle shared by every inference path — models
+// loaded from disk (SavedModel.Handle), models published live by a
+// running supervisor (RunConfig.Snapshotter), and models promoted into a
+// serving daemon (NewModelServer / SnapshotPromoter). There is exactly
+// one predict implementation — predictDense / predictSparse below — and
+// everything else, SavedModel.Predict* included, is a thin wrapper over
+// it, so a file-loaded model and a live-promoted one can never disagree
+// on an inference result.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed predict errors. Every predict entry point reports malformed
+// requests with one of these sentinels in its chain (errors.Is), wrapped
+// with the concrete dimensions — and, like every facade error, prefixed
+// "buckwild:".
+var (
+	// ErrEmptyExample rejects a request with no features: a zero-length
+	// dense vector or a zero-length sparse index set.
+	ErrEmptyExample = errors.New("buckwild: empty example")
+	// ErrDimension rejects a request whose shape disagrees with the
+	// model: a dense example of the wrong dimension, or a sparse request
+	// with mismatched index and value counts.
+	ErrDimension = errors.New("buckwild: example dimension mismatch")
+	// ErrIndexRange rejects a sparse request with an index outside the
+	// model.
+	ErrIndexRange = errors.New("buckwild: sparse index outside model")
+)
+
+// predictSparse is the one sparse inference implementation: the margin
+// w.x of an example given as (index, value) pairs. It reads only its
+// arguments, so it is safe for any number of concurrent callers.
+func predictSparse(w []float32, idx []int32, vals []float32) (float32, error) {
+	if len(idx) != len(vals) {
+		return 0, fmt.Errorf("%w: %d indices, %d values", ErrDimension, len(idx), len(vals))
+	}
+	if len(idx) == 0 {
+		return 0, fmt.Errorf("%w: zero-length sparse request", ErrEmptyExample)
+	}
+	var s float32
+	for k, j := range idx {
+		if j < 0 || int(j) >= len(w) {
+			return 0, fmt.Errorf("%w: index %d outside model of size %d", ErrIndexRange, j, len(w))
+		}
+		s += w[j] * vals[k]
+	}
+	return s, nil
+}
+
+// predictDense is the one dense inference implementation: the margin w.x
+// of a dense example. Safe for concurrent use like predictSparse.
+func predictDense(w, x []float32) (float32, error) {
+	if len(x) == 0 {
+		return 0, fmt.Errorf("%w: zero-length dense request", ErrEmptyExample)
+	}
+	if len(x) != len(w) {
+		return 0, fmt.Errorf("%w: example dim %d, model dim %d", ErrDimension, len(x), len(w))
+	}
+	var s float32
+	for j, v := range x {
+		s += w[j] * v
+	}
+	return s, nil
+}
+
+// Model is an immutable handle on a trained linear model: the signature
+// it was trained under and the dequantized weights. Nothing mutates a
+// Model after construction, so one Model may serve any number of
+// concurrent Predict* calls — this is the type a serving daemon swaps
+// atomically under live traffic.
+//
+// Build one with NewModel, SavedModel.Handle (file-loaded models) or
+// receive them from a RunConfig.Snapshotter (live-promoted models).
+type Model struct {
+	sigText string
+	w       []float32
+}
+
+// NewModel builds an immutable predict handle from a signature (empty
+// means "unspecified") and weights; both are validated and the weights
+// are copied, so later mutation of the caller's slice cannot reach the
+// handle.
+func NewModel(sigText string, weights []float32) (*Model, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("buckwild: model has no weights")
+	}
+	if sigText != "" {
+		if _, err := ParseSignature(sigText); err != nil {
+			return nil, wrapErr(err)
+		}
+	}
+	return &Model{sigText: sigText, w: append([]float32(nil), weights...)}, nil
+}
+
+// Dim returns the model dimension (the dense example length it accepts).
+func (m *Model) Dim() int { return len(m.w) }
+
+// Signature returns the DMGC signature text the model was trained under
+// ("" if unspecified).
+func (m *Model) Signature() string { return m.sigText }
+
+// Weights returns a copy of the dequantized weights.
+func (m *Model) Weights() []float32 { return append([]float32(nil), m.w...) }
+
+// PredictDense returns the margin w.x for a dense example. Safe for
+// concurrent use.
+func (m *Model) PredictDense(x []float32) (float32, error) {
+	return predictDense(m.w, x)
+}
+
+// PredictSparse returns the margin w.x for an example given as (index,
+// value) pairs. Safe for concurrent use.
+func (m *Model) PredictSparse(idx []int32, vals []float32) (float32, error) {
+	return predictSparse(m.w, idx, vals)
+}
+
+// PredictBatch predicts every dense example in xs. out, when non-nil, is
+// the preallocated result slice (it must have len(xs) elements) — the
+// allocation-free form a serving hot loop wants; nil allocates. Safe for
+// concurrent use as long as concurrent callers pass distinct out slices.
+func (m *Model) PredictBatch(xs [][]float32, out []float32) ([]float32, error) {
+	if out == nil {
+		out = make([]float32, len(xs))
+	}
+	if len(out) != len(xs) {
+		return nil, fmt.Errorf("%w: %d examples, %d preallocated outputs", ErrDimension, len(xs), len(out))
+	}
+	for i, x := range xs {
+		v, err := predictDense(m.w, x)
+		if err != nil {
+			return nil, fmt.Errorf("%w (batch example %d)", err, i)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ModelSnapshot is a promotable model published by a running supervisor:
+// the immutable handle plus where in the run it was taken. Epoch counts
+// cumulatively across resumes, so a serving tier can use it as a
+// monotonic version.
+type ModelSnapshot struct {
+	// Epoch is the cumulative completed-epoch count at the snapshot.
+	Epoch int
+	// Loss is the full-precision training loss at the snapshot.
+	Loss float64
+	// Model is the immutable predict handle.
+	Model *Model
+}
+
+// Snapshotter receives promotable model snapshots from a supervised run
+// (install one in RunConfig.Snapshotter). OnSnapshot is called on the
+// run's coordinating goroutine at every checkpoint boundary, after the
+// checkpoint file is durably on disk; a slow implementation delays
+// training, so hand off expensive work. SnapshotPromoter adapts a
+// ModelServer into one.
+type Snapshotter interface {
+	OnSnapshot(ModelSnapshot)
+}

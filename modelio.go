@@ -186,30 +186,32 @@ func LoadLibSVM(path, sigText string) (*SparseDataset, error) {
 	return ds, wrapErr(err)
 }
 
+// Handle returns the immutable predict handle for a loaded model, the
+// type every inference path shares (Model.Predict* for request serving,
+// ModelServer.Promote for hot promotion). Unlike the SavedModel it came
+// from, a Model cannot be mutated after construction, so the handle is
+// safe for any number of concurrent predict calls.
+func (m *SavedModel) Handle() (*Model, error) {
+	return NewModel(m.Signature, m.Weights)
+}
+
 // Predict applies a saved linear model to one example given as
 // (index, value) pairs, returning the margin w.x.
+//
+// Deprecated: use Handle to obtain a *Model and call its PredictSparse —
+// the immutable handle is safe for concurrent use and is the one shared
+// inference path. This wrapper routes through the same implementation
+// and stays bit-identical.
 func (m *SavedModel) Predict(idx []int32, vals []float32) (float32, error) {
-	if len(idx) != len(vals) {
-		return 0, fmt.Errorf("buckwild: %d indices, %d values", len(idx), len(vals))
-	}
-	var s float32
-	for k, j := range idx {
-		if j < 0 || int(j) >= len(m.Weights) {
-			return 0, fmt.Errorf("buckwild: index %d outside model of size %d", j, len(m.Weights))
-		}
-		s += m.Weights[j] * vals[k]
-	}
-	return s, nil
+	return predictSparse(m.Weights, idx, vals)
 }
 
 // PredictDense applies a saved linear model to a dense example.
+//
+// Deprecated: use Handle to obtain a *Model and call its PredictDense —
+// the immutable handle is safe for concurrent use and is the one shared
+// inference path. This wrapper routes through the same implementation
+// and stays bit-identical.
 func (m *SavedModel) PredictDense(x []float32) (float32, error) {
-	if len(x) != len(m.Weights) {
-		return 0, fmt.Errorf("buckwild: example dim %d, model dim %d", len(x), len(m.Weights))
-	}
-	var s float32
-	for j, v := range x {
-		s += m.Weights[j] * v
-	}
-	return s, nil
+	return predictDense(m.Weights, x)
 }

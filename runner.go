@@ -89,9 +89,22 @@ type RunConfig struct {
 	// Faults is the deterministic fault-injection schedule; nil injects
 	// nothing.
 	Faults *FaultPlan
+	// Snapshotter, when non-nil, receives a promotable ModelSnapshot at
+	// every checkpoint boundary (after the checkpoint file is durably on
+	// disk) — the feed a serving daemon promotes hot models from. See
+	// SnapshotPromoter for the adapter onto a ModelServer. Called on the
+	// run's coordinating goroutine, so hand off expensive work.
+	Snapshotter Snapshotter
 }
 
 func (rc RunConfig) internal(cfg Config) run.Config {
+	var snap func(int, float64, []float32)
+	if sn := rc.Snapshotter; sn != nil {
+		sigText := cfg.Signature
+		snap = func(epoch int, loss float64, w []float32) {
+			sn.OnSnapshot(ModelSnapshot{Epoch: epoch, Loss: loss, Model: &Model{sigText: sigText, w: w}})
+		}
+	}
 	return run.Config{
 		Dir:          rc.CheckpointDir,
 		Every:        rc.CheckpointEvery,
@@ -109,6 +122,7 @@ func (rc RunConfig) internal(cfg Config) run.Config {
 		NumHealth:    cfg.NumHealth,
 		Tracer:       cfg.Tracer,
 		Series:       cfg.TimeSeries,
+		Snapshot:     snap,
 	}
 }
 

@@ -48,12 +48,18 @@ func Train(cfg Config, ds Dataset) (*Result, error) {
 // TrainDense runs Buckwild! SGD on a dense dataset. The dataset must be
 // stored at the signature's dataset precision (see GenerateDense). It is
 // a thin wrapper over Train, kept for compatibility.
+//
+// Deprecated: use Train, the one entry point for both dataset kinds; it
+// trains bit-identically for the same Config and seed.
 func TrainDense(cfg Config, ds *DenseDataset) (*Result, error) {
 	return Train(cfg, ds)
 }
 
 // TrainSparse runs Buckwild! SGD on a sparse dataset. It is a thin
 // wrapper over Train, kept for compatibility.
+//
+// Deprecated: use Train, the one entry point for both dataset kinds; it
+// trains bit-identically for the same Config and seed.
 func TrainSparse(cfg Config, ds *SparseDataset) (*Result, error) {
 	return Train(cfg, ds)
 }
