@@ -35,6 +35,8 @@ package buckwild
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"strings"
 
 	"buckwild/internal/core"
@@ -206,6 +208,22 @@ type (
 	// DivergenceError is the context cause installed by a fired
 	// HealthWatchdog; errors.Is(err, ErrDivergence) matches it.
 	DivergenceError = obs.DivergenceError
+	// FlightRecorder is the always-on post-mortem ring: a bounded,
+	// lock-free buffer of recent structured events (promotions, retries,
+	// faults, watchdog trips, slow requests, epoch completions) dumped as
+	// JSON when a run dies or on demand. Create one with
+	// NewFlightRecorder and install it in Config.Flight or
+	// ServeConfig.Flight. A nil *FlightRecorder records nothing at no
+	// cost.
+	FlightRecorder = obs.FlightRecorder
+	// FlightEvent and FlightSnapshot are the recorder's exportable forms.
+	FlightEvent    = obs.FlightEvent
+	FlightSnapshot = obs.FlightSnapshot
+	// ClusterMetrics keeps live, scrape-ready per-node counters of a
+	// running cluster simulation; install one in
+	// Config.Cluster.LiveMetrics and add it to a /metrics exposition (it
+	// is an http.Handler and a PromWriter).
+	ClusterMetrics = obs.ClusterMetrics
 )
 
 // ErrDivergence matches (via errors.Is) the error a run returns after a
@@ -222,6 +240,22 @@ func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 // Runs of any length fit the budget: when it fills, adjacent windows are
 // merged pairwise and the per-window epoch stride doubles.
 func NewSeries(budget int) *Series { return obs.NewSeries(budget) }
+
+// NewFlightRecorder returns a post-mortem event ring keeping the most
+// recent capacity events (<= 0 selects obs.DefaultFlightCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return obs.NewFlightRecorder(capacity)
+}
+
+// NewLogger builds a structured logger writing to w: format is "text" or
+// "json", level one of "debug", "info", "warn", "error" (both
+// case-insensitive; empty selects text/info). Install it in
+// Config.Logger or ServeConfig.Logger; a nil *slog.Logger is valid
+// everywhere one is accepted and logs nothing.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	l, err := obs.NewLogger(w, format, level)
+	return l, wrapErr(err)
+}
 
 // Config configures a training run. The zero value of optional fields
 // selects the paper's recommended defaults (hand-optimized kernels,
@@ -277,6 +311,15 @@ type Config struct {
 	// on Result.NumStats. Off (the default) it costs one nil check per
 	// kernel call.
 	NumHealth bool
+	// Logger, when non-nil, receives structured operational logs from the
+	// run (cluster epoch completions and, through RunConfig, supervisor
+	// retries, checkpoints and faults). Build one with NewLogger; nil is
+	// silent at no cost.
+	Logger *slog.Logger
+	// Flight, when non-nil, records the run's notable events (cluster
+	// epochs, watchdog trips, supervisor retries) into the post-mortem
+	// ring for dumping after a failure. Nil records nothing at no cost.
+	Flight *FlightRecorder
 
 	// Context, when non-nil, bounds the run: cancellation or deadline
 	// expiry stops training well within one epoch and the entry point
@@ -374,10 +417,22 @@ type DenseDataset = dataset.DenseSet
 type SparseDataset = dataset.SparseSet
 
 func (c Config) observer() *obs.Observer {
-	if c.Hooks == nil && !c.CollectStats && c.Tracer == nil && c.TimeSeries == nil && !c.NumHealth {
+	// Only the cluster tier has flight-recorder and live-metric call
+	// sites; on the shared-memory engine those fields alone must not
+	// switch the per-step counters on (a non-nil Observer does).
+	flight, live := c.Flight, c.Cluster.LiveMetrics
+	if !c.Cluster.enabled() {
+		flight, live = nil, nil
+	}
+	if c.Hooks == nil && !c.CollectStats && c.Tracer == nil && c.TimeSeries == nil &&
+		!c.NumHealth && flight == nil && live == nil {
 		return nil
 	}
-	return &obs.Observer{Hooks: c.Hooks, StepSample: c.StepSample, Tracer: c.Tracer, Series: c.TimeSeries, NumHealth: c.NumHealth}
+	return &obs.Observer{
+		Hooks: c.Hooks, StepSample: c.StepSample, Tracer: c.Tracer,
+		Series: c.TimeSeries, NumHealth: c.NumHealth,
+		Flight: flight, ClusterLive: live,
+	}
 }
 
 func (c Config) coreConfig(sparse bool, idxBits uint) (core.Config, error) {

@@ -86,6 +86,16 @@ type ClusterConfig struct {
 	// ComputeGNPS is the modeled per-node compute throughput in dataset
 	// numbers per second (default 1e9).
 	ComputeGNPS float64
+	// LiveMetrics, when non-nil, receives per-node update counts, wire
+	// bytes and staleness quantiles as the simulation runs, for scraping
+	// mid-run (it is an http.Handler and a serve PromWriter). Nil costs
+	// nothing.
+	LiveMetrics *ClusterMetrics
+	// TraceTIDBase offsets the cluster's trace track ids when a Tracer is
+	// installed, so several cluster runs can share one trace file without
+	// their per-node tracks colliding. Zero selects the default base
+	// (1000).
+	TraceTIDBase int
 }
 
 // enabled reports whether the config asks for multi-node training.
@@ -181,7 +191,8 @@ func (c Config) clusterConfig(cc core.Config) (cluster.Config, error) {
 			Bandwidth:   c.Cluster.BandwidthBps,
 			HeaderBytes: c.Cluster.HeaderBytes,
 		},
-		Ctx:      c.Context,
-		Observer: cc.Observer,
+		Ctx:          c.Context,
+		Observer:     cc.Observer,
+		TraceTIDBase: c.Cluster.TraceTIDBase,
 	}, nil
 }

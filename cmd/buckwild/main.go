@@ -45,11 +45,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sort"
@@ -78,11 +80,18 @@ func writeSeries(path string, sn *buckwild.SeriesSnapshot) error {
 	return obs.WriteJSON(path, sn)
 }
 
+// flightDump, when armed (see -flight), runs before a fatal exit so the
+// post-mortem event ring reaches disk even when the run dies.
+var flightDump func()
+
 // fatal logs err and exits. Facade errors already carry a "buckwild: "
 // prefix, which would stutter with the log prefix; trim it. An
 // interrupt (SIGINT/SIGTERM) is not a failure: it exits 130, the
 // conventional signal-exit status.
 func fatal(err error) {
+	if flightDump != nil {
+		flightDump()
+	}
 	if errors.Is(err, context.Canceled) {
 		log.Println("interrupted")
 		os.Exit(130)
@@ -90,8 +99,35 @@ func fatal(err error) {
 	log.Fatal(strings.TrimPrefix(err.Error(), "buckwild: "))
 }
 
+// buildLogger assembles the process logger from the -log-format and
+// -log-level flags and tees every warning or worse into the flight
+// recorder, so the dump holds the tail of the operational log too.
+func buildLogger(format, level string, rec *buckwild.FlightRecorder) *slog.Logger {
+	logger, err := buckwild.NewLogger(os.Stderr, format, level)
+	if err != nil {
+		fatal(err)
+	}
+	return slog.New(rec.LogHandler(logger.Handler(), slog.LevelWarn))
+}
+
+// watchSIGQUIT dumps the flight recorder to stderr on SIGQUIT (kill
+// -QUIT <pid>) and keeps running — the live post-mortem channel.
+func watchSIGQUIT(rec *buckwild.FlightRecorder) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			fmt.Fprintf(os.Stderr, "buckwild: flight recorder (%d events):\n", rec.EventCount())
+			rec.WriteJSON(os.Stderr)
+			fmt.Fprintln(os.Stderr)
+		}
+	}()
+}
+
 // traceSummary implements the trace-summary subcommand: a per-phase
-// wall-clock breakdown of a -trace output file.
+// wall-clock breakdown of a -trace output file, followed by a per-track
+// breakdown when the trace uses named tracks (per-node cluster
+// timelines, per-request serve spans).
 func traceSummary(args []string) {
 	fs := flag.NewFlagSet("trace-summary", flag.ExitOnError)
 	fs.Usage = func() {
@@ -103,12 +139,11 @@ func traceSummary(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(fs.Arg(0))
+	buf, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
-	phases, err := obs.SummarizeTrace(f)
+	phases, err := obs.SummarizeTrace(bytes.NewReader(buf))
 	if err != nil {
 		fatal(err)
 	}
@@ -123,6 +158,22 @@ func traceSummary(args []string) {
 			p.Cat, p.Name, p.Count, p.Total.Round(time.Microsecond),
 			p.Mean().Round(time.Microsecond), p.Min.Round(time.Microsecond),
 			p.Max.Round(time.Microsecond))
+	}
+	tracks, err := obs.SummarizeTracks(bytes.NewReader(buf))
+	if err != nil {
+		fatal(err)
+	}
+	if len(tracks) <= 1 && (len(tracks) == 0 || tracks[0].Name == "") {
+		return // single unnamed track: the per-phase table said it all
+	}
+	fmt.Printf("\n%-6s %-28s %7s %7s %14s\n", "tid", "track", "spans", "flows", "total")
+	for _, t := range tracks {
+		name := t.Name
+		if name == "" {
+			name = "(default)"
+		}
+		fmt.Printf("%-6d %-28s %7d %7d %14v\n",
+			t.TID, name, t.Spans, t.Flows, t.Total.Round(time.Microsecond))
 	}
 }
 
@@ -171,6 +222,10 @@ func main() {
 		wireBits  = flag.Uint("wire-bits", 0, "gradient wire precision in bits: 4, 8, 16 or 32 (0 = the signature's C term; with -nodes)")
 		staleComp = flag.Float64("staleness-comp", 0, "staleness compensation alpha: stale updates apply eta/(1+alpha*staleness) (with -nodes)")
 
+		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		flightPath = flag.String("flight", "", "write the flight-recorder dump (recent structured events, JSON) here when the run fails; SIGQUIT dumps it to stderr any time")
+
 		ckptDir   = flag.String("checkpoint-dir", "", "supervise the run: checkpoint here, resume and retry on failure")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint period in epochs (with -checkpoint-dir)")
 		retries   = flag.Int("retries", 3, "max retries after crashes or detected stalls (with -checkpoint-dir)")
@@ -178,6 +233,19 @@ func main() {
 		stallTO   = flag.Duration("stall-timeout", 0, "cancel and retry an attempt with no progress for this long, e.g. 30s (with -checkpoint-dir)")
 	)
 	flag.Parse()
+
+	rec := buckwild.NewFlightRecorder(0)
+	logger := buildLogger(*logFormat, *logLevel, rec)
+	watchSIGQUIT(rec)
+	if *flightPath != "" {
+		flightDump = func() {
+			if err := rec.DumpFile(*flightPath); err != nil {
+				log.Printf("flight dump: %v", err)
+				return
+			}
+			log.Printf("flight recorder dumped to %s (%d events)", *flightPath, rec.EventCount())
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -209,6 +277,8 @@ func main() {
 		Epochs:         *epochs,
 		Seed:           *seed,
 		NumHealth:      *stats || *report != "" || *healthW || *httpAddr != "",
+		Logger:         logger,
+		Flight:         rec,
 		Context:        ctx,
 		Cluster: buckwild.ClusterConfig{
 			Nodes:          *nodes,
@@ -352,6 +422,11 @@ func main() {
 			c.ComputeSeconds, c.CommSeconds, c.OverlapSavedSeconds)
 		fmt.Printf("  update staleness: mean %.2f, p99 %.0f, max %d; %d compensated updates\n",
 			c.Staleness.Mean(), c.Staleness.Quantile(0.99), c.Staleness.Max, c.CompensatedUpdates)
+		for _, nd := range c.PerNode {
+			fmt.Printf("  node %d: %d updates, %d wire bytes, compute %.4fs, comm %.4fs, staleness p50 %.0f p99 %.0f\n",
+				nd.Node, nd.Updates, nd.WireBytes, nd.ComputeSeconds, nd.CommSeconds,
+				nd.StalenessP50, nd.StalenessP99)
+		}
 	} else {
 		fmt.Printf("\n%d updates in %v (%.1f M numbers/s on this host)\n",
 			res.Steps, res.Elapsed.Round(1e6), res.NumbersPerSec/1e6)

@@ -23,7 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -86,12 +86,23 @@ func serveCmd(args []string) {
 
 		modelPath = fs.String("model", "", "serve this model file until the first promotion")
 		save      = fs.String("save", "", "write the newest checkpoint's model here on shutdown")
+
+		logFormat = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		slowReq   = fs.Duration("slow-request", 0, "log (and flight-record) requests slower than this, e.g. 50ms (0 = off)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: buckwild serve [flags]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
+
+	// The daemon's post-mortem ring: promotions, refusals, slow requests,
+	// supervisor retries and drain transitions, served at
+	// GET /debug/flight and dumped to stderr on SIGQUIT.
+	rec := buckwild.NewFlightRecorder(0)
+	logger := buildLogger(*logFormat, *logLevel, rec)
+	watchSIGQUIT(rec)
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -102,7 +113,8 @@ func serveCmd(args []string) {
 		if dir, err = os.MkdirTemp("", "buckwild-serve-*"); err != nil {
 			fatal(err)
 		}
-		log.Printf("checkpoints in %s (pass -checkpoint-dir to persist across restarts)", dir)
+		logger.Info("checkpoints in temp dir (pass -checkpoint-dir to persist across restarts)",
+			slog.String("dir", dir))
 	}
 
 	live := &obs.LiveMetrics{}
@@ -113,7 +125,9 @@ func serveCmd(args []string) {
 		BatchWait:    *batchWait,
 		DrainTimeout: *drainTO,
 		Extra:        []buckwild.PromWriter{live},
-		Logf:         log.Printf,
+		Logger:       logger,
+		Flight:       rec,
+		SlowRequest:  *slowReq,
 	})
 	if err != nil {
 		fatal(err)
@@ -121,7 +135,7 @@ func serveCmd(args []string) {
 	if err := srv.Start(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving on http://%s — POST /predict, GET /healthz, GET /metrics\n", srv.Addr())
+	fmt.Printf("serving on http://%s — POST /predict, GET /healthz, GET /metrics, GET /debug/flight\n", srv.Addr())
 
 	if *modelPath != "" {
 		sm, err := buckwild.LoadModelFile(*modelPath)
@@ -171,6 +185,8 @@ func serveCmd(args []string) {
 				Seed:      *seed,
 				NumHealth: true,
 				Hooks:     &buckwild.HealthWatchdog{Cancel: cancelCause, Next: gate},
+				Logger:    logger,
+				Flight:    rec,
 				Context:   roundCtx,
 			}
 			rc := buckwild.RunConfig{
@@ -195,21 +211,25 @@ func serveCmd(args []string) {
 			cancelCause(nil)
 			switch {
 			case err == nil:
-				log.Printf("training round %d done (cumulative epoch %d)", r, (r+1)**epochs)
+				logger.Info("training round done",
+					slog.Int("round", r), slog.Int("cumulative_epoch", (r+1)**epochs))
 			case errors.Is(err, context.Canceled) && ctx.Err() != nil:
 				return // shutting down; newest checkpoint stays on disk
 			case errors.Is(err, buckwild.ErrDivergence):
 				// The watchdog already gated promotions; the last healthy
 				// model keeps serving. Training stops rather than diverge
 				// again on the same trajectory.
-				log.Printf("training diverged, promotions gated, serving continues: %v", err)
+				logger.Warn("training diverged, promotions gated, serving continues",
+					slog.String("error", err.Error()))
+				rec.Record("run", "divergence", "training diverged, promotions gated",
+					map[string]string{"round": fmt.Sprint(r), "error": err.Error()})
 				return
 			default:
-				log.Printf("training stopped: %v", err)
+				logger.Error("training stopped", slog.String("error", err.Error()))
 				return
 			}
 		}
-		log.Printf("training idle after %d rounds; serving continues", *rounds)
+		logger.Info("training idle, serving continues", slog.Int("rounds", *rounds))
 	}()
 
 	// Serve until SIGTERM/SIGINT, then drain: stop admitting, flush
@@ -217,11 +237,11 @@ func serveCmd(args []string) {
 	// (its newest checkpoint is the final one), persist with -save.
 	<-ctx.Done()
 	stopSignals()
-	log.Printf("signal received, draining")
+	logger.Info("signal received, draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		log.Printf("drain: %v", err)
+		logger.Warn("drain", slog.String("error", err.Error()))
 	}
 	<-trainDone
 	st := srv.Metrics().Snapshot()
@@ -234,7 +254,7 @@ func serveCmd(args []string) {
 			fatal(err)
 		}
 		if ck == nil {
-			log.Printf("no checkpoint to save (training never reached an epoch boundary)")
+			logger.Warn("no checkpoint to save (training never reached an epoch boundary)")
 			return
 		}
 		w, err := ck.Weights()

@@ -50,6 +50,24 @@ func runCluster(quick bool) error {
 			}
 		}
 	}
+	// With -trace, one representative point per protocol (the largest
+	// node count at the 8-bit wire) records per-node timeline tracks into
+	// the run's tracer; distinct track-id bases keep the two protocols'
+	// tracks apart in one trace file.
+	tracer := obs.TracerFrom(runCtx)
+	traceBase := make(map[int]int)
+	if tracer != nil {
+		base := 1000
+		for _, proto := range []cluster.Protocol{cluster.ParamServer, cluster.AllReduce} {
+			for i, p := range points {
+				if p.proto == proto && p.nodes == nodeCounts[len(nodeCounts)-1] && p.wireBits == 8 {
+					traceBase[i] = base
+					base += 1000
+					break
+				}
+			}
+		}
+	}
 	// Each point is a single-goroutine discrete-event simulation, fully
 	// deterministic under its seed, so the sweep parallelizes without
 	// changing a byte of any point's accounting.
@@ -61,10 +79,18 @@ func runCluster(quick bool) error {
 		if report != nil {
 			o = &obs.Observer{NumHealth: true}
 		}
+		tidBase, traced := traceBase[i]
+		if traced {
+			if o == nil {
+				o = &obs.Observer{}
+			}
+			o.Tracer = tracer
+		}
 		res, err := cluster.Train(cluster.Config{
 			Problem: core.Logistic, Nodes: p.nodes, Protocol: p.proto,
 			WireBits: p.wireBits, Quant: kernels.QShared, ErrorFeedback: true,
 			StepSize: 0.1, Epochs: epochs, Seed: 7, Observer: o,
+			TraceTIDBase: tidBase,
 		}, ds)
 		if err != nil {
 			return 0, err

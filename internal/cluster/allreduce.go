@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"fmt"
+
 	"buckwild/internal/core"
 )
 
@@ -59,6 +61,10 @@ func (e *engine) runAllReduce() (*core.Result, error) {
 			w[j] += eta * uv
 		}
 		e.observeUpdate(pendStale, pending, comp)
+		// Every node contributed one gradient to the reduced update.
+		for k := range nodes {
+			e.nodeUpdate(k, pendStale)
+		}
 		if !pendLast {
 			return nil
 		}
@@ -70,16 +76,24 @@ func (e *engine) runAllReduce() (*core.Result, error) {
 		return nil
 	}
 
+	// curCompute/curComm hold this round's per-node times; pendNodeComm is
+	// the per-node communication of the reduction still in flight, kept so
+	// its tracks can be drawn overlapping the next round's compute.
+	curCompute := make([]float64, cfg.Nodes)
+	curComm := make([]float64, cfg.Nodes)
+	pendNodeComm := make([]float64, cfg.Nodes)
+
 	globalRound := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for r := 0; r < rounds; r++ {
 			if err := ctxErr(cfg.Ctx); err != nil {
 				return nil, err
 			}
+			roundStart := simT
 			// Compute: every node's mean gradient at the current model,
 			// which is still missing the in-flight update.
 			var computeRound float64
-			for _, nd := range nodes {
+			for ki, nd := range nodes {
 				lo := nd.lo + r*cfg.BatchPerNode
 				end := lo + cfg.BatchPerNode
 				if lo > nd.hi {
@@ -91,22 +105,38 @@ func (e *engine) runAllReduce() (*core.Result, error) {
 				e.accumGrad(w, nd.g, lo, end)
 				dt := cfg.computeSeconds(end-lo, n)
 				computeSec += dt
+				e.perNode[ki].ComputeSeconds += dt
+				curCompute[ki] = dt
 				if dt > computeRound {
 					computeRound = dt
+				}
+				if st := e.st; st != nil && dt > 0 {
+					st.span("compute", st.computeTID(ki), roundStart, roundStart+dt, map[string]string{
+						"epoch": fmt.Sprint(epoch), "round": fmt.Sprint(globalRound),
+						"batch": fmt.Sprint(end - lo),
+					})
 				}
 			}
 			// Exchange: quantize once, broadcast to the peers. A node's
 			// sends are serial through its NIC; distinct nodes overlap.
 			var commRound float64
-			for _, nd := range nodes {
+			for ki, nd := range nodes {
 				payload := nd.codec.transfer(nd.g, nd.residual, cfg.ErrorFeedback, e.nc)
 				var nodeComm float64
 				for p := 1; p < cfg.Nodes; p++ {
-					nodeComm += e.meter.countGrad(payload)
+					ct := e.meter.countGrad(payload)
+					nodeComm += ct
+					e.nodeSent(ki, payload, ct)
 				}
+				curComm[ki] = nodeComm
 				commSec += nodeComm
 				if nodeComm > commRound {
 					commRound = nodeComm
+				}
+				if st := e.st; st != nil {
+					st.instant("quantize", st.commTID(ki), roundStart+curCompute[ki], map[string]string{
+						"wire_bits": fmt.Sprint(cfg.WireBits), "payload_bytes": fmt.Sprint(payload),
+					})
 				}
 			}
 			// Round barrier: wait for this round's compute and the
@@ -121,6 +151,27 @@ func (e *engine) runAllReduce() (*core.Result, error) {
 				} else {
 					e.stats.OverlapSavedSeconds += pendComm
 				}
+			}
+			if st := e.st; st != nil {
+				// The in-flight reduction's wire time renders on each comm
+				// track, overlapping this round's compute spans — the
+				// pipelining overlap, visible. Arrows join each broadcast
+				// to the barrier where its reduced update lands.
+				if havePending {
+					for k := range nodes {
+						if pendNodeComm[k] <= 0 {
+							continue
+						}
+						st.span("reduce-flight", st.commTID(k), roundStart, roundStart+pendNodeComm[k],
+							map[string]string{"round": fmt.Sprint(globalRound - 1)})
+						st.flowPair("reduce", st.commTID(k), roundStart+pendNodeComm[k],
+							st.serverTID(), roundStart+wait)
+					}
+				}
+				st.span("round", st.serverTID(), roundStart, roundStart+wait, map[string]string{
+					"epoch": fmt.Sprint(epoch), "round": fmt.Sprint(globalRound),
+					"staleness": fmt.Sprint(pendStale),
+				})
 			}
 			simT += wait
 			if havePending {
@@ -142,6 +193,7 @@ func (e *engine) runAllReduce() (*core.Result, error) {
 			pendEpoch = epoch
 			pendLast = r == rounds-1
 			pendComm = commRound
+			pendNodeComm, curComm = curComm, pendNodeComm
 			if globalRound == 0 {
 				pendStale = 0
 			} else {
@@ -152,7 +204,21 @@ func (e *engine) runAllReduce() (*core.Result, error) {
 	}
 	// Flush: the last reduction has nothing to hide behind.
 	if havePending {
+		flushStart := simT
 		simT += pendComm
+		if st := e.st; st != nil {
+			for k := range nodes {
+				if pendNodeComm[k] <= 0 {
+					continue
+				}
+				st.span("reduce-flight", st.commTID(k), flushStart, flushStart+pendNodeComm[k],
+					map[string]string{"round": fmt.Sprint(globalRound - 1)})
+				st.flowPair("reduce", st.commTID(k), flushStart+pendNodeComm[k],
+					st.serverTID(), simT)
+			}
+			st.span("round", st.serverTID(), flushStart, simT,
+				map[string]string{"round": "flush", "staleness": fmt.Sprint(pendStale)})
+		}
 		if err := apply(simT); err != nil {
 			return nil, err
 		}

@@ -103,6 +103,11 @@ type Config struct {
 	// Ctx, when non-nil, bounds the run: it is checked between simulated
 	// events/rounds, and cancellation returns context.Cause(Ctx).
 	Ctx context.Context
+	// TraceTIDBase is the first trace track id the run's per-node tracks
+	// claim when a Tracer is installed (zero selects
+	// DefaultTraceTIDBase). Sweeps tracing several runs into one tracer
+	// give each run a distinct base so their tracks do not collide.
+	TraceTIDBase int
 	// Observer installs the run-level observability layer: the staleness
 	// histogram and epoch hooks, trace spans, the windowed time-series,
 	// and wire numerical health. Nil skips all of it; the exact wire-byte
@@ -239,6 +244,14 @@ type engine struct {
 	losses []float64
 	// updates counts applied model updates (pushes or reduced rounds).
 	updates uint64
+	// perNode attributes updates, bytes, time and staleness to each node
+	// (always collected; N is small and the sim is far from any hot path).
+	perNode []obs.NodeStats
+	// live mirrors per-node counters into the Prometheus collector when
+	// the Observer installs one (nil-safe methods, so no guard needed).
+	live *obs.ClusterMetrics
+	// st lays the run out on per-node trace tracks; nil when untraced.
+	st *simTrace
 }
 
 func newEngine(cfg *Config, ds *dataset.DenseSet) (*engine, error) {
@@ -250,6 +263,15 @@ func newEngine(cfg *Config, ds *dataset.DenseSet) (*engine, error) {
 	if cfg.Observer != nil && cfg.Observer.NumHealth {
 		e.nc = &fixed.NumCounts{}
 	}
+	e.perNode = make([]obs.NodeStats, cfg.Nodes)
+	for k := range e.perNode {
+		e.perNode[k].Node = k
+	}
+	if cfg.Observer != nil {
+		e.live = cfg.Observer.ClusterLive
+	}
+	e.live.Reset(cfg.Nodes)
+	e.st = newSimTrace(cfg.Observer, cfg.TraceTIDBase, cfg.Nodes, cfg.Protocol)
 	loss, err := core.SyncLoss(cfg.Problem, make([]float32, ds.N), ds)
 	if err != nil {
 		return nil, err
@@ -294,6 +316,23 @@ func (e *engine) accumGrad(w, g []float32, lo, hi int) {
 	}
 }
 
+// nodeSent attributes one sent message (header + payload bytes, dt
+// simulated transfer seconds) to node k, in the per-node snapshot and
+// the live Prometheus collector.
+func (e *engine) nodeSent(k, payload int, dt float64) {
+	bytes := uint64(e.cfg.Net.HeaderBytes + payload)
+	e.perNode[k].WireBytes += bytes
+	e.perNode[k].CommSeconds += dt
+	e.live.AddWireBytes(k, bytes)
+}
+
+// nodeUpdate attributes one landed model update to node k.
+func (e *engine) nodeUpdate(k int, staleness uint64) {
+	e.perNode[k].Updates++
+	e.perNode[k].Staleness.Observe(staleness)
+	e.live.ObserveUpdate(k, staleness)
+}
+
 // observeUpdate records one applied model update: its staleness (into the
 // cluster histogram and, when sampled, the time-series) and whether the
 // compensation rule scaled it.
@@ -336,6 +375,14 @@ func (e *engine) epochDone(epoch int, loss, simT float64) {
 			"sim_seconds": fmt.Sprintf("%.6g", simT),
 		})
 	}
+	if o.Flight != nil {
+		o.Flight.Record("cluster", "epoch",
+			fmt.Sprintf("epoch %d done, loss %.6g", epoch, loss),
+			map[string]string{
+				"epoch": fmt.Sprint(epoch), "loss": fmt.Sprintf("%.6g", loss),
+				"updates": fmt.Sprint(e.updates), "sim_seconds": fmt.Sprintf("%.6g", simT),
+			})
+	}
 }
 
 // span opens the run-level trace span (a no-op handle without a tracer).
@@ -353,6 +400,8 @@ func (e *engine) result(w []float32, simT, computeSec, commSec float64) *core.Re
 	e.stats.SimSeconds = simT
 	e.stats.ComputeSeconds = computeSec
 	e.stats.CommSeconds = commSec
+	e.stats.PerNode = e.perNode
+	e.stats.FinishPerNode()
 	if simT > 0 {
 		e.stats.ExamplesPerSimSec = float64(e.ds.Len()*e.cfg.Epochs) / simT
 	}

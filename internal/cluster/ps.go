@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"container/heap"
+	"fmt"
 
 	"buckwild/internal/core"
 )
@@ -105,6 +106,11 @@ func (e *engine) runParamServer() (*core.Result, error) {
 	for k := range nodes {
 		dt := e.meter.countControl()
 		commSec += dt
+		e.nodeSent(k, 0, dt)
+		if st := e.st; st != nil {
+			st.span("pull-request", st.commTID(k), 0, dt, nil)
+			st.flowPair("pull", st.commTID(k), 0, st.serverTID(), dt)
+		}
 		schedule(dt, evPull, k)
 	}
 
@@ -124,6 +130,14 @@ func (e *engine) runParamServer() (*core.Result, error) {
 			nd.pulled = version
 			dt := e.meter.countModel(modelPayload)
 			commSec += dt
+			e.nodeSent(ev.node, modelPayload, dt)
+			if st := e.st; st != nil {
+				st.span("serve-pull", st.serverTID(), ev.t, ev.t+dt,
+					map[string]string{"node": fmt.Sprint(ev.node)})
+				st.span("model-xfer", st.commTID(ev.node), ev.t, ev.t+dt,
+					map[string]string{"bytes": fmt.Sprint(cfg.Net.HeaderBytes + modelPayload)})
+				st.flowPair("model", st.serverTID(), ev.t, st.commTID(ev.node), ev.t+dt)
+			}
 			schedule(ev.t+dt, evModel, ev.node)
 
 		case evModel:
@@ -134,6 +148,8 @@ func (e *engine) runParamServer() (*core.Result, error) {
 			e.accumGrad(nd.w, nd.g, nd.next, end)
 			dt := cfg.computeSeconds(end-nd.next, n)
 			computeSec += dt
+			e.perNode[ev.node].ComputeSeconds += dt
+			batch := end - nd.next
 			nd.pushEpoch = nd.epoch
 			nd.next = end
 			if nd.next >= nd.hi {
@@ -144,6 +160,18 @@ func (e *engine) runParamServer() (*core.Result, error) {
 			payload := nd.codec.transfer(nd.g, nd.residual, cfg.ErrorFeedback, e.nc)
 			ct := e.meter.countGrad(payload)
 			commSec += ct
+			e.nodeSent(ev.node, payload, ct)
+			if st := e.st; st != nil {
+				st.span("compute", st.computeTID(ev.node), ev.t, ev.t+dt, map[string]string{
+					"epoch": fmt.Sprint(nd.pushEpoch), "batch": fmt.Sprint(batch),
+				})
+				st.instant("quantize", st.commTID(ev.node), ev.t+dt, map[string]string{
+					"wire_bits": fmt.Sprint(cfg.WireBits), "payload_bytes": fmt.Sprint(payload),
+				})
+				st.span("push", st.commTID(ev.node), ev.t+dt, ev.t+dt+ct,
+					map[string]string{"bytes": fmt.Sprint(cfg.Net.HeaderBytes + payload)})
+				st.flowPair("grad", st.commTID(ev.node), ev.t+dt, st.serverTID(), ev.t+dt+ct)
+			}
 			schedule(ev.t+dt+ct, evPush, ev.node)
 
 		case evPush:
@@ -154,6 +182,7 @@ func (e *engine) runParamServer() (*core.Result, error) {
 			}
 			version++
 			e.observeUpdate(staleness, nd.g, comp)
+			e.nodeUpdate(ev.node, staleness)
 			remaining[nd.pushEpoch]--
 			if remaining[nd.pushEpoch] == 0 {
 				loss, err := core.SyncLoss(cfg.Problem, model, ds)
@@ -162,12 +191,29 @@ func (e *engine) runParamServer() (*core.Result, error) {
 				}
 				e.epochDone(nd.pushEpoch+1, loss, ev.t)
 			}
+			replyEnd := ev.t
 			if !nd.pushFinal {
 				copy(nd.w, model)
 				nd.pulled = version
 				dt := e.meter.countModel(modelPayload)
 				commSec += dt
-				schedule(ev.t+dt, evModel, ev.node)
+				e.nodeSent(ev.node, modelPayload, dt)
+				replyEnd = ev.t + dt
+				if st := e.st; st != nil {
+					st.span("model-xfer", st.commTID(ev.node), ev.t, replyEnd,
+						map[string]string{"bytes": fmt.Sprint(cfg.Net.HeaderBytes + modelPayload)})
+					st.flowPair("model", st.serverTID(), ev.t, st.commTID(ev.node), replyEnd)
+				}
+				schedule(replyEnd, evModel, ev.node)
+			}
+			if st := e.st; st != nil {
+				// The apply span covers the reply transfer too, so the
+				// push's flow arrow and the reply's flow origin both land
+				// inside a server slice.
+				st.span("apply", st.serverTID(), ev.t, replyEnd, map[string]string{
+					"node": fmt.Sprint(ev.node), "staleness": fmt.Sprint(staleness),
+					"eta": fmt.Sprintf("%.6g", eta),
+				})
 			}
 		}
 	}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"buckwild/internal/obs"
+)
+
+// This file maps the discrete-event simulation onto Chrome trace tracks:
+// one track per simulated node pair (compute and comm) plus one for the
+// parameter server (or the all-reduce barrier), with each wire message
+// drawn as a flow arrow from its sender's track to its receiver's. The
+// simulation runs in simulated seconds, not wall time, so spans are laid
+// out with Tracer.RecordSpan on the simulation's own timeline: one
+// simulated second renders as one trace second. Loading the file in
+// Perfetto shows the pipelined all-reduce's reduce-flight spans overlap
+// the next round's compute spans — OverlapSavedSeconds, visually.
+
+// DefaultTraceTIDBase is the first track id the cluster tier claims when
+// Config.TraceTIDBase is zero. It leaves the low track ids to the engine
+// and sweep pool and the 900s to the serving tier.
+const DefaultTraceTIDBase = 1000
+
+// simTrace emits the per-node tracks of one simulated run. A nil
+// *simTrace (no tracer installed) is fully inert; the engine holds nil
+// so untraced runs pay one pointer check per emission site.
+type simTrace struct {
+	tr   *obs.Tracer
+	base int
+	flow uint64 // flow arrow id allocator (single-goroutine, like the sim)
+}
+
+// newSimTrace names the run's tracks and returns the emitter, or nil
+// when no tracer is installed.
+func newSimTrace(o *obs.Observer, base, nodes int, proto Protocol) *simTrace {
+	if o == nil || o.Tracer == nil {
+		return nil
+	}
+	if base <= 0 {
+		base = DefaultTraceTIDBase
+	}
+	st := &simTrace{tr: o.Tracer, base: base}
+	server := "cluster/reducer"
+	if proto == ParamServer {
+		server = "cluster/server"
+	}
+	st.tr.NameTrack(base, server)
+	for k := 0; k < nodes; k++ {
+		st.tr.NameTrack(st.computeTID(k), fmt.Sprintf("cluster/node-%d compute", k))
+		st.tr.NameTrack(st.commTID(k), fmt.Sprintf("cluster/node-%d comm", k))
+	}
+	return st
+}
+
+// serverTID is the parameter server's (or the all-reduce barrier's)
+// track; computeTID and commTID are node k's two tracks, adjacent so a
+// node's compute and its in-flight messages render together.
+func (st *simTrace) serverTID() int       { return st.base }
+func (st *simTrace) computeTID(k int) int { return st.base + 1 + 2*k }
+func (st *simTrace) commTID(k int) int    { return st.base + 2 + 2*k }
+
+// simDur converts simulated seconds to the trace timeline.
+func simDur(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}
+
+// span lays a complete span on tid covering simulated seconds
+// [start, end).
+func (st *simTrace) span(name string, tid int, start, end float64, args map[string]string) {
+	if st == nil {
+		return
+	}
+	st.tr.RecordSpan(obs.Span{
+		Name: name, Cat: "cluster", TID: tid,
+		Start: simDur(start), Dur: simDur(end - start), Args: args,
+	})
+}
+
+// instant marks a point event on tid at simulated second t.
+func (st *simTrace) instant(name string, tid int, t float64, args map[string]string) {
+	if st == nil {
+		return
+	}
+	st.tr.RecordSpan(obs.Span{
+		Name: name, Cat: "cluster", TID: tid,
+		Start: simDur(t), Instant: true, Args: args,
+	})
+}
+
+// flowPair draws one wire message as an arrow: sent from fromTID at
+// simulated second sendAt, received on toTID at arriveAt. Both points
+// should fall inside spans on their tracks so viewers can bind the arrow.
+func (st *simTrace) flowPair(name string, fromTID int, sendAt float64, toTID int, arriveAt float64) {
+	if st == nil {
+		return
+	}
+	st.flow++
+	st.tr.Flow("cluster", name, st.flow, true, fromTID, simDur(sendAt))
+	st.tr.Flow("cluster", name, st.flow, false, toTID, simDur(arriveAt))
+}

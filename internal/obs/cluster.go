@@ -46,6 +46,31 @@ type ClusterStats struct {
 	// CompensatedUpdates counts updates whose learning rate was scaled
 	// down by the staleness compensation rule.
 	CompensatedUpdates uint64 `json:"compensated_updates,omitempty"`
+	// PerNode attributes updates, bytes, time and staleness to each
+	// simulated node, so a single hot or stale node is visible instead of
+	// being averaged away in the run-wide aggregates above.
+	PerNode []NodeStats `json:"per_node,omitempty"`
+}
+
+// NodeStats is one simulated node's share of a cluster run.
+type NodeStats struct {
+	Node int `json:"node"`
+	// Updates counts the gradient contributions this node landed in the
+	// model (parameter-server pushes applied, or all-reduce rounds).
+	Updates uint64 `json:"updates"`
+	// WireBytes is the bytes this node put on the interconnect (its sent
+	// messages, header + payload; parameter-server pull responses are
+	// attributed to the pulling node).
+	WireBytes uint64 `json:"wire_bytes"`
+	// ComputeSeconds and CommSeconds split the node's simulated time.
+	ComputeSeconds float64 `json:"compute_seconds"`
+	CommSeconds    float64 `json:"comm_seconds"`
+	// Staleness is the node's per-update staleness histogram, with the
+	// p50/p99 quantiles precomputed for reports (FinishPerNode fills
+	// them from the histogram).
+	Staleness    HistSnapshot `json:"staleness"`
+	StalenessP50 float64      `json:"staleness_p50"`
+	StalenessP99 float64      `json:"staleness_p99"`
 }
 
 // Merge folds other into s for sweep-level aggregation. Scalar identity
@@ -72,4 +97,26 @@ func (s *ClusterStats) Merge(other *ClusterStats) {
 	s.CompensatedUpdates += other.CompensatedUpdates
 	s.Staleness.Merge(other.Staleness)
 	s.ExamplesPerSimSec = 0 // meaningless across merged runs of different shapes
+	for i := range other.PerNode {
+		for len(s.PerNode) <= i {
+			s.PerNode = append(s.PerNode, NodeStats{Node: len(s.PerNode)})
+		}
+		n, o := &s.PerNode[i], &other.PerNode[i]
+		n.Updates += o.Updates
+		n.WireBytes += o.WireBytes
+		n.ComputeSeconds += o.ComputeSeconds
+		n.CommSeconds += o.CommSeconds
+		n.Staleness.Merge(o.Staleness)
+	}
+	s.FinishPerNode()
+}
+
+// FinishPerNode recomputes each node's staleness quantiles from its
+// histogram. Producers call it once after filling (or merging) PerNode.
+func (s *ClusterStats) FinishPerNode() {
+	for i := range s.PerNode {
+		n := &s.PerNode[i]
+		n.StalenessP50 = n.Staleness.Quantile(0.5)
+		n.StalenessP99 = n.Staleness.Quantile(0.99)
+	}
 }

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging conventions for the repo (DESIGN §14): every
+// subsystem logs through a *slog.Logger scoped with Component, and a nil
+// *slog.Logger means "no logging" — call sites nil-check before logging,
+// the same zero-cost discipline as nil Hooks and nil Tracer. Loggers are
+// built once at the command layer (from -log-format and -log-level) and
+// threaded down through configs; library code never writes to a global.
+
+// NewLogger builds a logger writing to w. format selects the handler:
+// "text" (human-oriented key=value) or "json" (one object per line).
+// level is one of "debug", "info", "warn", "error". Both are
+// case-insensitive; empty strings default to "text" and "info".
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	lv, err := ParseLogLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// ParseLogLevel maps a -log-level flag value to a slog.Level. Empty
+// defaults to info.
+func ParseLogLevel(level string) (slog.Level, error) {
+	switch strings.ToLower(level) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+}
+
+// Component scopes l to one subsystem ("run", "cluster", "serve") by
+// attaching a component attribute. A nil logger stays nil, so the
+// nil-means-silent convention propagates through the scoping call.
+func Component(l *slog.Logger, name string) *slog.Logger {
+	if l == nil {
+		return nil
+	}
+	return l.With(slog.String("component", name))
+}

@@ -109,6 +109,13 @@ type Observer struct {
 	// pass (see NumStats). Off is free on the hot paths: the kernels pay
 	// one nil check per call.
 	NumHealth bool
+	// Flight, when non-nil, receives coarse structured events (epoch and
+	// round completions, faults, promotions) into the always-on flight
+	// recorder for post-mortem dumps. Nil is free.
+	Flight *FlightRecorder
+	// ClusterLive, when non-nil, receives live per-node counters from a
+	// cluster simulation for Prometheus exposition. Nil is free.
+	ClusterLive *ClusterMetrics
 }
 
 // SamplePeriod returns the effective step sampling period.

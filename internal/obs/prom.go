@@ -159,6 +159,9 @@ type LiveMetrics struct {
 	// Series, when non-nil, contributes the newest time-series window's
 	// gauges to the scrape.
 	Series *Series
+	// Cluster, when non-nil, contributes the live per-node counters of a
+	// running cluster simulation to the scrape.
+	Cluster *ClusterMetrics
 
 	epochs       atomic.Int64
 	steps        atomic.Uint64
@@ -282,6 +285,9 @@ func (m *LiveMetrics) WriteProm(w io.Writer) error {
 	}
 	if p.err != nil {
 		return p.err
+	}
+	if err := m.Cluster.WriteProm(w); err != nil {
+		return err
 	}
 	if f := m.final.Load(); f != nil {
 		return WriteRunStatsProm(w, f.run, f.sup)

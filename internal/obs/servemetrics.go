@@ -61,8 +61,21 @@ func (m *ServeMetrics) BadRequest() { m.badRequests.Add(1) }
 func (m *ServeMetrics) Batch(n int) { m.batchSize.Observe(uint64(n)) }
 
 // InFlight adjusts the in-flight request gauge by d (+1 on admit, -1 on
-// response).
-func (m *ServeMetrics) InFlight(d int64) { m.inFlight.Add(d) }
+// response). The gauge is clamped at zero: a stray extra decrement (a
+// double-counted response, or a decrement racing a restart) must show up
+// as a too-low gauge, never as a negative one that poisons dashboards.
+func (m *ServeMetrics) InFlight(d int64) {
+	for {
+		cur := m.inFlight.Load()
+		next := cur + d
+		if next < 0 {
+			next = 0
+		}
+		if m.inFlight.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
 
 // Promoted records a successful model promotion at the given cumulative
 // epoch with the given training loss.

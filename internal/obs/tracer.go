@@ -39,6 +39,13 @@ type Span struct {
 	Dur   time.Duration
 	// Instant marks a point event (Dur is ignored).
 	Instant bool
+	// FlowID, when nonzero, makes this a flow event instead of a span:
+	// the sending half (FlowOut true, Chrome ph "s") and the receiving
+	// half (FlowOut false, ph "f") carrying the same FlowID are joined by
+	// an arrow in the viewer. The cluster tier uses flow pairs to draw
+	// each wire message from the sender's track to the receiver's.
+	FlowID  uint64
+	FlowOut bool
 	// Args carries small key/value annotations shown in the viewer.
 	Args map[string]string
 }
@@ -70,6 +77,41 @@ func NewTracer(capacity int) *Tracer {
 
 // clock returns the current offset from the tracer's epoch.
 func (t *Tracer) clock() time.Duration { return time.Since(t.epoch) }
+
+// Now returns the current offset from the tracer's epoch (0 on a nil
+// tracer). Callers that stamp a moment early and record a span later
+// (e.g. the serve queue measuring per-job queue-wait) use Now at the
+// stamp and RecordSpan at the end.
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// RecordSpan records a fully-specified span. Unlike Begin/End, the
+// caller supplies Start and Dur, which lets producers whose clock is not
+// wall time — the cluster tier's discrete-event simulation runs in
+// simulated seconds — lay out spans on their own timeline. A nil tracer
+// records nothing.
+func (t *Tracer) RecordSpan(s Span) {
+	if t == nil {
+		return
+	}
+	t.record(s)
+}
+
+// Flow records one half of a flow arrow at a point in time on track tid:
+// out true is the sending half, out false the receiving half. Both
+// halves must share a nonzero id unique to the message. Place each half
+// inside (or at the edge of) a span on its track so viewers can bind the
+// arrow to the enclosing slice.
+func (t *Tracer) Flow(cat, name string, id uint64, out bool, tid int, at time.Duration) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.record(Span{Name: name, Cat: cat, TID: tid, Start: at, FlowID: id, FlowOut: out})
+}
 
 // record appends one span to the ring, overwriting the oldest when full.
 func (t *Tracer) record(s Span) {
@@ -187,7 +229,8 @@ func (t *Tracer) SpanCount() uint64 {
 
 // chromeEvent is one trace_event entry of the Chrome/Perfetto JSON
 // format: ph "X" is a complete span (ts+dur), "i" an instant, "M"
-// metadata. Timestamps are microseconds.
+// metadata, "s"/"f" the two halves of a flow arrow (joined by ID).
+// Timestamps are microseconds.
 type chromeEvent struct {
 	Name string            `json:"name"`
 	Cat  string            `json:"cat,omitempty"`
@@ -197,6 +240,8 @@ type chromeEvent struct {
 	Pid  int               `json:"pid"`
 	Tid  int               `json:"tid"`
 	S    string            `json:"s,omitempty"`
+	ID   string            `json:"id,omitempty"`
+	BP   string            `json:"bp,omitempty"`
 	Args map[string]string `json:"args,omitempty"`
 }
 
@@ -233,6 +278,17 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 		}
 		if s.Instant {
 			ev.Ph, ev.Dur, ev.S = "i", 0, "t"
+		}
+		if s.FlowID != 0 {
+			ev.Dur = 0
+			ev.ID = fmt.Sprint(s.FlowID)
+			if s.FlowOut {
+				ev.Ph = "s"
+			} else {
+				// bp "e" binds the arrow head to the slice enclosing the
+				// receive timestamp rather than the next slice to start.
+				ev.Ph, ev.BP = "f", "e"
+			}
 		}
 		doc.TraceEvents = append(doc.TraceEvents, ev)
 	}

@@ -29,17 +29,14 @@ func (p PhaseSummary) Mean() time.Duration {
 	return p.Total / time.Duration(p.Count)
 }
 
-// SummarizeTrace reads Chrome trace_event JSON (as written by
-// Tracer.WriteTrace, but any trace_event document with "X" complete
-// events works) and returns per-phase wall-clock breakdowns, sorted by
-// total time descending. Instant and metadata events are ignored.
-func SummarizeTrace(r io.Reader) ([]PhaseSummary, error) {
+// decodeTrace parses a trace_event document, distinguishing the common
+// file-level failure modes so the CLI can report them plainly instead of
+// a zero-filled summary: a raw EOF is an empty file, an unexpected EOF a
+// truncated one (a run killed mid-write), and a syntax error names the
+// corrupt byte.
+func decodeTrace(r io.Reader) (*chromeTrace, error) {
 	var doc chromeTrace
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
-		// Distinguish the common file-level failure modes so the CLI can
-		// report them plainly instead of a zero-filled summary: a raw EOF
-		// is an empty file, an unexpected EOF a truncated one (a run
-		// killed mid-write), and a syntax error names the corrupt byte.
 		switch {
 		case errors.Is(err, io.EOF):
 			return nil, errors.New("obs: trace file is empty")
@@ -54,6 +51,18 @@ func SummarizeTrace(r io.Reader) ([]PhaseSummary, error) {
 	}
 	if len(doc.TraceEvents) == 0 {
 		return nil, errors.New("obs: trace file contains no events (empty or truncated trace?)")
+	}
+	return &doc, nil
+}
+
+// SummarizeTrace reads Chrome trace_event JSON (as written by
+// Tracer.WriteTrace, but any trace_event document with "X" complete
+// events works) and returns per-phase wall-clock breakdowns, sorted by
+// total time descending. Instant and metadata events are ignored.
+func SummarizeTrace(r io.Reader) ([]PhaseSummary, error) {
+	doc, err := decodeTrace(r)
+	if err != nil {
+		return nil, err
 	}
 	byPhase := make(map[string]*PhaseSummary)
 	var order []string
@@ -83,5 +92,58 @@ func SummarizeTrace(r io.Reader) ([]PhaseSummary, error) {
 		out = append(out, *byPhase[key])
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out, nil
+}
+
+// TrackSummary aggregates the events of one trace track (tid): the
+// per-node cluster timelines and the serve request/batch tracks. Spans
+// counts complete events, Flows the flow endpoints bound to the track
+// (wire messages in cluster traces), Total the accumulated span time.
+type TrackSummary struct {
+	TID   int
+	Name  string // thread_name metadata; "" when the track is unnamed
+	Spans int
+	Flows int
+	Total time.Duration
+}
+
+// SummarizeTracks reads Chrome trace_event JSON and returns one summary
+// per track, in tid order — the per-node view of a cluster trace (one
+// compute and one comm track per node) or the per-request view of a
+// serve trace. Traces whose events all land on the default track
+// summarize to a single entry.
+func SummarizeTracks(r io.Reader) ([]TrackSummary, error) {
+	doc, err := decodeTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	byTID := make(map[int]*TrackSummary)
+	track := func(tid int) *TrackSummary {
+		t := byTID[tid]
+		if t == nil {
+			t = &TrackSummary{TID: tid}
+			byTID[tid] = t
+		}
+		return t
+	}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				track(ev.Tid).Name = ev.Args["name"]
+			}
+		case "X":
+			t := track(ev.Tid)
+			t.Spans++
+			t.Total += time.Duration(ev.Dur * float64(time.Microsecond))
+		case "s", "f":
+			track(ev.Tid).Flows++
+		}
+	}
+	out := make([]TrackSummary, 0, len(byTID))
+	for _, t := range byTID {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TID < out[j].TID })
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"sync/atomic"
 	"time"
@@ -71,6 +72,14 @@ type Config struct {
 	// windowed time-series spans the whole supervised run (the recorder
 	// detects each attempt's counter restart and keeps accumulating).
 	Series *obs.Series
+	// Logger, when non-nil, receives the supervisor's structured
+	// operational log: resumes, checkpoints, retries, stall degradations
+	// and retry exhaustion. Nil is silent at no cost.
+	Logger *slog.Logger
+	// Flight, when non-nil, records the same lifecycle events into the
+	// post-mortem ring so a crashed or exhausted run can be diagnosed
+	// from its dump. Nil records nothing at no cost.
+	Flight *obs.FlightRecorder
 	// Snapshot, when non-nil, receives a promotable copy of the model at
 	// every checkpoint boundary, after the checkpoint file is durably on
 	// disk — the serving tier's hot-promotion feed. The weights slice is
@@ -208,6 +217,13 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 		startEpoch, initW, history, lastPath = ck.Epoch, w, ck.TrainLoss, path
 		stats.Resumes++
 		stats.ResumedEpoch = ck.Epoch
+		if cfg.Logger != nil {
+			cfg.Logger.Info("resumed from checkpoint",
+				slog.String("path", path), slog.Int("epoch", ck.Epoch))
+		}
+		cfg.Flight.Record("run", "resume", "resumed from checkpoint", map[string]string{
+			"path": path, "epoch": fmt.Sprint(ck.Epoch),
+		})
 		return nil
 	}
 	if err := loadResume(); err != nil {
@@ -251,6 +267,14 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 			stats.Checkpoints++
 			stats.CheckpointBytes += n
 			lastPath = path
+			if cfg.Logger != nil {
+				cfg.Logger.Info("checkpoint saved",
+					slog.Int("epoch", st.Epoch), slog.Int64("bytes", n),
+					slog.Float64("loss", st.Loss))
+			}
+			cfg.Flight.Record("run", "checkpoint", "checkpoint saved", map[string]string{
+				"epoch": fmt.Sprint(st.Epoch), "bytes": fmt.Sprint(n), "path": path,
+			})
 			pruneCheckpoints(cfg.Dir, cfg.Keep)
 			if lifecycle != nil {
 				lifecycle.OnCheckpoint(obs.CheckpointInfo{Epoch: st.Epoch, Path: path, Bytes: n})
@@ -303,6 +327,13 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 				threads--
 				stalls = 0
 				stats.Degradations++
+				if cfg.Logger != nil {
+					cfg.Logger.Warn("degrading after repeated stalls",
+						slog.Int("threads", threads), slog.Int("attempt", attempt))
+				}
+				cfg.Flight.Record("run", "degrade", "degrading after repeated stalls", map[string]string{
+					"threads": fmt.Sprint(threads), "attempt": fmt.Sprint(attempt),
+				})
 			}
 		default:
 			// Configuration, dataset and I/O errors recur identically on
@@ -310,12 +341,28 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 			return nil, err
 		}
 		if attempt > cfg.MaxRetries {
+			if cfg.Logger != nil {
+				cfg.Logger.Error("retries exhausted",
+					slog.Int("attempts", attempt), slog.String("error", err.Error()))
+			}
+			cfg.Flight.Record("run", "retries-exhausted", "giving up", map[string]string{
+				"attempts": fmt.Sprint(attempt), "error": err.Error(),
+			})
 			return nil, fmt.Errorf("run: giving up after %d attempts: %w", attempt, err)
 		}
 		stats.Retries++
 		if err := loadResume(); err != nil {
 			return nil, err
 		}
+		if cfg.Logger != nil {
+			cfg.Logger.Warn("retrying after failed attempt",
+				slog.Int("attempt", attempt), slog.String("error", err.Error()),
+				slog.Duration("backoff", backoff), slog.Int("resume_epoch", startEpoch))
+		}
+		cfg.Flight.Record("run", "retry", "retrying after failed attempt", map[string]string{
+			"attempt": fmt.Sprint(attempt), "error": err.Error(),
+			"backoff": backoff.String(), "resume_epoch": fmt.Sprint(startEpoch),
+		})
 		if lifecycle != nil {
 			lifecycle.OnRetry(obs.RetryInfo{
 				Attempt: attempt, Err: err, Backoff: backoff,

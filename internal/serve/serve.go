@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -78,11 +79,21 @@ type Config struct {
 	// Extra prom writers are appended to /metrics after the serving
 	// counters (the training side's LiveMetrics goes here).
 	Extra []PromWriter
-	// Tracer, when non-nil, records request -> batch -> predict spans.
+	// Tracer, when non-nil, records request -> batch -> predict spans,
+	// per-job queue-wait spans, and batch-assembly spans, all tagged with
+	// the serving model's epoch and promotion sequence.
 	Tracer *obs.Tracer
-	// Logf, when non-nil, receives one-line operational logs
-	// (promotions, drain progress).
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured operational logs
+	// (promotions, drain progress, slow requests). Nil is silent, the
+	// repo's nil-means-off logging convention.
+	Logger *slog.Logger
+	// Flight, when non-nil, records promotions, refusals, slow requests
+	// and drain transitions into the post-mortem ring, served at
+	// GET /debug/flight.
+	Flight *obs.FlightRecorder
+	// SlowRequest, when positive, is the latency threshold above which a
+	// completed request is logged (and flight-recorded) as an offender.
+	SlowRequest time.Duration
 }
 
 // Fill applies defaults to unset fields and validates the rest.
@@ -110,6 +121,9 @@ func (c *Config) Fill() error {
 	}
 	if c.DrainTimeout < 0 {
 		return fmt.Errorf("serve: DrainTimeout %v is negative", c.DrainTimeout)
+	}
+	if c.SlowRequest < 0 {
+		return fmt.Errorf("serve: SlowRequest %v is negative", c.SlowRequest)
 	}
 	if c.Metrics == nil {
 		c.Metrics = &obs.ServeMetrics{}
@@ -140,6 +154,10 @@ type job struct {
 	dense [][]float32
 	idx   []int32
 	vals  []float32
+
+	// enq is the tracer-clock time the handler enqueued the job (0
+	// without a tracer); the batcher turns it into a queue-wait span.
+	enq time.Duration
 
 	out   []float32
 	epoch int
@@ -209,9 +227,16 @@ func New(cfg Config) (*Server, error) {
 // Metrics returns the serving counter set.
 func (s *Server) Metrics() *obs.ServeMetrics { return s.cfg.Metrics }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
+// logInfo and logWarn nil-check the configured logger: nil means silent.
+func (s *Server) logInfo(msg string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info(msg, args...)
+	}
+}
+
+func (s *Server) logWarn(msg string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn(msg, args...)
 	}
 }
 
@@ -228,10 +253,14 @@ func (s *Server) Promote(p Predictor, epoch int, loss float64) (uint64, error) {
 	}
 	if math.IsNaN(loss) || math.IsInf(loss, 0) {
 		s.cfg.Metrics.PromotionRefused()
+		s.cfg.Flight.Record("serve", "promotion-refused",
+			fmt.Sprintf("non-finite loss %v at epoch %d", loss, epoch), nil)
 		return 0, fmt.Errorf("serve: refusing to promote a model with loss %v", loss)
 	}
 	if r := s.refuse.Load(); r != nil {
 		s.cfg.Metrics.PromotionRefused()
+		s.cfg.Flight.Record("serve", "promotion-refused", *r,
+			map[string]string{"epoch": fmt.Sprint(epoch)})
 		return 0, fmt.Errorf("serve: promotion refused: %s", *r)
 	}
 	seq := s.promoSeq.Add(1)
@@ -242,7 +271,13 @@ func (s *Server) Promote(p Predictor, epoch int, loss float64) (uint64, error) {
 			"epoch": fmt.Sprint(epoch), "seq": fmt.Sprint(seq),
 		})
 	}
-	s.logf("serve: promoted model at epoch %d (loss %.6g, promotion #%d)", epoch, loss, seq)
+	s.cfg.Flight.Record("serve", "promotion",
+		fmt.Sprintf("promoted model at epoch %d", epoch), map[string]string{
+			"epoch": fmt.Sprint(epoch), "loss": fmt.Sprintf("%.6g", loss),
+			"promotion": fmt.Sprint(seq),
+		})
+	s.logInfo("promoted model",
+		slog.Int("epoch", epoch), slog.Float64("loss", loss), slog.Uint64("promotion", seq))
 	return seq, nil
 }
 
@@ -255,7 +290,8 @@ func (s *Server) RefusePromotions(reason string) {
 		reason = "promotions disabled"
 	}
 	s.refuse.Store(&reason)
-	s.logf("serve: refusing promotions: %s", reason)
+	s.cfg.Flight.Record("serve", "promotion-gate", reason, nil)
+	s.logWarn("refusing promotions", slog.String("reason", reason))
 }
 
 // AllowPromotions removes the promotion gate.
@@ -296,6 +332,7 @@ func (s *Server) batcher() {
 				}
 			}
 		}
+		asm := s.cfg.Tracer.Begin("serve", "batch-assembly", traceTIDBatch)
 		batch := []*job{first}
 		n := first.examples()
 		var deadline <-chan time.Time
@@ -329,6 +366,7 @@ func (s *Server) batcher() {
 		if timer != nil {
 			timer.Stop()
 		}
+		asm.EndArgs(map[string]string{"jobs": fmt.Sprint(len(batch)), "examples": fmt.Sprint(n)})
 		s.serveBatch(batch)
 	}
 }
@@ -336,18 +374,32 @@ func (s *Server) batcher() {
 // serveBatch predicts every job in the batch against one model
 // snapshot.
 func (s *Server) serveBatch(batch []*job) {
-	span := s.cfg.Tracer.Begin("serve", "batch", traceTIDBatch)
+	tr := s.cfg.Tracer
+	span := tr.Begin("serve", "batch", traceTIDBatch)
 	pm := s.cur.Load()
+	var modelArgs map[string]string
+	if tr != nil && pm != nil {
+		modelArgs = map[string]string{
+			"model_epoch": fmt.Sprint(pm.epoch), "promotion": fmt.Sprint(pm.seq),
+		}
+	}
 	total := 0
 	for _, j := range batch {
 		total += j.examples()
+		if tr != nil {
+			// The job's time in the admission queue, on the request track.
+			tr.RecordSpan(obs.Span{
+				Name: "queue-wait", Cat: "serve", TID: traceTIDRequest,
+				Start: j.enq, Dur: tr.Now() - j.enq, Args: modelArgs,
+			})
+		}
 		if pm == nil {
 			j.err = fmt.Errorf("serve: no model promoted yet")
 			close(j.done)
 			continue
 		}
 		j.epoch, j.seq = pm.epoch, pm.seq
-		pspan := s.cfg.Tracer.Begin("serve", "predict", traceTIDBatch)
+		pspan := tr.Begin("serve", "predict", traceTIDBatch)
 		if j.dense != nil {
 			j.out = make([]float32, len(j.dense))
 			_, j.err = pm.p.PredictBatch(j.dense, j.out)
@@ -355,11 +407,22 @@ func (s *Server) serveBatch(batch []*job) {
 			j.out = make([]float32, 1)
 			j.out[0], j.err = pm.p.PredictSparse(j.idx, j.vals)
 		}
-		pspan.EndArgs(map[string]string{"examples": fmt.Sprint(j.examples())})
+		if tr != nil {
+			pspan.EndArgs(map[string]string{
+				"examples":    fmt.Sprint(j.examples()),
+				"model_epoch": fmt.Sprint(j.epoch), "promotion": fmt.Sprint(j.seq),
+			})
+		}
 		close(j.done)
 	}
 	s.cfg.Metrics.Batch(total)
-	span.EndArgs(map[string]string{"jobs": fmt.Sprint(len(batch)), "examples": fmt.Sprint(total)})
+	if tr != nil {
+		args := map[string]string{"jobs": fmt.Sprint(len(batch)), "examples": fmt.Sprint(total)}
+		for k, v := range modelArgs {
+			args[k] = v
+		}
+		span.EndArgs(args)
+	}
 }
 
 // predictRequest is the /predict JSON body: exactly one of x (single
@@ -395,7 +458,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
 	return mux
+}
+
+// handleFlight serves the flight recorder's JSON dump: the post-mortem
+// ring, readable from a live daemon. 404 when no recorder is installed.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Flight == nil {
+		http.NotFound(w, r)
+		return
+	}
+	s.cfg.Flight.ServeHTTP(w, r)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -453,6 +527,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	// Admission, part 2: bounded queue. A full queue sheds load now
 	// rather than letting latency collapse later.
+	j.enq = s.cfg.Tracer.Now()
 	select {
 	case s.queue <- j:
 	default:
@@ -474,6 +549,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.cfg.Metrics.BadRequest()
 		writeJSON(w, http.StatusBadRequest, predictResponse{Error: j.err.Error(), ModelEpoch: j.epoch, Promotion: j.seq})
 		span.EndArgs(map[string]string{"status": "400"})
+		s.noteSlow(time.Since(start), "400", j)
 		return
 	}
 	resp := predictResponse{ModelEpoch: j.epoch, Promotion: j.seq}
@@ -483,8 +559,32 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Margin = &j.out[0]
 	}
 	writeJSON(w, http.StatusOK, resp)
-	s.cfg.Metrics.Request(j.examples(), uint64(time.Since(start).Microseconds()))
-	span.EndArgs(map[string]string{"status": "200", "examples": fmt.Sprint(j.examples())})
+	elapsed := time.Since(start)
+	s.cfg.Metrics.Request(j.examples(), uint64(elapsed.Microseconds()))
+	span.EndArgs(map[string]string{
+		"status": "200", "examples": fmt.Sprint(j.examples()),
+		"model_epoch": fmt.Sprint(j.epoch), "promotion": fmt.Sprint(j.seq),
+	})
+	s.noteSlow(elapsed, "200", j)
+}
+
+// noteSlow logs (and flight-records) a completed request whose latency
+// crossed the SlowRequest threshold, tagged with the model snapshot that
+// answered it so tail latency can be correlated with hot promotions.
+func (s *Server) noteSlow(elapsed time.Duration, status string, j *job) {
+	if s.cfg.SlowRequest <= 0 || elapsed < s.cfg.SlowRequest {
+		return
+	}
+	s.logWarn("slow request",
+		slog.Duration("elapsed", elapsed), slog.String("status", status),
+		slog.Int("examples", j.examples()),
+		slog.Int("model_epoch", j.epoch), slog.Uint64("promotion", j.seq))
+	s.cfg.Flight.Record("serve", "slow-request",
+		fmt.Sprintf("request took %v (threshold %v)", elapsed, s.cfg.SlowRequest),
+		map[string]string{
+			"elapsed": elapsed.String(), "status": status,
+			"model_epoch": fmt.Sprint(j.epoch), "promotion": fmt.Sprint(j.seq),
+		})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -540,7 +640,7 @@ func (s *Server) Start() error {
 		}
 		close(s.serveErr)
 	}()
-	s.logf("serve: listening on %s", l.Addr())
+	s.logInfo("listening", slog.String("addr", l.Addr().String()))
 	return nil
 }
 
@@ -570,7 +670,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Unlock()
 	if !already {
 		s.cfg.Metrics.SetDraining(true)
-		s.logf("serve: draining (in-flight requests will complete)")
+		s.cfg.Flight.Record("serve", "drain", "drain started", nil)
+		s.logInfo("draining", slog.String("note", "in-flight requests will complete"))
 	}
 
 	done := make(chan struct{})
@@ -596,7 +697,8 @@ func (s *Server) Drain(ctx context.Context) error {
 			return fmt.Errorf("serve: shutdown: %w", err)
 		}
 	}
-	s.logf("serve: drained")
+	s.cfg.Flight.Record("serve", "drain", "drain complete", nil)
+	s.logInfo("drained")
 	return nil
 }
 

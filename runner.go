@@ -122,6 +122,8 @@ func (rc RunConfig) internal(cfg Config) run.Config {
 		NumHealth:    cfg.NumHealth,
 		Tracer:       cfg.Tracer,
 		Series:       cfg.TimeSeries,
+		Logger:       obs.Component(cfg.Logger, "run"),
+		Flight:       cfg.Flight,
 		Snapshot:     snap,
 	}
 }

@@ -2,6 +2,7 @@ package buckwild
 
 import (
 	"bytes"
+	"log/slog"
 	"time"
 
 	"buckwild/internal/obs"
@@ -54,11 +55,20 @@ type ServeConfig struct {
 	// counters — install the training side's LiveMetrics here so one
 	// scrape covers both halves of the daemon.
 	Extra []PromWriter
-	// Tracer, when non-nil, records request -> batch -> predict spans.
+	// Tracer, when non-nil, records request -> batch -> predict spans,
+	// per-job queue-wait spans, and batch-assembly spans.
 	Tracer *Tracer
-	// Logf, when non-nil, receives one-line operational logs
-	// (promotions, drain progress).
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured operational logs
+	// (promotions, drain progress, slow requests); it is scoped to the
+	// "serve" component. Nil is silent.
+	Logger *slog.Logger
+	// Flight, when non-nil, records promotions, refusals, slow requests
+	// and drain transitions into the post-mortem ring; the daemon serves
+	// its dump at GET /debug/flight.
+	Flight *FlightRecorder
+	// SlowRequest, when positive, logs (and flight-records) completed
+	// requests slower than this threshold.
+	SlowRequest time.Duration
 }
 
 // Validate checks the configuration without building a server.
@@ -77,7 +87,9 @@ func (sc ServeConfig) internal() serve.Config {
 		Metrics:      sc.Metrics,
 		Extra:        sc.Extra,
 		Tracer:       sc.Tracer,
-		Logf:         sc.Logf,
+		Logger:       obs.Component(sc.Logger, "serve"),
+		Flight:       sc.Flight,
+		SlowRequest:  sc.SlowRequest,
 	}
 }
 
