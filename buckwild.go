@@ -224,6 +224,29 @@ type (
 	// Config.Cluster.LiveMetrics and add it to a /metrics exposition (it
 	// is an http.Handler and a PromWriter).
 	ClusterMetrics = obs.ClusterMetrics
+	// Bundler writes anomaly-triggered debug bundles: one tar.gz with the
+	// flight ring, trace window, series, pprof profiles, stats and
+	// resolved config, written when the health watchdog trips, the stall
+	// watchdog fires, retries are exhausted or a serve request crosses
+	// the slow threshold. Create one with NewBundler and install it in
+	// Config.Bundle or ServeConfig.Bundle. A nil *Bundler is inert.
+	Bundler = obs.Bundler
+	// BundleConfig configures a Bundler; BundleManifest and BundleInfo
+	// are the bundle's self-description and parsed form (ReadBundle).
+	BundleConfig   = obs.BundleConfig
+	BundleManifest = obs.BundleManifest
+	BundleInfo     = obs.BundleInfo
+	// Profiler captures CPU/heap/goroutine/mutex pprof profiles on a
+	// cadence into a bounded on-disk ring; ProfileConfig configures it.
+	// Create one with NewProfiler. A nil *Profiler is inert.
+	Profiler      = obs.Profiler
+	ProfileConfig = obs.ProfileConfig
+	// Dash is the dependency-free live HTML dashboard (/debug/dash plus
+	// an SSE feed); DashConfig wires its data sources. Create one with
+	// NewDash and install it in ServeConfig.Dash, or mount it on any mux
+	// with Dash.Register.
+	Dash       = obs.Dash
+	DashConfig = obs.DashConfig
 )
 
 // ErrDivergence matches (via errors.Is) the error a run returns after a
@@ -245,6 +268,32 @@ func NewSeries(budget int) *Series { return obs.NewSeries(budget) }
 // recent capacity events (<= 0 selects obs.DefaultFlightCapacity).
 func NewFlightRecorder(capacity int) *FlightRecorder {
 	return obs.NewFlightRecorder(capacity)
+}
+
+// NewBundler returns a debug-bundle writer putting its tar.gz bundles in
+// cfg.Dir (created if missing). Wire its triggers by installing it in
+// Config.Bundle, ServeConfig.Bundle or a HealthWatchdog's Bundle field.
+func NewBundler(cfg BundleConfig) (*Bundler, error) {
+	b, err := obs.NewBundler(cfg)
+	return b, wrapErr(err)
+}
+
+// NewProfiler returns a continuous profiler writing its pprof ring into
+// cfg.Dir (created if missing). Call Start to begin the background
+// cadence and Stop to end it; CaptureNow works without Start.
+func NewProfiler(cfg ProfileConfig) (*Profiler, error) {
+	p, err := obs.NewProfiler(cfg)
+	return p, wrapErr(err)
+}
+
+// NewDash returns the live dashboard handler over the given sources.
+func NewDash(cfg DashConfig) *Dash { return obs.NewDash(cfg) }
+
+// ReadBundle parses a debug bundle stream (as written by a Bundler) into
+// its manifest, flight and series sections and raw entries.
+func ReadBundle(r io.Reader) (*BundleInfo, error) {
+	info, err := obs.ReadBundle(r)
+	return info, wrapErr(err)
 }
 
 // NewLogger builds a structured logger writing to w: format is "text" or
@@ -320,6 +369,11 @@ type Config struct {
 	// epochs, watchdog trips, supervisor retries) into the post-mortem
 	// ring for dumping after a failure. Nil records nothing at no cost.
 	Flight *FlightRecorder
+	// Bundle, when non-nil, gets a debug bundle triggered on supervised-
+	// run anomalies (stall watchdog, retry exhaustion); point a
+	// HealthWatchdog's Bundle field at the same Bundler to cover
+	// divergence trips too. Nil writes nothing at no cost.
+	Bundle *Bundler
 
 	// Context, when non-nil, bounds the run: cancellation or deadline
 	// expiry stops training well within one epoch and the entry point

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"buckwild"
+)
+
+// bundleSummary implements the bundle-summary subcommand: a
+// human-readable triage report of an anomaly-triggered debug bundle,
+// printed without any external tooling — what tripped, the tail of the
+// flight ring, the final series window and the embedded evidence
+// inventory.
+func bundleSummary(args []string) {
+	fs := flag.NewFlagSet("bundle-summary", flag.ExitOnError)
+	events := fs.Int("events", 15, "flight events to print (most recent; 0 = all)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: buckwild bundle-summary [-events N] <file.debugbundle.tar.gz>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	info, err := buckwild.ReadBundle(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	m := info.Manifest
+	fmt.Printf("debug bundle %s\n", fs.Arg(0))
+	fmt.Printf("  reason:   %s\n", m.Reason)
+	if m.Detail != "" {
+		fmt.Printf("  detail:   %s\n", m.Detail)
+	}
+	fmt.Printf("  taken:    %s\n", m.Time.Format(time.RFC3339))
+	fmt.Printf("  process:  pid %d on %s (%s %s/%s, %d cpus)\n",
+		m.PID, orDash(m.Hostname), m.Go, m.OS, m.Arch, m.NumCPU)
+	if m.Suppressed > 0 {
+		fmt.Printf("  note:     %d earlier trigger(s) suppressed by the bundle cooldown\n", m.Suppressed)
+	}
+
+	fmt.Printf("\ncontents (%d entries):\n", len(info.Entries))
+	for _, e := range info.Entries {
+		fmt.Printf("  %-28s %9d bytes\n", e.Name, e.Bytes)
+	}
+	if len(m.Profiles) > 0 {
+		fmt.Println("\nembedded pprof profiles (go tool pprof <extracted file>):")
+		for _, p := range m.Profiles {
+			fmt.Printf("  %-10s %-28s %9d bytes  captured %s\n",
+				p.Kind, p.Path, p.Bytes, p.Time.Format(time.RFC3339))
+		}
+	}
+
+	if fl := info.Flight; fl != nil {
+		fmt.Printf("\nflight ring: %d events recorded", fl.Recorded)
+		if fl.Dropped > 0 {
+			fmt.Printf(" (%d dropped by ring wrap)", fl.Dropped)
+		}
+		fmt.Println()
+		evs := fl.Events
+		if *events > 0 && len(evs) > *events {
+			fmt.Printf("last %d of %d retained:\n", *events, len(evs))
+			evs = evs[len(evs)-*events:]
+		}
+		for _, ev := range evs {
+			fmt.Printf("  %s %-8s %-18s %s\n",
+				ev.Time.Format("15:04:05.000"), ev.Component, ev.Kind, ev.Message)
+		}
+	}
+
+	if sn := info.Series; sn != nil {
+		if win := sn.Final(); win != nil {
+			fmt.Printf("\nfinal series window: epochs (%d,%d], loss %.6g, %.0f steps/s, staleness mean %.2f\n",
+				win.StartEpoch, win.EndEpoch, win.Loss, win.StepsPerSec, win.Staleness.Mean())
+		}
+		fmt.Printf("series: %d windows of %d epochs each\n", len(sn.Windows), sn.EpochsPerWindow)
+	}
+
+	if raw, ok := info.Sections["config"]; ok {
+		var cfg map[string]string
+		if json.Unmarshal(raw, &cfg) == nil && len(cfg) > 0 {
+			fmt.Printf("\nresolved config (%d flags; non-defaulted shown by value):\n", len(cfg))
+			keys := make([]string, 0, len(cfg))
+			for k := range cfg {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if v := cfg[k]; v != "" && v != "false" && v != "0" && v != "0s" {
+					fmt.Printf("  -%s=%s\n", k, v)
+				}
+			}
+		}
+	}
+	if names := otherSections(info); len(names) > 0 {
+		fmt.Printf("\nother sections: %v\n", names)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// otherSections lists the bundle's JSON sections not already rendered
+// above (stats/run, stats/cluster, stats/serve, ...).
+func otherSections(info *buckwild.BundleInfo) []string {
+	var names []string
+	for name := range info.Sections {
+		if name != "config" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -52,8 +52,10 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"syscall"
@@ -110,8 +112,11 @@ func buildLogger(format, level string, rec *buckwild.FlightRecorder) *slog.Logge
 	return slog.New(rec.LogHandler(logger.Handler(), slog.LevelWarn))
 }
 
-// watchSIGQUIT dumps the flight recorder to stderr on SIGQUIT (kill
-// -QUIT <pid>) and keeps running — the live post-mortem channel.
+// watchSIGQUIT dumps the flight recorder and a goroutine profile to
+// stderr on SIGQUIT (kill -QUIT <pid>) and keeps running — the live
+// post-mortem channel. The goroutine dump makes a hung run diagnosable
+// from the first signal, without attaching a debugger or sending a
+// second one.
 func watchSIGQUIT(rec *buckwild.FlightRecorder) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGQUIT)
@@ -119,9 +124,22 @@ func watchSIGQUIT(rec *buckwild.FlightRecorder) {
 		for range ch {
 			fmt.Fprintf(os.Stderr, "buckwild: flight recorder (%d events):\n", rec.EventCount())
 			rec.WriteJSON(os.Stderr)
+			if prof := pprof.Lookup("goroutine"); prof != nil {
+				fmt.Fprintln(os.Stderr, "buckwild: goroutine profile:")
+				prof.WriteTo(os.Stderr, 1)
+			}
 			fmt.Fprintln(os.Stderr)
 		}
 	}()
+}
+
+// resolvedFlags snapshots every flag's effective value — the "resolved
+// config" section of a debug bundle. The flag string forms round-trip
+// the whole CLI configuration without marshaling facade types.
+func resolvedFlags() any {
+	m := make(map[string]string)
+	flag.VisitAll(func(f *flag.Flag) { m[f.Name] = f.Value.String() })
+	return m
 }
 
 // traceSummary implements the trace-summary subcommand: a per-phase
@@ -130,8 +148,9 @@ func watchSIGQUIT(rec *buckwild.FlightRecorder) {
 // timelines, per-request serve spans).
 func traceSummary(args []string) {
 	fs := flag.NewFlagSet("trace-summary", flag.ExitOnError)
+	top := fs.Int("top", 0, "show only the N phases (and tracks) with the most total time (0 = all)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: buckwild trace-summary <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: buckwild trace-summary [-top N] <trace.json[.gz]>")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -139,6 +158,8 @@ func traceSummary(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
+	// Gzipped traces (a debug bundle's trace.json.gz) are decompressed
+	// transparently by the summarizers.
 	buf, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -150,6 +171,10 @@ func traceSummary(args []string) {
 	if len(phases) == 0 {
 		fmt.Println("no complete spans in trace")
 		return
+	}
+	if *top > 0 && len(phases) > *top {
+		fmt.Printf("top %d of %d phases by total time:\n", *top, len(phases))
+		phases = phases[:*top]
 	}
 	fmt.Printf("%-10s %-18s %7s %14s %14s %14s %14s\n",
 		"category", "phase", "count", "total", "mean", "min", "max")
@@ -165,6 +190,13 @@ func traceSummary(args []string) {
 	}
 	if len(tracks) <= 1 && (len(tracks) == 0 || tracks[0].Name == "") {
 		return // single unnamed track: the per-phase table said it all
+	}
+	if *top > 0 && len(tracks) > *top {
+		// The track table is normally in tid order; truncating only makes
+		// sense by weight, so -top reorders it by total time.
+		sort.Slice(tracks, func(i, j int) bool { return tracks[i].Total > tracks[j].Total })
+		fmt.Printf("\ntop %d of %d tracks by total time:", *top, len(tracks))
+		tracks = tracks[:*top]
 	}
 	fmt.Printf("\n%-6s %-28s %7s %7s %14s\n", "tid", "track", "spans", "flows", "total")
 	for _, t := range tracks {
@@ -182,6 +214,10 @@ func main() {
 	log.SetPrefix("buckwild: ")
 	if len(os.Args) > 1 && os.Args[1] == "trace-summary" {
 		traceSummary(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bundle-summary" {
+		bundleSummary(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
@@ -225,6 +261,9 @@ func main() {
 		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		flightPath = flag.String("flight", "", "write the flight-recorder dump (recent structured events, JSON) here when the run fails; SIGQUIT dumps it to stderr any time")
+		bundleDir  = flag.String("bundle-dir", ".", "write anomaly-triggered debug bundles (*.debugbundle.tar.gz: flight ring, trace, series, pprof profiles, stats, config) into this directory; empty disables")
+		profDir    = flag.String("profile-dir", "", "continuously capture CPU/heap/goroutine/mutex pprof profiles into a bounded on-disk ring in this directory")
+		profEvery  = flag.Duration("profile-interval", 0, "continuous profiler capture cadence (0 = default 30s; with -profile-dir)")
 
 		ckptDir   = flag.String("checkpoint-dir", "", "supervise the run: checkpoint here, resume and retry on failure")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint period in epochs (with -checkpoint-dir)")
@@ -292,11 +331,49 @@ func main() {
 	if *tracePath != "" {
 		cfg.Tracer = buckwild.NewTracer(*traceCap)
 	}
-	if *seriesPath != "" || *report != "" {
+	if *seriesPath != "" || *report != "" || *httpAddr != "" || *bundleDir != "" {
+		// -http and -bundle-dir imply a live time-series: the /debug/dash
+		// charts and a debug bundle's series section need the windowed data
+		// even when no -series file was asked for — and bundles are on by
+		// default, so a bare run carries the series at its default budget.
 		cfg.TimeSeries = buckwild.NewSeries(*seriesBudget)
+	}
+	var clusterLive *buckwild.ClusterMetrics
+	if *httpAddr != "" && *nodes >= 2 {
+		clusterLive = &buckwild.ClusterMetrics{}
+		cfg.Cluster.LiveMetrics = clusterLive
 	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
+	}
+
+	var profiler *buckwild.Profiler
+	if *profDir != "" {
+		var err error
+		profiler, err = buckwild.NewProfiler(buckwild.ProfileConfig{
+			Dir: *profDir, Interval: *profEvery, Logger: logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		profiler.Start()
+		defer profiler.Stop()
+	}
+	var bundler *buckwild.Bundler
+	if *bundleDir != "" {
+		var err error
+		bundler, err = buckwild.NewBundler(buckwild.BundleConfig{
+			Dir: *bundleDir, Flight: rec, Tracer: cfg.Tracer,
+			Series: cfg.TimeSeries, Profiler: profiler, Logger: logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		bundler.AddSection("config", resolvedFlags)
+		if clusterLive != nil {
+			bundler.AddSection("stats/cluster", func() any { return clusterLive.Snapshot() })
+		}
+		cfg.Bundle = bundler
 	}
 
 	supervised := *ckptDir != ""
@@ -350,19 +427,32 @@ func main() {
 
 	var live *obs.LiveMetrics
 	if *httpAddr != "" {
-		live = &obs.LiveMetrics{Series: cfg.TimeSeries}
+		live = &obs.LiveMetrics{Series: cfg.TimeSeries, Cluster: clusterLive}
 		cfg.Hooks = live
-		srv, err := obs.ServeWith(*httpAddr, live)
+		dash := buckwild.NewDash(buckwild.DashConfig{
+			Series:  cfg.TimeSeries,
+			Cluster: clusterLive.Snapshot,
+		})
+		extra := map[string]http.Handler{
+			"/debug/flight":      rec,
+			"/debug/dash":        dash,
+			"/debug/dash/events": http.HandlerFunc(dash.Events),
+		}
+		if bundler != nil {
+			extra["/debug/bundle"] = bundler
+		}
+		srv, err := obs.ServeDebug(*httpAddr, live, extra)
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Printf("live metrics on http://%s/metrics, debug endpoints on /debug/obs and /debug/pprof\n", srv.Addr)
+		fmt.Printf("live metrics on http://%s/metrics, dashboard on /debug/dash, debug endpoints on /debug/obs, /debug/flight, /debug/bundle and /debug/pprof\n", srv.Addr)
 	}
 	if *healthW {
 		// The watchdog wraps whatever hooks are already installed (live
-		// metrics included) so it adds detection without hiding them.
-		cfg.Hooks = &buckwild.HealthWatchdog{Cancel: healthCancel, Next: cfg.Hooks}
+		// metrics included) so it adds detection without hiding them, and
+		// triggers a debug bundle the moment it trips.
+		cfg.Hooks = &buckwild.HealthWatchdog{Cancel: healthCancel, Bundle: bundler, Next: cfg.Hooks}
 	}
 	if (*stats || *report != "") && cfg.Hooks == nil {
 		// Result.Stats is wanted but no live consumer is installed; the

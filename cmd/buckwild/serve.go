@@ -90,6 +90,9 @@ func serveCmd(args []string) {
 		logFormat = fs.String("log-format", "text", "structured log format: text or json")
 		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		slowReq   = fs.Duration("slow-request", 0, "log (and flight-record) requests slower than this, e.g. 50ms (0 = off)")
+		bundleDir = fs.String("bundle-dir", ".", "write anomaly-triggered debug bundles (*.debugbundle.tar.gz) into this directory; empty disables")
+		profDir   = fs.String("profile-dir", "", "continuously capture CPU/heap/goroutine/mutex pprof profiles into a bounded on-disk ring in this directory")
+		profEvery = fs.Duration("profile-interval", 0, "continuous profiler capture cadence (0 = default 30s; with -profile-dir)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: buckwild serve [flags]")
@@ -117,7 +120,59 @@ func serveCmd(args []string) {
 			slog.String("dir", dir))
 	}
 
-	live := &obs.LiveMetrics{}
+	var profiler *buckwild.Profiler
+	if *profDir != "" {
+		var err error
+		profiler, err = buckwild.NewProfiler(buckwild.ProfileConfig{
+			Dir: *profDir, Interval: *profEvery, Logger: logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		profiler.Start()
+		defer profiler.Stop()
+	}
+
+	// The daemon-lifetime time-series: the training rounds tick it with
+	// cumulative epochs, so the dashboard's charts and a bundle's series
+	// section span every round.
+	series := buckwild.NewSeries(0)
+
+	// srv is declared before the dashboard and bundler so their snapshot
+	// closures can capture it; it is set a few lines down, before any
+	// request (or trigger) can fire them.
+	var srv *buckwild.ModelServer
+	serveStats := func() *buckwild.ServeStats {
+		if srv == nil {
+			return nil
+		}
+		return srv.Metrics().Snapshot()
+	}
+	dash := buckwild.NewDash(buckwild.DashConfig{Series: series, Serve: serveStats})
+	var bundler *buckwild.Bundler
+	if *bundleDir != "" {
+		var err error
+		bundler, err = buckwild.NewBundler(buckwild.BundleConfig{
+			Dir: *bundleDir, Prefix: "buckwild-serve",
+			Flight: rec, Series: series, Profiler: profiler, Logger: logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		bundler.AddSection("stats/serve", func() any {
+			if s := serveStats(); s != nil {
+				return s
+			}
+			return nil
+		})
+		bundler.AddSection("config", func() any {
+			m := make(map[string]string)
+			fs.VisitAll(func(f *flag.Flag) { m[f.Name] = f.Value.String() })
+			return m
+		})
+	}
+
+	live := &obs.LiveMetrics{Series: series}
 	srv, err := buckwild.NewModelServer(buckwild.ServeConfig{
 		Addr:         *addr,
 		MaxBatch:     *maxBatch,
@@ -128,6 +183,8 @@ func serveCmd(args []string) {
 		Logger:       logger,
 		Flight:       rec,
 		SlowRequest:  *slowReq,
+		Bundle:       bundler,
+		Dash:         dash,
 	})
 	if err != nil {
 		fatal(err)
@@ -135,7 +192,7 @@ func serveCmd(args []string) {
 	if err := srv.Start(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving on http://%s — POST /predict, GET /healthz, GET /metrics, GET /debug/flight\n", srv.Addr())
+	fmt.Printf("serving on http://%s — POST /predict, GET /healthz, GET /metrics, GET /debug/flight, /debug/dash, /debug/bundle\n", srv.Addr())
 
 	if *modelPath != "" {
 		sm, err := buckwild.LoadModelFile(*modelPath)
@@ -181,13 +238,15 @@ func serveCmd(args []string) {
 				Threads:   *threads,
 				StepSize:  float32(eta),
 				StepDecay: float32(*decay),
-				Epochs:    (r + 1) * *epochs,
-				Seed:      *seed,
-				NumHealth: true,
-				Hooks:     &buckwild.HealthWatchdog{Cancel: cancelCause, Next: gate},
-				Logger:    logger,
-				Flight:    rec,
-				Context:   roundCtx,
+				Epochs:     (r + 1) * *epochs,
+				Seed:       *seed,
+				NumHealth:  true,
+				Hooks:      &buckwild.HealthWatchdog{Cancel: cancelCause, Bundle: bundler, Next: gate},
+				Logger:     logger,
+				Flight:     rec,
+				TimeSeries: series,
+				Bundle:     bundler,
+				Context:    roundCtx,
 			}
 			rc := buckwild.RunConfig{
 				CheckpointDir:   dir,

@@ -1,0 +1,485 @@
+package obs
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file holds the anomaly-triggered debug bundle: one tar.gz that
+// captures everything the obs stack knows at the moment something goes
+// wrong — flight-ring snapshot, last trace window, windowed series,
+// current pprof profiles, stats JSON, resolved config — so the operator
+// triages from the artifact instead of re-running with the right flags.
+//
+// Triggers are debounced: an anomaly storm (a diverging run trips the
+// watchdog, then stalls, then exhausts retries) produces one bundle per
+// cooldown window, with the suppressed trigger count recorded in the
+// next bundle's manifest. A nil *Bundler is fully inert.
+
+// DebugBundleSuffix is the file-name suffix of every bundle the Bundler
+// writes; CI globs for it when collecting failure artifacts.
+const DebugBundleSuffix = ".debugbundle.tar.gz"
+
+// Default BundleConfig values.
+const (
+	// DefaultBundleCooldown is the trigger debounce window.
+	DefaultBundleCooldown = time.Minute
+	// DefaultMaxBundles is how many bundles are kept on disk per prefix.
+	DefaultMaxBundles = 8
+)
+
+// BundleConfig configures a Bundler. Every source is optional; absent
+// sources simply produce no section in the bundle.
+type BundleConfig struct {
+	// Dir is where bundles are written (default "."), created if missing.
+	Dir string
+	// Prefix names the bundle files: <Prefix>-<reason>-<seq> + suffix
+	// (default "buckwild").
+	Prefix string
+	// Cooldown debounces triggers: a trigger within Cooldown of the last
+	// written bundle is counted, flight-logged, and dropped (default 1m;
+	// negative disables debouncing).
+	Cooldown time.Duration
+	// MaxBundles bounds how many of this Bundler's bundles stay on disk;
+	// oldest are pruned after each write (default 8).
+	MaxBundles int
+
+	// Flight, Tracer, Series and Profiler are the live obs sources
+	// snapshotted into the bundle. All may be nil.
+	Flight   *FlightRecorder
+	Tracer   *Tracer
+	Series   *Series
+	Profiler *Profiler
+
+	// Logger, when non-nil, gets one Info line per bundle written and a
+	// Warn on write failure.
+	Logger *slog.Logger
+}
+
+func (c *BundleConfig) fill() {
+	if c.Dir == "" {
+		c.Dir = "."
+	}
+	if c.Prefix == "" {
+		c.Prefix = "buckwild"
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = DefaultBundleCooldown
+	}
+	if c.MaxBundles <= 0 {
+		c.MaxBundles = DefaultMaxBundles
+	}
+}
+
+// BundleEntry is one file inside a bundle, as listed by the manifest.
+type BundleEntry struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+}
+
+// BundleManifest is the bundle's self-description, stored first in the
+// archive as manifest.json so bundle-summary can stream it.
+type BundleManifest struct {
+	// Reason is the trigger class ("divergence", "stall",
+	// "retries-exhausted", "slow-request", "on-demand"); Detail the
+	// trigger's one-line specifics.
+	Reason string    `json:"reason"`
+	Detail string    `json:"detail,omitempty"`
+	Time   time.Time `json:"time"`
+	// Seq counts bundles written by this process; Suppressed counts
+	// triggers the cooldown swallowed since the previous bundle.
+	Seq        uint64 `json:"seq"`
+	Suppressed uint64 `json:"suppressed,omitempty"`
+
+	// Build/host identification.
+	Go       string `json:"go"`
+	OS       string `json:"os"`
+	Arch     string `json:"arch"`
+	NumCPU   int    `json:"num_cpu"`
+	PID      int    `json:"pid"`
+	Hostname string `json:"hostname,omitempty"`
+
+	// Files inventories the archive (manifest excluded); Profiles the
+	// pprof profiles under profiles/, with Path rewritten to the
+	// in-archive name.
+	Files    []BundleEntry `json:"files"`
+	Profiles []ProfileFile `json:"profiles,omitempty"`
+}
+
+// section is one caller-registered JSON payload (stats, config).
+type section struct {
+	name string // archive path without the .json suffix, e.g. "stats/run"
+	fn   func() any
+}
+
+// Bundler writes anomaly-triggered debug bundles. All methods are safe
+// for concurrent use and safe on a nil receiver (no-ops).
+type Bundler struct {
+	cfg BundleConfig
+
+	mu         sync.Mutex
+	last       time.Time
+	seq        uint64
+	suppressed uint64
+	sections   []section
+}
+
+// NewBundler returns a Bundler writing into cfg.Dir, creating it if
+// missing.
+func NewBundler(cfg BundleConfig) (*Bundler, error) {
+	cfg.fill()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: bundler: %w", err)
+	}
+	return &Bundler{cfg: cfg}, nil
+}
+
+// AddSection registers a JSON section: at bundle time fn's result is
+// marshaled into <name>.json inside the archive (name may contain
+// slashes, e.g. "stats/run"). fn runs under the bundle write and should
+// return a snapshot, not a live struct. Nil-safe; a nil fn no-ops.
+func (b *Bundler) AddSection(name string, fn func() any) {
+	if b == nil || fn == nil || name == "" {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.sections {
+		if b.sections[i].name == name {
+			b.sections[i].fn = fn
+			return
+		}
+	}
+	b.sections = append(b.sections, section{name: name, fn: fn})
+}
+
+// Trigger requests a bundle for an anomaly. Inside the cooldown window
+// of the previous bundle the trigger is counted and dropped (wrote is
+// false); otherwise a bundle is written and its path returned. Errors
+// are logged, flight-recorded and swallowed — an anomaly handler must
+// never die because evidence collection did. Nil-safe.
+func (b *Bundler) Trigger(reason, detail string) (path string, wrote bool) {
+	if b == nil {
+		return "", false
+	}
+	b.mu.Lock()
+	now := time.Now()
+	if b.cfg.Cooldown > 0 && !b.last.IsZero() && now.Sub(b.last) < b.cfg.Cooldown {
+		b.suppressed++
+		n := b.suppressed
+		b.mu.Unlock()
+		b.cfg.Flight.Record("bundle", "suppressed", reason,
+			map[string]string{"detail": detail, "suppressed": fmt.Sprint(n)})
+		return "", false
+	}
+	b.last = now
+	b.seq++
+	seq := b.seq
+	supp := b.suppressed
+	b.suppressed = 0
+	b.mu.Unlock()
+
+	// Record the trigger before snapshotting the flight ring so the
+	// bundle's own flight.json shows what tripped it.
+	b.cfg.Flight.Record("bundle", "trigger", reason, map[string]string{"detail": detail})
+
+	name := fmt.Sprintf("%s-%s-%03d%s", b.cfg.Prefix, sanitizeReason(reason), seq, DebugBundleSuffix)
+	path = filepath.Join(b.cfg.Dir, name)
+	err := b.writeFile(path, reason, detail, seq, supp)
+	if err != nil {
+		if b.cfg.Logger != nil {
+			b.cfg.Logger.Warn("debug bundle write failed",
+				slog.String("reason", reason), slog.String("error", err.Error()))
+		}
+		b.cfg.Flight.Record("bundle", "error", err.Error(), nil)
+		return "", false
+	}
+	if b.cfg.Logger != nil {
+		b.cfg.Logger.Info("debug bundle written",
+			slog.String("reason", reason), slog.String("path", path))
+	}
+	b.cfg.Flight.Record("bundle", "written", path, map[string]string{"reason": reason})
+	b.prune()
+	return path, true
+}
+
+func sanitizeReason(reason string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, reason)
+}
+
+func (b *Bundler) writeFile(path, reason, detail string, seq, suppressed uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.WriteTo(f, reason, detail, seq, suppressed); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	return nil
+}
+
+// WriteTo streams one complete bundle to w. Exposed so the /debug/bundle
+// endpoint can serve an on-demand bundle without touching disk. Sections
+// that fail to serialize are skipped, not fatal: a bundle with most of
+// the evidence beats no bundle.
+func (b *Bundler) WriteTo(w io.Writer, reason, detail string, seq, suppressed uint64) error {
+	if b == nil {
+		return errors.New("obs: nil bundler")
+	}
+	now := time.Now()
+
+	// Build every section in memory first so the manifest (written as the
+	// archive's first entry) can inventory names and sizes.
+	type blob struct {
+		name string
+		data []byte
+	}
+	var blobs []blob
+	add := func(name string, data []byte, err error) {
+		if err != nil || len(data) == 0 {
+			return
+		}
+		blobs = append(blobs, blob{name, data})
+	}
+
+	if b.cfg.Flight != nil {
+		var buf bytes.Buffer
+		err := b.cfg.Flight.WriteJSON(&buf)
+		add("flight.json", buf.Bytes(), err)
+	}
+	if b.cfg.Tracer != nil {
+		var buf bytes.Buffer
+		gz := gzip.NewWriter(&buf)
+		err := b.cfg.Tracer.WriteTrace(gz)
+		if cerr := gz.Close(); err == nil {
+			err = cerr
+		}
+		add("trace.json.gz", buf.Bytes(), err)
+	}
+	if b.cfg.Series != nil {
+		data, err := json.MarshalIndent(b.cfg.Series.Snapshot(), "", "  ")
+		add("series.json", data, err)
+	}
+
+	b.mu.Lock()
+	sections := append([]section(nil), b.sections...)
+	b.mu.Unlock()
+	for _, s := range sections {
+		v := s.fn()
+		if v == nil {
+			continue
+		}
+		data, err := json.MarshalIndent(v, "", "  ")
+		add(s.name+".json", data, err)
+	}
+
+	// Current pprof profiles: the instantaneous kinds captured inline
+	// (no Profiler required), plus a human-readable goroutine dump, plus
+	// the newest CPU profile from the ring when a Profiler is attached —
+	// a fresh CPU capture would block the trigger path for seconds.
+	var profiles []ProfileFile
+	for _, kind := range []string{"heap", "goroutine", "mutex"} {
+		prof := pprof.Lookup(kind)
+		if prof == nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := prof.WriteTo(&buf, 0); err != nil {
+			continue
+		}
+		name := "profiles/" + kind + ".pprof"
+		blobs = append(blobs, blob{name, buf.Bytes()})
+		profiles = append(profiles, ProfileFile{Kind: kind, Path: name, Bytes: int64(buf.Len()), Time: now})
+	}
+	if prof := pprof.Lookup("goroutine"); prof != nil {
+		var buf bytes.Buffer
+		if err := prof.WriteTo(&buf, 2); err == nil {
+			blobs = append(blobs, blob{"profiles/goroutines.txt", buf.Bytes()})
+		}
+	}
+	if cpu := b.cfg.Profiler.Newest("cpu"); cpu.Path != "" {
+		if data, err := os.ReadFile(cpu.Path); err == nil {
+			name := "profiles/cpu.pprof"
+			blobs = append(blobs, blob{name, data})
+			profiles = append(profiles, ProfileFile{Kind: "cpu", Path: name, Bytes: int64(len(data)), Time: cpu.Time})
+		}
+	}
+
+	host, _ := os.Hostname()
+	man := BundleManifest{
+		Reason: reason, Detail: detail, Time: now,
+		Seq: seq, Suppressed: suppressed,
+		Go: runtime.Version(), OS: runtime.GOOS, Arch: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(), PID: os.Getpid(), Hostname: host,
+		Profiles: profiles,
+	}
+	for _, bl := range blobs {
+		man.Files = append(man.Files, BundleEntry{Name: bl.name, Bytes: int64(len(bl.data))})
+	}
+	manData, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: bundle manifest: %w", err)
+	}
+
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	writeEntry := func(name string, data []byte) error {
+		hdr := &tar.Header{Name: name, Mode: 0o644, Size: int64(len(data)), ModTime: now}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		_, err := tw.Write(data)
+		return err
+	}
+	if err := writeEntry("manifest.json", manData); err != nil {
+		return fmt.Errorf("obs: bundle: %w", err)
+	}
+	for _, bl := range blobs {
+		if err := writeEntry(bl.name, bl.data); err != nil {
+			return fmt.Errorf("obs: bundle %s: %w", bl.name, err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return fmt.Errorf("obs: bundle: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("obs: bundle: %w", err)
+	}
+	return nil
+}
+
+// prune removes this Bundler's oldest bundles past MaxBundles.
+func (b *Bundler) prune() {
+	pattern := filepath.Join(b.cfg.Dir, b.cfg.Prefix+"-*"+DebugBundleSuffix)
+	matches, err := filepath.Glob(pattern)
+	if err != nil || len(matches) <= b.cfg.MaxBundles {
+		return
+	}
+	type aged struct {
+		path string
+		mod  time.Time
+	}
+	var files []aged
+	for _, m := range matches {
+		st, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{m, st.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	for i := 0; i < len(files)-b.cfg.MaxBundles; i++ {
+		os.Remove(files[i].path)
+	}
+}
+
+// ServeHTTP writes an on-demand bundle as the response body, so
+// GET /debug/bundle downloads the full evidentiary record of a live
+// process. On-demand bundles bypass the debounce and do not count
+// against it.
+func (b *Bundler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if b == nil {
+		http.Error(w, "bundling not enabled", http.StatusNotFound)
+		return
+	}
+	name := fmt.Sprintf("%s-on-demand%s", b.cfg.Prefix, DebugBundleSuffix)
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+name+`"`)
+	if err := b.WriteTo(w, "on-demand", r.RemoteAddr, 0, 0); err != nil && b.cfg.Logger != nil {
+		b.cfg.Logger.Warn("on-demand bundle failed", slog.String("error", err.Error()))
+	}
+}
+
+// BundleInfo is a parsed debug bundle: the manifest plus the decoded
+// flight and series sections and the raw bytes of every other entry.
+type BundleInfo struct {
+	Manifest BundleManifest
+	Flight   *FlightSnapshot
+	Series   *SeriesSnapshot
+	// Sections maps the remaining .json entries (stats/run, config, ...)
+	// to their raw JSON.
+	Sections map[string]json.RawMessage
+	// Entries lists every archive member in order.
+	Entries []BundleEntry
+}
+
+// ReadBundle parses a debug bundle stream (tar.gz as written by
+// Bundler.WriteTo). Unknown entries are inventoried but not decoded, so
+// newer bundles stay readable by older readers.
+func ReadBundle(r io.Reader) (*BundleInfo, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("obs: bundle is not gzip: %w", err)
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	info := &BundleInfo{Sections: make(map[string]json.RawMessage)}
+	sawManifest := false
+	for {
+		hdr, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: bundle is truncated or corrupt: %w", err)
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bundle entry %s: %w", hdr.Name, err)
+		}
+		info.Entries = append(info.Entries, BundleEntry{Name: hdr.Name, Bytes: int64(len(data))})
+		switch {
+		case hdr.Name == "manifest.json":
+			if err := json.Unmarshal(data, &info.Manifest); err != nil {
+				return nil, fmt.Errorf("obs: bundle manifest: %w", err)
+			}
+			sawManifest = true
+		case hdr.Name == "flight.json":
+			var snap FlightSnapshot
+			if err := json.Unmarshal(data, &snap); err == nil {
+				info.Flight = &snap
+			}
+		case hdr.Name == "series.json":
+			var snap SeriesSnapshot
+			if err := json.Unmarshal(data, &snap); err == nil {
+				info.Series = &snap
+			}
+		case strings.HasSuffix(hdr.Name, ".json"):
+			info.Sections[strings.TrimSuffix(hdr.Name, ".json")] = json.RawMessage(data)
+		}
+	}
+	if !sawManifest {
+		return nil, errors.New("obs: not a debug bundle: no manifest.json")
+	}
+	return info, nil
+}

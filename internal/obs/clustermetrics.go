@@ -102,6 +102,38 @@ func (m *ClusterMetrics) WriteProm(w io.Writer) error {
 	return pw.err
 }
 
+// Snapshot assembles a live ClusterStats view of the current run — the
+// per-node counters plus a merged staleness histogram — for consumers
+// that want the struct form mid-run (the /debug/dash feed). Totals the
+// wire meter only knows at the end (sim seconds, byte breakdown) stay
+// zero. Nil and pre-Reset receivers return nil.
+func (m *ClusterMetrics) Snapshot() *ClusterStats {
+	if m == nil {
+		return nil
+	}
+	p := m.nodes.Load()
+	if p == nil || len(*p) == 0 {
+		return nil
+	}
+	stats := &ClusterStats{Nodes: len(*p)}
+	for i := range *p {
+		n := &(*p)[i]
+		hist := n.staleness.Snapshot()
+		ns := NodeStats{
+			Node:         i,
+			Updates:      n.updates.Load(),
+			WireBytes:    n.wireBytes.Load(),
+			Staleness:    hist,
+			StalenessP50: hist.Quantile(0.5),
+			StalenessP99: hist.Quantile(0.99),
+		}
+		stats.PerNode = append(stats.PerNode, ns)
+		stats.WireBytes += ns.WireBytes
+		stats.Staleness.Merge(hist)
+	}
+	return stats
+}
+
 // ServeHTTP implements http.Handler, serving the Prometheus text format.
 func (m *ClusterMetrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -107,6 +107,14 @@ func Serve(addr string) (*Server, error) { return ServeWith(addr, nil) }
 // ServeWith is Serve with an optional Prometheus-style metrics handler
 // (typically a *LiveMetrics) mounted at /metrics.
 func ServeWith(addr string, metrics http.Handler) (*Server, error) {
+	return ServeDebug(addr, metrics, nil)
+}
+
+// ServeDebug is ServeWith plus arbitrary extra routes — the training
+// daemon uses it to expose /debug/flight, /debug/dash and /debug/bundle
+// on the same mux as pprof and metrics. Nil handlers in extra are
+// skipped.
+func ServeDebug(addr string, metrics http.Handler, extra map[string]http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -115,6 +123,11 @@ func ServeWith(addr string, metrics http.Handler) (*Server, error) {
 	mux.Handle("/debug/obs", Default)
 	if metrics != nil {
 		mux.Handle("/metrics", metrics)
+	}
+	for pattern, h := range extra {
+		if h != nil {
+			mux.Handle(pattern, h)
+		}
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -264,6 +264,10 @@ type HealthWatchdog struct {
 	// Cancel is the cancel-cause function of the run's context; required
 	// for the watchdog to actually stop the run.
 	Cancel context.CancelCauseFunc
+	// Bundle, when non-nil, gets a debug bundle triggered at trip time,
+	// before the run's context is cancelled — so the bundle's flight and
+	// series sections still show the diverging run live.
+	Bundle *Bundler
 	// Next receives every callback unchanged (nil: none). If it also
 	// implements HealthHooks, LifecycleHooks or DivergenceHooks those
 	// are forwarded/fired too, so the watchdog can wrap e.g. a
@@ -366,6 +370,7 @@ func (wd *HealthWatchdog) trip(di DivergenceInfo) {
 	if dh, ok := wd.Next.(DivergenceHooks); ok {
 		dh.OnDivergence(di)
 	}
+	wd.Bundle.Trigger("divergence", fmt.Sprintf("epoch %d: %s", di.Epoch, di.Reason))
 	if wd.Cancel != nil {
 		wd.Cancel(&DivergenceError{Info: di})
 	}

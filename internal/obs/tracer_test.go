@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -210,5 +211,49 @@ func TestSummarizeTraceErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// TestSummarizeTraceGzip checks the summary paths accept gzipped input
+// transparently — both a .json.gz written by a run and the trace.json.gz
+// inside a debug bundle.
+func TestSummarizeTraceGzip(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Begin("core", "epoch", 0).End()
+	tr.Begin("core", "epoch", 1).End()
+	var plain bytes.Buffer
+	if err := tr.WriteTrace(&plain); err != nil {
+		t.Fatal(err)
+	}
+	var zipped bytes.Buffer
+	gz := gzip.NewWriter(&zipped)
+	if _, err := gz.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sums, err := SummarizeTrace(bytes.NewReader(zipped.Bytes()))
+	if err != nil {
+		t.Fatalf("SummarizeTrace(gzip): %v", err)
+	}
+	if len(sums) != 1 || sums[0].Name != "epoch" || sums[0].Count != 2 {
+		t.Errorf("gzip phases = %+v", sums)
+	}
+	tracks, err := SummarizeTracks(bytes.NewReader(zipped.Bytes()))
+	if err != nil {
+		t.Fatalf("SummarizeTracks(gzip): %v", err)
+	}
+	if len(tracks) != 2 {
+		t.Errorf("gzip tracks = %+v", tracks)
+	}
+
+	// A gzip header followed by garbage reports the gzip layer, not a
+	// JSON syntax offset into the compressed bytes.
+	bad := append([]byte{0x1f, 0x8b}, []byte("not a gzip stream")...)
+	if _, err := SummarizeTrace(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "gzip") {
+		t.Errorf("corrupt gzip error = %v, want a gzip mention", err)
 	}
 }

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,8 +35,23 @@ func (p PhaseSummary) Mean() time.Duration {
 // file-level failure modes so the CLI can report them plainly instead of
 // a zero-filled summary: a raw EOF is an empty file, an unexpected EOF a
 // truncated one (a run killed mid-write), and a syntax error names the
-// corrupt byte.
+// corrupt byte. Gzipped input (debug bundles store traces as
+// trace.json.gz) is detected by magic bytes and decompressed
+// transparently.
 func decodeTrace(r io.Reader) (*chromeTrace, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("obs: gzipped trace: %w", err)
+		}
+		defer gz.Close()
+		return decodeTraceJSON(gz)
+	}
+	return decodeTraceJSON(br)
+}
+
+func decodeTraceJSON(r io.Reader) (*chromeTrace, error) {
 	var doc chromeTrace
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		switch {

@@ -80,6 +80,10 @@ type Config struct {
 	// post-mortem ring so a crashed or exhausted run can be diagnosed
 	// from its dump. Nil records nothing at no cost.
 	Flight *obs.FlightRecorder
+	// Bundle, when non-nil, gets a debug bundle triggered when the stall
+	// watchdog fires and when the supervisor exhausts its retries — the
+	// full evidentiary record lands on disk before the error propagates.
+	Bundle *obs.Bundler
 	// Snapshot, when non-nil, receives a promotable copy of the model at
 	// every checkpoint boundary, after the checkpoint file is durably on
 	// disk — the serving tier's hot-promotion feed. The weights slice is
@@ -323,6 +327,7 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 		case errors.Is(err, ErrStallDetected):
 			stats.StallsDetected++
 			stalls++
+			cfg.Bundle.Trigger("stall", fmt.Sprintf("attempt %d: %v", attempt, err))
 			if stalls >= cfg.DegradeAfter && threads > cfg.MinThreads {
 				threads--
 				stalls = 0
@@ -348,6 +353,8 @@ func supervise(ctx context.Context, cfg Config, tc core.Config, train func(core.
 			cfg.Flight.Record("run", "retries-exhausted", "giving up", map[string]string{
 				"attempts": fmt.Sprint(attempt), "error": err.Error(),
 			})
+			cfg.Bundle.Trigger("retries-exhausted",
+				fmt.Sprintf("giving up after %d attempts: %v", attempt, err))
 			return nil, fmt.Errorf("run: giving up after %d attempts: %w", attempt, err)
 		}
 		stats.Retries++

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -356,5 +358,53 @@ func TestLifecycleHooks(t *testing.T) {
 	ri := rec.retries[0]
 	if !errors.Is(ri.Err, ErrInjectedCrash) || ri.ResumeEpoch != 3 || ri.Attempt != 1 {
 		t.Fatalf("retry info %+v", ri)
+	}
+}
+
+// TestRetriesExhaustedTriggersBundle checks the supervisor's anomaly
+// hookup: giving up after the retry budget writes exactly one debug
+// bundle naming the failure.
+func TestRetriesExhaustedTriggersBundle(t *testing.T) {
+	ds := testDense(t)
+	bundleDir := t.TempDir()
+	bundler, err := obs.NewBundler(obs.BundleConfig{Dir: bundleDir, Flight: obs.NewFlightRecorder(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ParsePlan("crash@step=5,crash@step=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = TrainDense(context.Background(), Config{
+		Dir:        t.TempDir(),
+		MaxRetries: 1,
+		Faults:     plan,
+		Bundle:     bundler,
+		Sleep:      noSleep,
+	}, testTrainConfig(3), ds)
+	if err == nil || !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("exhausted retries returned %v", err)
+	}
+	files, err := filepath.Glob(filepath.Join(bundleDir, "*"+obs.DebugBundleSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("exhausted retries produced %d bundles, want 1: %v", len(files), files)
+	}
+	f, err := os.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	info, err := obs.ReadBundle(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Manifest.Reason != "retries-exhausted" {
+		t.Errorf("bundle reason = %q, want retries-exhausted", info.Manifest.Reason)
+	}
+	if !strings.Contains(info.Manifest.Detail, "giving up after 2 attempts") {
+		t.Errorf("bundle detail = %q", info.Manifest.Detail)
 	}
 }

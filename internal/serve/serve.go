@@ -94,6 +94,13 @@ type Config struct {
 	// SlowRequest, when positive, is the latency threshold above which a
 	// completed request is logged (and flight-recorded) as an offender.
 	SlowRequest time.Duration
+	// Bundle, when non-nil, gets a debug bundle triggered on each slow
+	// request (debounced by the bundler's cooldown) and is served on
+	// demand at GET /debug/bundle.
+	Bundle *obs.Bundler
+	// Dash, when non-nil, is the live dashboard, served at
+	// GET /debug/dash with its SSE feed at GET /debug/dash/events.
+	Dash *obs.Dash
 }
 
 // Fill applies defaults to unset fields and validates the rest.
@@ -459,6 +466,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/flight", s.handleFlight)
+	if s.cfg.Bundle != nil {
+		mux.Handle("/debug/bundle", s.cfg.Bundle)
+	}
+	s.cfg.Dash.Register(mux, "/debug/dash")
 	return mux
 }
 
@@ -585,6 +596,9 @@ func (s *Server) noteSlow(elapsed time.Duration, status string, j *job) {
 			"elapsed": elapsed.String(), "status": status,
 			"model_epoch": fmt.Sprint(j.epoch), "promotion": fmt.Sprint(j.seq),
 		})
+	s.cfg.Bundle.Trigger("slow-request",
+		fmt.Sprintf("request took %v (threshold %v, model epoch %d)",
+			elapsed, s.cfg.SlowRequest, j.epoch))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

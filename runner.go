@@ -124,6 +124,7 @@ func (rc RunConfig) internal(cfg Config) run.Config {
 		Series:       cfg.TimeSeries,
 		Logger:       obs.Component(cfg.Logger, "run"),
 		Flight:       cfg.Flight,
+		Bundle:       cfg.Bundle,
 		Snapshot:     snap,
 	}
 }

@@ -69,6 +69,12 @@ type ServeConfig struct {
 	// SlowRequest, when positive, logs (and flight-records) completed
 	// requests slower than this threshold.
 	SlowRequest time.Duration
+	// Bundle, when non-nil, gets a debug bundle triggered on each slow
+	// request (debounced) and is served on demand at GET /debug/bundle.
+	Bundle *Bundler
+	// Dash, when non-nil, is served at GET /debug/dash with its SSE feed
+	// at GET /debug/dash/events.
+	Dash *Dash
 }
 
 // Validate checks the configuration without building a server.
@@ -90,6 +96,8 @@ func (sc ServeConfig) internal() serve.Config {
 		Logger:       obs.Component(sc.Logger, "serve"),
 		Flight:       sc.Flight,
 		SlowRequest:  sc.SlowRequest,
+		Bundle:       sc.Bundle,
+		Dash:         sc.Dash,
 	}
 }
 
